@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses.
+ *
+ * Every harness regenerates one table or figure of the paper and prints
+ * it as an aligned text table (plus the paper's reported values where
+ * applicable, for side-by-side comparison).
+ *
+ * Run length is controlled by the IDA_BENCH_SCALE environment variable
+ * (default 0.35): 1.0 replays each preset's full 400k-request trace,
+ * smaller values shrink request count, duration and refresh period
+ * together. Shapes are stable down to ~0.2; EXPERIMENTS.md numbers were
+ * produced at the default.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ssd/config.hh"
+#include "stats/table.hh"
+#include "workload/presets.hh"
+#include "workload/runner.hh"
+
+namespace ida::bench {
+
+/** Benchmark run-length scale from IDA_BENCH_SCALE (default 0.35). */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("IDA_BENCH_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0.0)
+            return v;
+    }
+    return 0.35;
+}
+
+/** The paper's evaluated TLC systems (Sec. IV-C): baseline + IDA-Ex. */
+inline ssd::SsdConfig
+tlcSystem(bool enable_ida, double error_rate = 0.20)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::paperTlc();
+    cfg.ftl.enableIda = enable_ida;
+    cfg.adjustErrorRate = error_rate;
+    return cfg;
+}
+
+/** Run one preset under one system at the bench scale. */
+inline workload::RunResult
+run(const ssd::SsdConfig &cfg, const workload::WorkloadPreset &preset)
+{
+    return workload::runPreset(cfg, workload::scaled(preset, benchScale()));
+}
+
+/** Print a header naming the figure/table being regenerated. */
+inline void
+banner(const std::string &what, const std::string &paper_summary)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("paper result: %s\n", paper_summary.c_str());
+    std::printf("scale: %.2f (set IDA_BENCH_SCALE to change)\n", benchScale());
+    std::printf("==============================================================\n");
+}
+
+/** Geometric-mean helper for "average" rows (the paper uses means). */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+} // namespace ida::bench

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Fig. 4: the distribution of host reads over page
+ * types and sibling-validity scenarios on the *baseline* system.
+ *
+ * Paper shape (left, 11 workloads): LSB/CSB/MSB reads roughly evenly
+ * split; on average 18% of CSB reads find their LSB sibling invalid and
+ * 30% of MSB reads find LSB and/or CSB invalid. Right: 9 workloads
+ * binned by read ratio still show substantial MSB-invalid fractions.
+ */
+#include "bench_util.hh"
+
+namespace {
+
+void
+emit(const std::vector<ida::workload::WorkloadPreset> &presets,
+     const char *title)
+{
+    using namespace ida;
+    std::printf("\n-- %s --\n", title);
+    stats::Table table({"workload", "LSB%", "CSB%", "MSB%",
+                        "CSB w/ LSB invalid (of CSB)",
+                        "MSB w/ lower invalid (of MSB)", "paper MSB-inv%"});
+    std::vector<double> csbInv, msbInv;
+    for (const auto &preset : presets) {
+        const auto r = bench::run(bench::tlcSystem(false), preset);
+        const auto &rc = r.ftl.readClass;
+        const double total = double(rc.byLevel[0] + rc.byLevel[1] +
+                                    rc.byLevel[2]);
+        const double csb = rc.byLevel[1] ? 100.0 *
+            double(rc.byLevelLowerInvalid[1]) / double(rc.byLevel[1]) : 0;
+        const double msb = rc.byLevel[2] ? 100.0 *
+            double(rc.byLevelLowerInvalid[2]) / double(rc.byLevel[2]) : 0;
+        csbInv.push_back(csb);
+        msbInv.push_back(msb);
+        table.addRow({preset.name,
+                      stats::Table::num(100.0 * rc.byLevel[0] / total, 1),
+                      stats::Table::num(100.0 * rc.byLevel[1] / total, 1),
+                      stats::Table::num(100.0 * rc.byLevel[2] / total, 1),
+                      stats::Table::num(csb, 1), stats::Table::num(msb, 1),
+                      preset.paperMsbInvalidPct >= 0
+                          ? stats::Table::num(preset.paperMsbInvalidPct, 1)
+                          : "-"});
+        std::fflush(stdout);
+    }
+    table.addRow({"average", "", "", "",
+                  stats::Table::num(ida::bench::mean(csbInv), 1),
+                  stats::Table::num(ida::bench::mean(msbInv), 1), ""});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ida;
+    bench::banner("Fig. 4 - read distribution across page types and "
+                  "sibling validity",
+                  "~even LSB/CSB/MSB split; avg 18% of CSB reads have "
+                  "invalid LSB; avg 30% of MSB reads have invalid "
+                  "LSB/CSB");
+    emit(workload::paperWorkloads(), "11 paper workloads (Fig. 4 left)");
+    emit(workload::extraWorkloads(),
+         "9 read-ratio-binned workloads (Fig. 4 right)");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8: read response times of IDA coding with
+ * voltage-adjustment error rates E0..E80, normalized to the baseline,
+ * over the 11 read-intensive workloads.
+ *
+ * Paper shape: IDA-E0 ~31% average improvement, IDA-E20 ~28%, benefits
+ * decay monotonically with the error rate, IDA-E50 ~20%, IDA-E80 <7%.
+ */
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace ida;
+    bench::banner("Fig. 8 - normalized read response time vs. "
+                  "voltage-adjustment error rate",
+                  "IDA-E0 31% avg, E20 28%, E50 20.2%, E80 <7%; "
+                  "monotone decay in E");
+
+    const std::vector<double> rates = {0.0, 0.2, 0.4, 0.5, 0.6, 0.8};
+    std::vector<std::string> header = {"workload", "baseline(us)"};
+    for (double e : rates)
+        header.push_back("E" + std::to_string(int(e * 100 + 0.5)));
+    stats::Table table(header);
+
+    std::vector<std::vector<double>> normalized(rates.size());
+    for (const auto &preset : workload::paperWorkloads()) {
+        const auto base = bench::run(bench::tlcSystem(false), preset);
+        std::vector<std::string> row = {preset.name,
+                                        stats::Table::num(base.readRespUs,
+                                                          1)};
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            const auto r =
+                bench::run(bench::tlcSystem(true, rates[i]), preset);
+            const double n = r.normalizedReadResp(base);
+            normalized[i].push_back(n);
+            row.push_back(stats::Table::num(n, 3));
+        }
+        table.addRow(std::move(row));
+        std::fflush(stdout);
+    }
+
+    std::vector<std::string> avg = {"average", ""};
+    for (std::size_t i = 0; i < rates.size(); ++i)
+        avg.push_back(stats::Table::num(bench::mean(normalized[i]), 3));
+    table.addRow(std::move(avg));
+    table.print(std::cout);
+
+    std::printf("\nimprovement (1 - normalized), average:\n");
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        std::printf("  IDA-E%-3d %5.1f%%\n", int(rates[i] * 100 + 0.5),
+                    100.0 * (1.0 - bench::mean(normalized[i])));
+    }
+    return 0;
+}

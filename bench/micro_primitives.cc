@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's core primitives:
+ * IDA merge computation, sensing-count queries, event-queue throughput,
+ * mapping-table churn, and synthetic trace generation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "flash/coding.hh"
+#include "ftl/mapping.hh"
+#include "sim/event_queue.hh"
+#include "workload/synthetic.hh"
+
+namespace {
+
+using namespace ida;
+
+void
+BM_IdaMergeComputeTlc(benchmark::State &state)
+{
+    for (auto _ : state) {
+        // Fresh scheme each iteration so the merge cache is cold.
+        flash::CodingScheme scheme = flash::CodingScheme::tlc124();
+        benchmark::DoNotOptimize(scheme.idaMerge(0b110));
+    }
+}
+BENCHMARK(BM_IdaMergeComputeTlc);
+
+void
+BM_IdaMergeCachedLookup(benchmark::State &state)
+{
+    flash::CodingScheme scheme = flash::CodingScheme::qlc1248();
+    scheme.idaMerge(0b1100); // warm the cache
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.idaMerge(0b1100));
+}
+BENCHMARK(BM_IdaMergeCachedLookup);
+
+void
+BM_SensingCountQuery(benchmark::State &state)
+{
+    const flash::CodingScheme scheme = flash::CodingScheme::tlc124();
+    int level = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheme.sensingCount(level));
+        level = (level + 1) % 3;
+    }
+}
+BENCHMARK(BM_SensingCountQuery);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < n; ++i)
+            q.schedule(i % 97, [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_MappingChurn(benchmark::State &state)
+{
+    ftl::MappingTable map(1 << 16, 1 << 17);
+    std::uint64_t next = 0;
+    for (auto _ : state) {
+        const ftl::Lpn lpn = next % (1 << 16);
+        const ftl::Ppn ppn = next % (1 << 17);
+        if (map.reverse(ppn) != flash::kInvalidLpn)
+            map.unmap(map.reverse(ppn));
+        map.remap(lpn, ppn);
+        ++next;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MappingChurn);
+
+void
+BM_SyntheticTraceGeneration(benchmark::State &state)
+{
+    workload::SyntheticConfig cfg;
+    cfg.footprintPages = 100'000;
+    cfg.totalRequests = ~std::uint64_t{0} >> 1; // effectively unbounded
+    cfg.seed = 12;
+    workload::SyntheticTrace trace(cfg);
+    workload::IoRequest r;
+    for (auto _ : state) {
+        trace.next(r);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticTraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

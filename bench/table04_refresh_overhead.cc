@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates paper Table IV: per-refresh voltage-adjustment overhead
+ * for a 192-page (64-wordline) block under IDA-E20 — valid pages per
+ * refreshed block, additional verification reads (~N_target), and
+ * additional disturbed write-backs (~0.2 x N_target).
+ *
+ * Paper shape: ~98-143 valid pages per block, extra reads about half
+ * the valid pages, extra writes about a fifth of the extra reads.
+ */
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace ida;
+    bench::banner("Table IV - refresh overhead under IDA-E20",
+                  "avg 113/192 valid pages; ~58 extra reads; ~11 extra "
+                  "writes per refreshed block");
+
+    stats::Table table({"workload", "valid/192 (paper)", "extra reads (paper)",
+                        "extra writes (paper)", "refreshes"});
+
+    // Paper Table IV reference rows.
+    struct Ref { const char *name; double v, r, w; };
+    const Ref refs[] = {
+        {"proj_1", 122.88, 60.98, 12.19}, {"proj_2", 122.21, 60.47, 12.09},
+        {"proj_3", 128.69, 63.77, 12.75}, {"proj_4", 114.87, 56.41, 11.28},
+        {"hm_1", 103.34, 51.24, 10.24},   {"src1_0", 130.26, 64.29, 12.86},
+        {"src1_1", 102.14, 50.54, 10.11}, {"src2_0", 116.36, 57.53, 11.51},
+        {"stg_1", 142.67, 70.68, 14.13},  {"usr_1", 98.58, 48.61, 9.72},
+        {"usr_2", 113.69, 56.39, 11.28},
+    };
+
+    for (const auto &preset : workload::paperWorkloads()) {
+        const auto r = bench::run(bench::tlcSystem(true, 0.20), preset);
+        const auto &st = r.ftl.refresh;
+        const double n = st.refreshes ? double(st.refreshes) : 1.0;
+        const Ref *ref = nullptr;
+        for (const auto &x : refs) {
+            if (preset.name == x.name)
+                ref = &x;
+        }
+        auto cell = [](double measured, double paper) {
+            return stats::Table::num(measured, 1) + " (" +
+                   stats::Table::num(paper, 1) + ")";
+        };
+        table.addRow({preset.name,
+                      cell(double(st.validPages) / n, ref ? ref->v : 0),
+                      cell(double(st.extraReads) / n, ref ? ref->r : 0),
+                      cell(double(st.extraWrites) / n, ref ? ref->w : 0),
+                      std::to_string(st.refreshes)});
+        std::fflush(stdout);
+    }
+    table.print(std::cout);
+    return 0;
+}

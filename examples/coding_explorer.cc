@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Coding explorer: prints the state tables, read voltages, and every
+ * IDA merge of the bundled coding schemes (TLC 1-2-4, TLC 2-3-2, MLC,
+ * QLC) — a console rendition of the paper's Figs. 2, 5, and 6.
+ *
+ * Usage: coding_explorer [tlc124|tlc232|mlc|qlc]
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "flash/coding.hh"
+#include "flash/timing.hh"
+
+namespace {
+
+using namespace ida;
+
+void
+printScheme(const flash::CodingScheme &s)
+{
+    std::printf("=== %s (%d bits/cell, %d states) ===\n",
+                s.name().c_str(), s.bits(), s.numStates());
+
+    std::printf("\nstate table (S1 lowest voltage .. S%d highest):\n",
+                s.numStates());
+    std::printf("  state  ");
+    for (int l = s.bits() - 1; l >= 0; --l)
+        std::printf("bit%d ", l + 1);
+    std::printf("\n");
+    for (int st = 0; st < s.numStates(); ++st) {
+        std::printf("  S%-5d ", st + 1);
+        for (int l = s.bits() - 1; l >= 0; --l)
+            std::printf("%4d ", s.bitOf(st, l));
+        std::printf("\n");
+    }
+
+    std::printf("\nconventional reads:\n");
+    const flash::FlashTiming timing;
+    for (int l = 0; l < s.bits(); ++l) {
+        std::printf("  level %d: %d sensing(s) at voltages {", l,
+                    s.sensingCount(l));
+        for (std::size_t i = 0; i < s.readVoltages(l).size(); ++i)
+            std::printf("%sV%d", i ? ", " : "", s.readVoltages(l)[i] + 1);
+        std::printf("}  -> %.0f us\n",
+                    sim::toUsec(timing.conventionalReadLatency(s, l)));
+    }
+
+    std::printf("\nIDA merges (per valid-level mask):\n");
+    for (flash::LevelMask mask = 1; mask < flash::fullMask(s.bits());
+         ++mask) {
+        const auto &m = s.idaMerge(mask);
+        std::printf("  valid levels {");
+        bool first = true;
+        for (int l = 0; l < s.bits(); ++l) {
+            if ((mask >> l) & 1) {
+                std::printf("%s%d", first ? "" : ",", l);
+                first = false;
+            }
+        }
+        std::printf("}: %zu states survive; sensings ", m.survivors.size());
+        for (int l = 0; l < s.bits(); ++l) {
+            if ((mask >> l) & 1)
+                std::printf("L%d:%d->%d ", l, s.sensingCount(l),
+                            m.sensingCounts[l]);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string which = argc > 1 ? argv[1] : "all";
+    if (which == "tlc124" || which == "all")
+        printScheme(flash::CodingScheme::tlc124());
+    if (which == "tlc232" || which == "all")
+        printScheme(flash::CodingScheme::tlc232());
+    if (which == "mlc" || which == "all")
+        printScheme(flash::CodingScheme::mlc12());
+    if (which == "qlc" || which == "all")
+        printScheme(flash::CodingScheme::qlc1248());
+    return 0;
+}

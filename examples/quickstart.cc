@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: build the paper's TLC SSD, run one read-intensive
+ * workload with and without IDA coding, and print the headline
+ * comparison (paper Sec. V-A).
+ */
+#include <cstdio>
+
+#include "ssd/config.hh"
+#include "workload/presets.hh"
+#include "workload/runner.hh"
+
+int
+main()
+{
+    using namespace ida;
+
+    // A shortened proj_1-style workload so the example runs in seconds.
+    const workload::WorkloadPreset preset =
+        workload::scaled(workload::presetByName("proj_1"), 0.25);
+
+    // System 1: the conventional-coding baseline (Table II).
+    const ssd::SsdConfig baseline = ssd::SsdConfig::paperTlc();
+
+    // System 2: IDA-Coding-E20 — voltage adjustment applied during data
+    // refresh, with 20% of reprogrammed pages disturbed.
+    ssd::SsdConfig ida = baseline;
+    ida.ftl.enableIda = true;
+    ida.adjustErrorRate = 0.20;
+
+    std::printf("running %s on %s...\n", preset.name.c_str(),
+                baseline.systemLabel().c_str());
+    const auto base = workload::runPreset(baseline, preset);
+    std::printf("running %s on %s...\n", preset.name.c_str(),
+                ida.systemLabel().c_str());
+    const auto idar = workload::runPreset(ida, preset);
+
+    std::printf("\nworkload %s (%llu measured reads)\n",
+                preset.name.c_str(),
+                static_cast<unsigned long long>(base.measuredReads));
+    std::printf("  baseline read response: %8.1f us\n", base.readRespUs);
+    std::printf("  IDA-E20  read response: %8.1f us\n", idar.readRespUs);
+    std::printf("  normalized: %.3f  (improvement %.1f%%)\n",
+                idar.normalizedReadResp(base),
+                100.0 * idar.readImprovement(base));
+    std::printf("  IDA-served reads: %llu, refreshes: %llu "
+                "(IDA: %llu), adjusted WLs: %llu\n",
+                static_cast<unsigned long long>(
+                    idar.ftl.readClass.idaServed),
+                static_cast<unsigned long long>(idar.ftl.refresh.refreshes),
+                static_cast<unsigned long long>(
+                    idar.ftl.refresh.idaRefreshes),
+                static_cast<unsigned long long>(
+                    idar.ftl.refresh.adjustedWordlines));
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Trace replay: run any workload — a named synthetic preset or a real
+ * MSR Cambridge CSV trace — against a chosen system configuration and
+ * print the full measurement record.
+ *
+ * Usage:
+ *   trace_replay [--system baseline|ida-e0|ida-e20|ida-e50|move-to-lsb]
+ *                [--device tlc|mlc|qlc] [--scale F]
+ *                [--workload NAME | --msr FILE.csv]
+ *                [--report text|csv] [--suspension] [--wbuf PAGES]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <iostream>
+
+#include "workload/msr_parser.hh"
+#include "workload/result_report.hh"
+#include "workload/runner.hh"
+
+namespace {
+
+using namespace ida;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_replay [--system baseline|ida-e0|ida-e20|"
+                 "ida-e50|move-to-lsb]\n"
+                 "                    [--device tlc|mlc|qlc] [--scale F]\n"
+                 "                    [--workload NAME | --msr FILE]\n");
+    std::exit(2);
+}
+
+void
+printResult(const workload::RunResult &r)
+{
+    std::printf("\nworkload %s on %s\n", r.workload.c_str(),
+                r.system.c_str());
+    std::printf("  measured reads / writes : %llu / %llu\n",
+                (unsigned long long)r.measuredReads,
+                (unsigned long long)r.measuredWrites);
+    std::printf("  read response (mean/p99): %.1f / %.1f us\n",
+                r.readRespUs, r.readP99Us);
+    std::printf("  write response (mean)   : %.1f us\n", r.writeRespUs);
+    std::printf("  read throughput         : %.2f MB/s\n",
+                r.throughputMBps);
+    std::printf("  refreshes (IDA/baseline): %llu / %llu\n",
+                (unsigned long long)r.ftl.refresh.idaRefreshes,
+                (unsigned long long)r.ftl.refresh.baselineRefreshes);
+    std::printf("  adjusted wordlines      : %llu\n",
+                (unsigned long long)r.ftl.refresh.adjustedWordlines);
+    std::printf("  IDA-served reads        : %llu\n",
+                (unsigned long long)r.ftl.readClass.idaServed);
+    std::printf("  GC invocations / erases : %llu / %llu\n",
+                (unsigned long long)r.ftl.gc.invocations,
+                (unsigned long long)r.ftl.gc.erases);
+    std::printf("  in-use blocks (end)     : %llu of %llu\n",
+                (unsigned long long)r.inUseBlocksEnd,
+                (unsigned long long)r.totalBlocks);
+    std::printf("  simulated / wall time   : %.1f s / %.1f s\n",
+                sim::toSec(r.simulatedTime), r.wallSeconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string system = "ida-e20";
+    std::string device = "tlc";
+    std::string workloadName = "proj_1";
+    std::string msrPath;
+    std::string reportMode;
+    double scale = 0.25;
+    bool suspension = false;
+    std::uint32_t wbufPages = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage();
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--system"))
+            system = need("--system");
+        else if (!std::strcmp(argv[i], "--device"))
+            device = need("--device");
+        else if (!std::strcmp(argv[i], "--workload"))
+            workloadName = need("--workload");
+        else if (!std::strcmp(argv[i], "--msr"))
+            msrPath = need("--msr");
+        else if (!std::strcmp(argv[i], "--scale"))
+            scale = std::atof(need("--scale").c_str());
+        else if (!std::strcmp(argv[i], "--report"))
+            reportMode = need("--report");
+        else if (!std::strcmp(argv[i], "--suspension"))
+            suspension = true;
+        else if (!std::strcmp(argv[i], "--wbuf"))
+            wbufPages = static_cast<std::uint32_t>(
+                std::atoi(need("--wbuf").c_str()));
+        else
+            usage();
+    }
+
+    ssd::SsdConfig cfg;
+    if (device == "tlc")
+        cfg = ssd::SsdConfig::paperTlc();
+    else if (device == "mlc")
+        cfg = ssd::SsdConfig::paperMlc();
+    else if (device == "qlc")
+        cfg = ssd::SsdConfig::qlcDevice();
+    else
+        usage();
+
+    cfg.timing.programSuspension = suspension;
+    cfg.ftl.writeBuffer.capacityPages = wbufPages;
+
+    if (system == "baseline") {
+    } else if (system == "ida-e0") {
+        cfg.ftl.enableIda = true;
+        cfg.adjustErrorRate = 0.0;
+    } else if (system == "ida-e20") {
+        cfg.ftl.enableIda = true;
+        cfg.adjustErrorRate = 0.2;
+    } else if (system == "ida-e50") {
+        cfg.ftl.enableIda = true;
+        cfg.adjustErrorRate = 0.5;
+    } else if (system == "move-to-lsb") {
+        cfg.ftl.moveToLsbAlternative = true;
+    } else {
+        usage();
+    }
+
+    if (!msrPath.empty()) {
+        // Real MSR trace: size the footprint to half the logical space.
+        ssd::Ssd probe(cfg);
+        const std::uint64_t footprint = probe.logicalPages() / 2;
+        workload::MsrTrace trace(msrPath, cfg.geometry.pageSizeBytes,
+                                 footprint);
+        const auto r = workload::runTrace(cfg, trace, footprint,
+                                          3 * sim::kDay, 0.3, msrPath);
+        std::printf("malformed lines skipped: %llu\n",
+                    (unsigned long long)trace.malformedLines());
+        if (reportMode == "csv")
+            workload::makeReport(r).printCsv(std::cout);
+        else if (reportMode == "text")
+            workload::makeReport(r).printText(std::cout);
+        else
+            printResult(r);
+        return 0;
+    }
+
+    const auto preset =
+        workload::scaled(workload::presetByName(workloadName), scale);
+    const auto r = workload::runPreset(cfg, preset);
+    if (reportMode == "csv")
+        workload::makeReport(r).printCsv(std::cout);
+    else if (reportMode == "text")
+        workload::makeReport(r).printText(std::cout);
+    else
+        printResult(r);
+    return 0;
+}

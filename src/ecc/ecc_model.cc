@@ -1,0 +1,3 @@
+// ecc_model.hh is header-only; kept as a translation unit so the header
+// is compiled stand-alone by the library build.
+#include "ecc/ecc_model.hh"

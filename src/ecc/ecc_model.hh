@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ECC-engine behavioural model.
+ *
+ * The decode *latency* lives in FlashTiming (a pipelined 20 us per page,
+ * Table II). This model covers the stochastic behaviours the paper
+ * evaluates:
+ *
+ *  - voltage-adjust disturbance (Sec. V-B / Fig. 8): each page
+ *    reprogrammed by the IDA coding is corrupted with probability E
+ *    (IDA-E0 .. IDA-E80); corrupted pages must have their error-free
+ *    copy written to the new block during the modified refresh.
+ *
+ *  - per-read decode failures that trigger read retries (Sec. V-F /
+ *    Fig. 11). Two interchangeable retry sources are supported: a
+ *    phenomenological ladder (RetryModel, the paper's "earlier/later
+ *    lifetime portions") and a physical RBER curve (RberModel) driven
+ *    by each block's actual wear and retention age.
+ */
+#pragma once
+
+#include <optional>
+
+#include "ecc/rber_model.hh"
+#include "ecc/retry_model.hh"
+#include "sim/rng.hh"
+
+namespace ida::ecc {
+
+/** ECC engine model: disturbance injection + read-retry behaviour. */
+class EccModel
+{
+  public:
+    /** Ladder-based retries (the paper's lifetime-phase abstraction). */
+    EccModel(double adjust_error_rate, RetryModel retry)
+        : adjustErrorRate_(adjust_error_rate), retry_(std::move(retry)) {}
+
+    /**
+     * Physical retries: rounds derive from RBER(wear, retention).
+     * @param device_age_pe baseline P/E wear of the whole device
+     *        (positions the run within the SSD's lifetime).
+     */
+    EccModel(double adjust_error_rate, RberModel rber,
+             std::uint32_t device_age_pe)
+        : adjustErrorRate_(adjust_error_rate),
+          retry_(RetryModel::earlyLife()), rber_(std::move(rber)),
+          deviceAgePe_(device_age_pe) {}
+
+    EccModel() : EccModel(0.0, RetryModel::earlyLife()) {}
+
+    double adjustErrorRate() const { return adjustErrorRate_; }
+    const RetryModel &retryModel() const { return retry_; }
+    bool usesRber() const { return rber_.has_value(); }
+    const RberModel &rberModel() const { return *rber_; }
+    std::uint32_t deviceAgePe() const { return deviceAgePe_; }
+
+    /** Does this IDA reprogramming corrupt the page? */
+    bool adjustDisturbs(sim::Rng &rng) const {
+        return rng.chance(adjustErrorRate_);
+    }
+
+    /**
+     * Extra sensing rounds for a read of a page with the given wear and
+     * retention age. The ladder mode ignores both arguments; the RBER
+     * mode adds the device-age baseline to the block's own erase count.
+     */
+    int
+    retryRounds(std::uint32_t block_pe, sim::Time retention,
+                sim::Rng &rng) const
+    {
+        if (rber_) {
+            return rber_->sampleRounds(deviceAgePe_ + block_pe, retention,
+                                       rng);
+        }
+        return retry_.sampleRounds(rng);
+    }
+
+    /** Ladder-mode convenience overload (no page context). */
+    int retryRounds(sim::Rng &rng) const { return retryRounds(0, 0, rng); }
+
+  private:
+    double adjustErrorRate_;
+    RetryModel retry_;
+    std::optional<RberModel> rber_;
+    std::uint32_t deviceAgePe_ = 0;
+};
+
+} // namespace ida::ecc

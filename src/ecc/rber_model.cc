@@ -1,0 +1,82 @@
+#include "ecc/rber_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace ida::ecc {
+
+RberModel::RberModel(const RberConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.baseRber <= 0.0 || cfg_.hardDecisionLimit <= 0.0)
+        sim::fatal("RberModel: base RBER and decode limit must be > 0");
+    if (cfg_.perRoundGain <= 1.0)
+        sim::fatal("RberModel: per-round gain must exceed 1");
+    if (cfg_.peScale <= 0.0 || cfg_.retentionScale <= 0)
+        sim::fatal("RberModel: scales must be positive");
+    if (cfg_.maxExtraRounds < 0)
+        sim::fatal("RberModel: maxExtraRounds must be >= 0");
+}
+
+double
+RberModel::rber(std::uint32_t pe_cycles, sim::Time retention) const
+{
+    if (retention < 0)
+        retention = 0;
+    const double wear = std::pow(
+        1.0 + static_cast<double>(pe_cycles) / cfg_.peScale,
+        cfg_.wearExponent);
+    const double ret = std::pow(
+        1.0 + static_cast<double>(retention) /
+                  static_cast<double>(cfg_.retentionScale),
+        cfg_.retentionExponent);
+    return cfg_.baseRber * wear * ret;
+}
+
+int
+RberModel::roundsNeeded(double rber) const
+{
+    if (rber <= cfg_.hardDecisionLimit)
+        return 0;
+    const double k = std::log(rber / cfg_.hardDecisionLimit) /
+                     std::log(cfg_.perRoundGain);
+    return std::min(cfg_.maxExtraRounds,
+                    static_cast<int>(std::ceil(k)));
+}
+
+int
+RberModel::sampleRounds(std::uint32_t pe_cycles, sim::Time retention,
+                        sim::Rng &rng) const
+{
+    const double r = rber(pe_cycles, retention);
+    if (r <= cfg_.hardDecisionLimit)
+        return 0;
+    // Probabilistic rounding of the fractional round requirement:
+    // pages sitting between sensing thresholds sometimes decode a
+    // round early (read-to-read charge variation).
+    const double k = std::log(r / cfg_.hardDecisionLimit) /
+                     std::log(cfg_.perRoundGain);
+    const int lo = static_cast<int>(std::floor(k));
+    const int rounds = lo + (rng.chance(k - static_cast<double>(lo)) ? 1
+                                                                     : 0);
+    return std::clamp(rounds, 0, cfg_.maxExtraRounds);
+}
+
+sim::Time
+RberModel::retryOnsetRetention(std::uint32_t pe_cycles) const
+{
+    // Solve rber(pe, t) = hardDecisionLimit for t.
+    const double wear = std::pow(
+        1.0 + static_cast<double>(pe_cycles) / cfg_.peScale,
+        cfg_.wearExponent);
+    const double target = cfg_.hardDecisionLimit / (cfg_.baseRber * wear);
+    if (target <= 1.0)
+        return 0; // already beyond the limit at zero retention
+    const double x =
+        std::pow(target, 1.0 / cfg_.retentionExponent) - 1.0;
+    return static_cast<sim::Time>(
+        x * static_cast<double>(cfg_.retentionScale));
+}
+
+} // namespace ida::ecc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Raw-bit-error-rate model: RBER as a function of program/erase wear
+ * and retention age, following the standard empirical shape used by
+ * Cai et al. (FCR, ICCD'12 — the paper's refresh reference [23]) and
+ * LDPC-in-SSD (FAST'13 — the paper's retry reference [38]):
+ *
+ *     RBER(pe, t) = base * (1 + pe/peScale)^alpha * (1 + t/tScale)^beta
+ *
+ * The ECC can correct up to a hard-decision threshold; beyond it the
+ * read retries with extra soft-sensing rounds, each round extending
+ * the correctable RBER. This grounds the paper's Fig. 11 "lifetime
+ * portions" in a physical quantity: early-life devices need no
+ * retries, worn devices retry often, and *data refresh caps the
+ * retention term* — connecting the IDA host operation (refresh) to
+ * reliability exactly as the paper describes.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace ida::ecc {
+
+/** RBER curve parameters and the ECC's correction ladder. */
+struct RberConfig
+{
+    /** Fresh-device, zero-retention RBER. */
+    double baseRber = 2e-4;
+
+    /** P/E cycles that roughly double the wear term. */
+    double peScale = 3000.0;
+
+    /** Wear exponent (super-linear growth late in life). */
+    double wearExponent = 2.0;
+
+    /** Retention time that roughly doubles the retention term. */
+    sim::Time retentionScale = 30 * sim::kDay;
+
+    /** Retention exponent. */
+    double retentionExponent = 1.1;
+
+    /**
+     * Highest RBER the hard-decision decode corrects (paper Sec. II-C
+     * quotes 4e-3 for the high-throughput LDPC engines).
+     */
+    double hardDecisionLimit = 4e-3;
+
+    /**
+     * Each extra soft-sensing round multiplies the correctable RBER by
+     * this factor (progressive sensing extends the LLR resolution).
+     */
+    double perRoundGain = 1.6;
+
+    /** Ceiling on extra rounds before the read is declared failed. */
+    int maxExtraRounds = 6;
+};
+
+/** Deterministic RBER curve with a stochastic retry sampler. */
+class RberModel
+{
+  public:
+    explicit RberModel(const RberConfig &cfg = RberConfig());
+
+    const RberConfig &config() const { return cfg_; }
+
+    /** RBER of a page with @p pe_cycles wear and @p retention age. */
+    double rber(std::uint32_t pe_cycles, sim::Time retention) const;
+
+    /**
+     * Extra sensing rounds needed to decode at @p rber: the smallest k
+     * with rber <= hardDecisionLimit * perRoundGain^k, capped at
+     * maxExtraRounds.
+     */
+    int roundsNeeded(double rber) const;
+
+    /**
+     * Sample the retry rounds for one read: the deterministic
+     * roundsNeeded plus Bernoulli rounding of the fractional part, so
+     * a page sitting between thresholds sometimes needs one more round
+     * (sub-threshold charge variation across reads).
+     */
+    int sampleRounds(std::uint32_t pe_cycles, sim::Time retention,
+                     sim::Rng &rng) const;
+
+    /**
+     * Retention age at which a page of @p pe_cycles wear first needs
+     * any retry; a natural upper bound for the refresh period.
+     */
+    sim::Time retryOnsetRetention(std::uint32_t pe_cycles) const;
+
+  private:
+    RberConfig cfg_;
+};
+
+} // namespace ida::ecc

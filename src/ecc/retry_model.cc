@@ -1,0 +1,78 @@
+#include "ecc/retry_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace ida::ecc {
+
+RetryModel::RetryModel(std::vector<double> round_probs)
+{
+    if (round_probs.empty())
+        sim::fatal("RetryModel: need at least one round probability");
+    double sum = 0.0;
+    cdf_.reserve(round_probs.size());
+    for (double p : round_probs) {
+        if (p < 0.0)
+            sim::fatal("RetryModel: negative probability");
+        sum += p;
+        cdf_.push_back(sum);
+    }
+    if (std::abs(sum - 1.0) > 1e-6)
+        sim::fatal("RetryModel: probabilities must sum to 1");
+    cdf_.back() = 1.0;
+}
+
+int
+RetryModel::sampleRounds(sim::Rng &rng) const
+{
+    if (cdf_.size() == 1)
+        return 0;
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+}
+
+double
+RetryModel::meanRounds() const
+{
+    double mean = 0.0;
+    double prev = 0.0;
+    for (std::size_t k = 0; k < cdf_.size(); ++k) {
+        mean += static_cast<double>(k) * (cdf_[k] - prev);
+        prev = cdf_[k];
+    }
+    return mean;
+}
+
+RetryModel
+RetryModel::earlyLife()
+{
+    return RetryModel({1.0});
+}
+
+RetryModel
+RetryModel::lateLife()
+{
+    // Progressive-sensing shape: most reads still decode on the first
+    // try, a geometric-ish tail needs 1..4 extra rounds.
+    return RetryModel({0.50, 0.25, 0.13, 0.08, 0.04});
+}
+
+RetryModel
+RetryModel::lifetimePhase(double severity)
+{
+    severity = std::clamp(severity, 0.0, 1.0);
+    const RetryModel late = lateLife();
+    std::vector<double> probs(late.cdf_.size());
+    double prev = 0.0;
+    for (std::size_t k = 0; k < late.cdf_.size(); ++k) {
+        probs[k] = (late.cdf_[k] - prev) * severity;
+        prev = late.cdf_[k];
+    }
+    probs[0] += 1.0 - severity;
+    return RetryModel(std::move(probs));
+}
+
+} // namespace ida::ecc

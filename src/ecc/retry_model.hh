@@ -1,0 +1,63 @@
+/**
+ * @file
+ * LDPC read-retry model (paper Sec. V-F, Fig. 11).
+ *
+ * Late in an SSD's lifetime the raw bit error rate rises and hard-decision
+ * decoding starts failing; LDPC ECCs then retry the page read with extra
+ * sensing levels. Following LDPC-in-SSD (Zhao et al., FAST'13), we model
+ * the number of *extra sensing rounds* a read needs as a discrete
+ * distribution: round k succeeds with the residual probability mass at k.
+ * Every extra round re-senses the page, so it costs the page's full
+ * memory-access latency again — which is exactly why IDA coding (fewer
+ * read voltages per round) helps more in late lifetime.
+ */
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace ida::ecc {
+
+/** Distribution of extra read-retry sensing rounds per page read. */
+class RetryModel
+{
+  public:
+    /**
+     * @param round_probs round_probs[k] = P(read needs exactly k extra
+     *        rounds). Must sum to ~1; the tail is clamped to the last
+     *        entry's index.
+     */
+    explicit RetryModel(std::vector<double> round_probs);
+
+    /** Draw the number of extra rounds for one read. */
+    int sampleRounds(sim::Rng &rng) const;
+
+    /** Expected extra rounds per read. */
+    double meanRounds() const;
+
+    /** Largest possible number of extra rounds. */
+    int maxRounds() const {
+        return static_cast<int>(cdf_.size()) - 1;
+    }
+
+    /** Early lifetime: decoding never fails, no retries (Fig. 11 left). */
+    static RetryModel earlyLife();
+
+    /**
+     * Late lifetime: high-RBER retry ladder shaped after LDPC-in-SSD's
+     * progressive-sensing measurements (Fig. 11 right).
+     */
+    static RetryModel lateLife();
+
+    /**
+     * A parameterized phase between early and late life: @p severity in
+     * [0, 1] linearly interpolates the retry probabilities.
+     */
+    static RetryModel lifetimePhase(double severity);
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace ida::ecc

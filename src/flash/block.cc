@@ -1,0 +1,106 @@
+#include "flash/block.hh"
+
+#include "sim/log.hh"
+
+namespace ida::flash {
+
+Block::Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell)
+    : bits_(bits_per_cell),
+      pages_(pages_per_block, PageState::Free),
+      wlMask_(pages_per_block / bits_per_cell,
+              fullMask(static_cast<int>(bits_per_cell)))
+{
+    if (pages_per_block % bits_per_cell != 0)
+        sim::panic("Block: pagesPerBlock must divide by bitsPerCell");
+}
+
+int
+Block::readSensings(std::uint32_t page, const CodingScheme &scheme) const
+{
+    if (pages_[page] != PageState::Valid)
+        sim::panic("Block::readSensings: reading a non-valid page");
+    const std::uint32_t wl = page / bits_;
+    const int level = static_cast<int>(page % bits_);
+    const LevelMask mask = wlMask_[wl];
+    if (mask == fullMask(static_cast<int>(bits_)))
+        return scheme.sensingCount(level);
+    return scheme.idaMerge(mask).sensingCounts[level];
+}
+
+std::uint32_t
+Block::programNext(sim::Time now)
+{
+    if (isFull())
+        sim::panic("Block::programNext: block is full");
+    const std::uint32_t page = writePtr_++;
+    pages_[page] = PageState::Valid;
+    ++validCount_;
+    if (page == 0)
+        programTime_ = now;
+    return page;
+}
+
+void
+Block::invalidate(std::uint32_t page)
+{
+    if (pages_[page] != PageState::Valid)
+        sim::panic("Block::invalidate: page is not valid");
+    pages_[page] = PageState::Invalid;
+    --validCount_;
+}
+
+void
+Block::applyIda(std::uint32_t wl, LevelMask validMask)
+{
+    const LevelMask full = fullMask(static_cast<int>(bits_));
+    if (validMask == 0 || validMask >= full)
+        sim::panic("Block::applyIda: mask must drop at least one level");
+    for (std::uint32_t level = 0; level < bits_; ++level) {
+        const std::uint32_t page = wl * bits_ + level;
+        if (pages_[page] == PageState::Free)
+            sim::panic("Block::applyIda: wordline not fully programmed");
+        const bool levelValid = (validMask >> level) & 1;
+        if (!levelValid && pages_[page] == PageState::Valid)
+            sim::panic("Block::applyIda: would destroy a valid page");
+    }
+    // Tightening an already-IDA wordline further (e.g. CSB invalidated
+    // after an LSB-invalid adjustment) is allowed: the new mask must be
+    // a subset of the old one, so states only keep moving up.
+    if ((wlMask_[wl] & validMask) != validMask)
+        sim::panic("Block::applyIda: mask must shrink monotonically");
+    wlMask_[wl] = validMask;
+    idaBlock_ = true;
+}
+
+void
+Block::erase()
+{
+    std::fill(pages_.begin(), pages_.end(), PageState::Free);
+    std::fill(wlMask_.begin(), wlMask_.end(),
+              fullMask(static_cast<int>(bits_)));
+    writePtr_ = 0;
+    validCount_ = 0;
+    ++eraseCount_;
+    idaBlock_ = false;
+    programTime_ = 0;
+}
+
+int
+Block::tableICase(std::uint32_t wl) const
+{
+    if (bits_ != 3)
+        return 0;
+    const std::uint32_t base = wl * 3;
+    bool v[3];
+    for (int level = 0; level < 3; ++level) {
+        if (pages_[base + level] == PageState::Free)
+            return 0;
+        v[level] = pages_[base + level] == PageState::Valid;
+    }
+    // Table I: cases 1-4 have MSB valid with (LSB, CSB) =
+    // (V,V), (I,V), (V,I), (I,I); cases 5-8 repeat that with MSB invalid.
+    const int low = (v[0] ? 0 : 1) + (v[1] ? 0 : 2);
+    return (v[2] ? 1 : 5) + low;
+}
+
+} // namespace ida::flash

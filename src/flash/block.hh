@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Per-block physical state: page validity, in-order program pointer,
+ * erase count, program timestamp (for refresh aging), and the per-wordline
+ * coding mode that the IDA transform manipulates.
+ *
+ * A TLC block holds pagesPerBlock = 3 * wordlines logical pages; in-block
+ * page p lives on wordline p/3 at level p%3 (LSB/CSB/MSB). A wordline is
+ * "conventional" until a voltage adjustment re-programs it, after which it
+ * carries the IDA valid-level mask that decides the sensing counts of the
+ * surviving pages (paper Sec. III-B, Table I).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/coding.hh"
+#include "flash/geometry.hh"
+#include "sim/time.hh"
+
+namespace ida::flash {
+
+/** Lifecycle of one physical page. */
+enum class PageState : std::uint8_t { Free, Valid, Invalid };
+
+/** Block-level physical and coding state. */
+class Block
+{
+  public:
+    Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell);
+
+    /** Number of pages. */
+    std::uint32_t numPages() const {
+        return static_cast<std::uint32_t>(pages_.size());
+    }
+
+    /** Number of wordlines. */
+    std::uint32_t numWordlines() const {
+        return static_cast<std::uint32_t>(wlMask_.size());
+    }
+
+    std::uint32_t bitsPerCell() const { return bits_; }
+
+    PageState pageState(std::uint32_t page) const { return pages_[page]; }
+    bool isFree(std::uint32_t page) const {
+        return pages_[page] == PageState::Free;
+    }
+    bool isValid(std::uint32_t page) const {
+        return pages_[page] == PageState::Valid;
+    }
+
+    /** Count of valid pages. */
+    std::uint32_t validCount() const { return validCount_; }
+
+    /** Next in-order programmable page, == numPages() when full. */
+    std::uint32_t writePointer() const { return writePtr_; }
+
+    /** True when every page has been programmed. */
+    bool isFull() const { return writePtr_ == numPages(); }
+
+    /** True when no page has been programmed since the last erase. */
+    bool isErased() const { return writePtr_ == 0; }
+
+    /** Lifetime erase count. */
+    std::uint32_t eraseCount() const { return eraseCount_; }
+
+    /** Time of the first program after the last erase (retention age). */
+    sim::Time programTime() const { return programTime_; }
+
+    /** True once any wordline has been IDA-reprogrammed. */
+    bool isIdaBlock() const { return idaBlock_; }
+
+    /**
+     * Valid-level mask of @p wl: fullMask(bits) for a conventional
+     * wordline, else the mask the IDA adjustment was applied with.
+     */
+    LevelMask wordlineMask(std::uint32_t wl) const { return wlMask_[wl]; }
+
+    /** True if @p wl has been IDA-reprogrammed. */
+    bool isIdaWordline(std::uint32_t wl) const {
+        return wlMask_[wl] != fullMask(static_cast<int>(bits_));
+    }
+
+    /**
+     * Sensings needed to read in-block page @p page under @p scheme,
+     * honoring the wordline's coding mode.
+     */
+    int readSensings(std::uint32_t page, const CodingScheme &scheme) const;
+
+    /**
+     * Program the next in-order page at @p now; returns its index.
+     * Programming a full block is a simulator bug (panic).
+     */
+    std::uint32_t programNext(sim::Time now);
+
+    /** Mark a valid page invalid. */
+    void invalidate(std::uint32_t page);
+
+    /**
+     * Re-program wordline @p wl with the IDA coding for @p validMask.
+     *
+     * Requires: every level missing from @p validMask is Invalid (never
+     * Valid) on this wordline — IDA must not destroy live data — and the
+     * wordline was fully programmed. Pages of missing levels stay
+     * Invalid; they are unreadable afterwards.
+     */
+    void applyIda(std::uint32_t wl, LevelMask validMask);
+
+    /** Erase the block: all pages Free, coding back to conventional. */
+    void erase();
+
+    /**
+     * The paper's Table I case number (1..8) of wordline @p wl, defined
+     * for TLC (bits == 3) only: cases enumerate the validity of
+     * (LSB, CSB, MSB). Returns 0 for a wordline with any Free page.
+     */
+    int tableICase(std::uint32_t wl) const;
+
+  private:
+    std::uint32_t bits_;
+    std::vector<PageState> pages_;
+    std::vector<LevelMask> wlMask_;
+    std::uint32_t writePtr_ = 0;
+    std::uint32_t validCount_ = 0;
+    std::uint32_t eraseCount_ = 0;
+    sim::Time programTime_ = 0;
+    bool idaBlock_ = false;
+};
+
+} // namespace ida::flash

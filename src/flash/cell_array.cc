@@ -1,0 +1,153 @@
+#include "flash/cell_array.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace ida::flash {
+
+Wordline::Wordline(const CodingScheme &scheme, std::uint32_t cells)
+    : scheme_(scheme), states_(cells, 0),
+      mask_(fullMask(scheme.bits()))
+{
+    if (cells == 0)
+        sim::fatal("Wordline: need at least one cell");
+}
+
+bool
+Wordline::isErased() const
+{
+    return std::all_of(states_.begin(), states_.end(),
+                       [](int s) { return s == 0; });
+}
+
+void
+Wordline::program(const std::vector<std::vector<std::uint8_t>> &bits)
+{
+    const int levels = scheme_.bits();
+    if (static_cast<int>(bits.size()) != levels)
+        sim::panic("Wordline::program: need one bit vector per level");
+    for (const auto &v : bits) {
+        if (v.size() != states_.size())
+            sim::panic("Wordline::program: bit vector size mismatch");
+    }
+    if (!isErased())
+        sim::panic("Wordline::program: wordline not erased");
+
+    for (std::uint32_t c = 0; c < numCells(); ++c) {
+        std::uint8_t tuple = 0;
+        for (int l = 0; l < levels; ++l) {
+            if (bits[static_cast<std::size_t>(l)][c] > 1)
+                sim::panic("Wordline::program: bits must be 0/1");
+            tuple |= static_cast<std::uint8_t>(
+                bits[static_cast<std::size_t>(l)][c] << l);
+        }
+        // ISPP forms the target threshold voltage from erased upward.
+        states_[c] = scheme_.stateOf(tuple);
+    }
+}
+
+void
+Wordline::idaAdjust(LevelMask validMask)
+{
+    const LevelMask full = fullMask(scheme_.bits());
+    validMask = static_cast<LevelMask>(validMask & full);
+    if (validMask == 0 || validMask == full)
+        sim::panic("Wordline::idaAdjust: mask must drop a level");
+    if ((mask_ & validMask) != validMask)
+        sim::panic("Wordline::idaAdjust: mask must shrink monotonically");
+    const IdaMerge &m = scheme_.idaMerge(validMask);
+    for (auto &s : states_) {
+        const int target = m.stateMap[s];
+        if (target < s)
+            sim::panic("Wordline::idaAdjust: ISPP cannot lower a state");
+        s = target;
+    }
+    mask_ = validMask;
+}
+
+void
+Wordline::erase()
+{
+    std::fill(states_.begin(), states_.end(), 0);
+    mask_ = fullMask(scheme_.bits());
+}
+
+std::vector<bool>
+Wordline::senseAt(int boundary) const
+{
+    if (boundary < 0 || boundary >= scheme_.numStates() - 1)
+        sim::panic("Wordline::senseAt: boundary out of range");
+    ++senses_;
+    std::vector<bool> on(states_.size());
+    for (std::uint32_t c = 0; c < numCells(); ++c)
+        on[c] = states_[c] <= boundary;
+    return on;
+}
+
+std::vector<std::uint8_t>
+Wordline::readLevel(int level) const
+{
+    if (level < 0 || level >= scheme_.bits())
+        sim::panic("Wordline::readLevel: no such level");
+    if (!((mask_ >> level) & 1))
+        sim::panic("Wordline::readLevel: level was invalidated");
+
+    const bool merged = mask_ != fullMask(scheme_.bits());
+    const std::vector<int> &boundaries = merged
+        ? scheme_.idaMerge(mask_).readVoltages[static_cast<std::size_t>(
+              level)]
+        : scheme_.readVoltages(level);
+
+    // Decode table: the bit value of each inter-boundary interval,
+    // taken from the lowest *reachable* state in the interval (all
+    // states conventionally; the merge survivors afterwards).
+    const std::vector<int> *survivors = nullptr;
+    if (merged)
+        survivors = &scheme_.idaMerge(mask_).survivors;
+    std::vector<std::uint8_t> intervalBit(boundaries.size() + 1);
+    for (std::size_t k = 0; k <= boundaries.size(); ++k) {
+        const int lo = k == 0 ? 0 : boundaries[k - 1] + 1;
+        int rep = lo;
+        if (survivors) {
+            const auto it = std::lower_bound(survivors->begin(),
+                                             survivors->end(), lo);
+            if (it == survivors->end())
+                sim::panic("Wordline::readLevel: interval without a "
+                           "surviving state");
+            rep = *it;
+        }
+        intervalBit[k] =
+            static_cast<std::uint8_t>(scheme_.bitOf(rep, level));
+    }
+
+    // Sense once per boundary; a cell's interval index is the number of
+    // boundaries it does NOT conduct at.
+    std::vector<std::uint32_t> interval(states_.size(), 0);
+    for (const int b : boundaries) {
+        const std::vector<bool> on = senseAt(b);
+        for (std::uint32_t c = 0; c < numCells(); ++c)
+            interval[c] += !on[c];
+    }
+
+    std::vector<std::uint8_t> out(states_.size());
+    for (std::uint32_t c = 0; c < numCells(); ++c)
+        out[c] = intervalBit[interval[c]];
+    return out;
+}
+
+std::uint32_t
+Wordline::disturb(sim::Rng &rng, double p)
+{
+    std::uint32_t moved = 0;
+    const int top = scheme_.numStates() - 1;
+    for (auto &s : states_) {
+        if (s < top && rng.chance(p)) {
+            ++s;
+            ++moved;
+        }
+    }
+    return moved;
+}
+
+} // namespace ida::flash

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional (data-carrying) wordline model.
+ *
+ * The rest of the simulator models *timing* only; this module models the
+ * actual physics-level contract the paper relies on (Figs. 3 and 5):
+ * cells hold threshold-voltage states, ISPP programming can only add
+ * charge, page reads sense the wordline at boundary voltages, and the
+ * IDA voltage adjustment merges duplicated states upward without losing
+ * any still-valid bit. Property tests use it to prove, for every coding
+ * scheme and invalidation mask, that data written conventionally reads
+ * back identically after the merge — and that the merged read needs only
+ * the reduced voltage set.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/coding.hh"
+#include "sim/rng.hh"
+
+namespace ida::flash {
+
+/**
+ * One wordline of data-carrying cells under a coding scheme.
+ *
+ * The scheme reference must outlive the wordline.
+ */
+class Wordline
+{
+  public:
+    /** All cells start in the erased state S1 (state index 0). */
+    Wordline(const CodingScheme &scheme, std::uint32_t cells);
+
+    std::uint32_t numCells() const {
+        return static_cast<std::uint32_t>(states_.size());
+    }
+
+    const CodingScheme &scheme() const { return scheme_; }
+
+    /** Current threshold state of @p cell (0-based). */
+    int state(std::uint32_t cell) const { return states_[cell]; }
+
+    /** Current valid-level mask (fullMask until an IDA adjustment). */
+    LevelMask mask() const { return mask_; }
+
+    bool isErased() const;
+
+    /**
+     * Program the wordline: bits[level][cell] gives the bit of @p level
+     * stored in @p cell. Every level must be supplied and every cell
+     * must currently be erased (flash cannot reprogram in place).
+     */
+    void program(const std::vector<std::vector<std::uint8_t>> &bits);
+
+    /**
+     * Apply the IDA voltage adjustment for @p validMask: every cell
+     * moves to its merge representative. ISPP monotonicity (states only
+     * rise) is asserted; the mask must shrink monotonically.
+     */
+    void idaAdjust(LevelMask validMask);
+
+    /** Erase: every cell back to S1, coding back to conventional. */
+    void erase();
+
+    /**
+     * Sense the wordline at boundary voltage @p boundary (0-based: the
+     * paper's V(boundary+1)): result[cell] is true when the cell
+     * conducts, i.e. its state is at or below the boundary.
+     */
+    std::vector<bool> senseAt(int boundary) const;
+
+    /**
+     * Read page level @p level honoring the current coding mode: senses
+     * at the mode's read voltages and decodes each cell's bit. The
+     * number of sensings equals CodingScheme::sensingCount (or the
+     * merged count after idaAdjust). Reading an invalidated level
+     * panics — its data is gone by design.
+     */
+    std::vector<std::uint8_t> readLevel(int level) const;
+
+    /** Sensing operations performed by readLevel so far (for tests). */
+    std::uint64_t senseCount() const { return senses_; }
+
+    /**
+     * Disturbance injection: each cell independently shifts up one
+     * state with probability @p p (program disturb adds charge). Cells
+     * already at the top state stay. Returns the number of cells moved.
+     */
+    std::uint32_t disturb(sim::Rng &rng, double p);
+
+  private:
+    const CodingScheme &scheme_;
+    std::vector<int> states_;
+    LevelMask mask_;
+    mutable std::uint64_t senses_ = 0;
+};
+
+} // namespace ida::flash

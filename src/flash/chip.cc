@@ -1,0 +1,265 @@
+#include "flash/chip.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace ida::flash {
+
+ChipArray::ChipArray(const Geometry &geom, const FlashTiming &timing,
+                     const CodingScheme &coding, sim::EventQueue &events)
+    : geom_(geom), timing_(timing), coding_(coding), events_(events)
+{
+    geom_.validate();
+    if (static_cast<std::uint32_t>(coding_.bits()) != geom_.bitsPerCell)
+        sim::fatal("ChipArray: coding scheme bit density does not match "
+                   "geometry bitsPerCell");
+    blocks_.reserve(geom_.blocks());
+    for (std::uint64_t b = 0; b < geom_.blocks(); ++b)
+        blocks_.emplace_back(geom_.pagesPerBlock, geom_.bitsPerCell);
+    dies_.resize(geom_.dies());
+    channelFree_.assign(geom_.channels, 0);
+}
+
+sim::Time
+ChipArray::currentReadLatency(Ppn ppn) const
+{
+    const Block &blk = blocks_[geom_.blockOf(ppn)];
+    const auto page = static_cast<std::uint32_t>(ppn % geom_.pagesPerBlock);
+    const int sensings = blk.readSensings(page, coding_);
+    return timing_.readLatency(coding_, sensings);
+}
+
+void
+ChipArray::readPage(Ppn ppn, bool host_read, int extra_rounds,
+                    DoneCallback done)
+{
+    const sim::Time sense =
+        currentReadLatency(ppn) * static_cast<sim::Time>(1 + extra_rounds);
+    stats_.retrySenseRounds += static_cast<std::uint64_t>(extra_rounds);
+    Command cmd;
+    cmd.op = Command::Op::Read;
+    cmd.hostRead = host_read;
+    cmd.senseOrBusyTime = sense;
+    cmd.usesChannel = true;
+    cmd.postLatency = timing_.eccDecode;
+    cmd.done = std::move(done);
+    enqueue(geom_.dieOfBlock(geom_.blockOf(ppn)), std::move(cmd));
+    ++stats_.reads;
+    stats_.senseTime += sense;
+}
+
+void
+ChipArray::programImmediate(Ppn ppn)
+{
+    const BlockId bid = geom_.blockOf(ppn);
+    Block &blk = blocks_[bid];
+    const auto page = static_cast<std::uint32_t>(ppn % geom_.pagesPerBlock);
+    if (page != blk.writePointer())
+        sim::panic("ChipArray::programImmediate: out-of-order program");
+    blk.programNext(events_.now());
+}
+
+void
+ChipArray::programPage(Ppn ppn, DoneCallback done)
+{
+    const BlockId bid = geom_.blockOf(ppn);
+    Block &blk = blocks_[bid];
+    const auto page = static_cast<std::uint32_t>(ppn % geom_.pagesPerBlock);
+    if (page != blk.writePointer())
+        sim::panic("ChipArray::programPage: out-of-order program");
+    blk.programNext(events_.now());
+
+    Command cmd;
+    cmd.op = Command::Op::Program;
+    cmd.senseOrBusyTime = timing_.pageProgram;
+    cmd.usesChannel = true;
+    cmd.done = std::move(done);
+    enqueue(geom_.dieOfBlock(bid), std::move(cmd));
+    ++stats_.programs;
+}
+
+void
+ChipArray::eraseBlock(BlockId b, DoneCallback done)
+{
+    blocks_[b].erase();
+    Command cmd;
+    cmd.op = Command::Op::Erase;
+    cmd.senseOrBusyTime = timing_.blockErase;
+    cmd.done = std::move(done);
+    enqueue(geom_.dieOfBlock(b), std::move(cmd));
+    ++stats_.erases;
+}
+
+void
+ChipArray::adjustWordline(BlockId b, std::uint32_t wl, LevelMask mask,
+                          DoneCallback done)
+{
+    blocks_[b].applyIda(wl, mask);
+    Command cmd;
+    cmd.op = Command::Op::AdjustWl;
+    cmd.senseOrBusyTime = timing_.voltageAdjust;
+    cmd.done = std::move(done);
+    enqueue(geom_.dieOfBlock(b), std::move(cmd));
+    ++stats_.adjusts;
+}
+
+void
+ChipArray::enqueue(DieId die, Command cmd)
+{
+    ++inflight_;
+    Die &d = dies_[die];
+    const bool is_host_read = cmd.op == Command::Op::Read && cmd.hostRead;
+    if (is_host_read)
+        d.readQ.push_back(std::move(cmd));
+    else
+        d.otherQ.push_back(std::move(cmd));
+    if (!d.busy)
+        tryStart(die);
+    else if (is_host_read)
+        trySuspend(die);
+}
+
+void
+ChipArray::trySuspend(DieId die)
+{
+    if (!timing_.programSuspension)
+        return;
+    Die &d = dies_[die];
+    if (!d.busy || !d.suspendable || d.hasSuspended || d.readQ.empty())
+        return;
+    // Interrupt the running program/erase/adjust: remember its residual
+    // die time, invalidate its pending end event, and let the host read
+    // take the die.
+    ++stats_.suspensions;
+    d.hasSuspended = true;
+    d.suspendedRemaining = d.endTime - events_.now();
+    stats_.dieBusy -= d.suspendedRemaining; // re-added on resume
+    d.suspendedDone = std::move(d.runningDone);
+    d.runningDone = nullptr;
+    ++d.endGen;
+    d.busy = false;
+    d.suspendable = false;
+    tryStart(die);
+}
+
+void
+ChipArray::occupyDie(DieId die, sim::Time end, bool suspendable,
+                     DoneCallback done)
+{
+    Die &d = dies_[die];
+    d.busy = true;
+    d.suspendable = suspendable;
+    d.endTime = end;
+    d.runningDone = std::move(done);
+    const std::uint64_t gen = ++d.endGen;
+    events_.schedule(end, [this, die, gen] { onDieOpEnd(die, gen); });
+}
+
+void
+ChipArray::onDieOpEnd(DieId die, std::uint64_t gen)
+{
+    Die &d = dies_[die];
+    if (gen != d.endGen)
+        return; // the op was suspended; a new end event will come
+    d.busy = false;
+    d.suspendable = false;
+    if (d.runningDone) {
+        DoneCallback done = std::move(d.runningDone);
+        d.runningDone = nullptr;
+        --inflight_;
+        done(events_.now());
+    }
+    tryStart(die);
+}
+
+void
+ChipArray::resumeSuspended(DieId die)
+{
+    Die &d = dies_[die];
+    d.hasSuspended = false;
+    const sim::Time end = events_.now() + timing_.suspendResumeOverhead +
+                          d.suspendedRemaining;
+    stats_.dieBusy += end - events_.now();
+    occupyDie(die, end, true, std::move(d.suspendedDone));
+    d.suspendedDone = nullptr;
+}
+
+void
+ChipArray::tryStart(DieId die)
+{
+    Die &d = dies_[die];
+    if (d.busy)
+        return;
+    std::deque<Command> *q = nullptr;
+    if (!d.readQ.empty()) {
+        q = &d.readQ; // read-first scheduling
+    } else if (d.hasSuspended) {
+        resumeSuspended(die); // interrupted op resumes before new work
+        return;
+    } else if (!d.otherQ.empty()) {
+        q = &d.otherQ;
+    } else {
+        return;
+    }
+
+    Command cmd = std::move(q->front());
+    q->pop_front();
+
+    const sim::Time now = events_.now();
+    const std::uint32_t chan = geom_.channelOfDie(die);
+
+    switch (cmd.op) {
+      case Command::Op::Read: {
+        // Sense on the die, then move the data out over the channel.
+        // The die is released at sense completion: chips pipeline the
+        // array read with the I/O transfer through the cache register
+        // (read-page-cache mode), so back-to-back reads on one die are
+        // sensing-bound, which is exactly the stage the paper attacks.
+        const sim::Time sense_done = now + cmd.senseOrBusyTime;
+        const sim::Time ch_start = timing_.channelContention
+            ? std::max(sense_done, channelFree_[chan])
+            : sense_done;
+        const sim::Time ch_end = ch_start + timing_.pageTransfer;
+        if (timing_.channelContention)
+            channelFree_[chan] = ch_end;
+        stats_.channelBusy += timing_.pageTransfer;
+        stats_.dieBusy += sense_done - now;
+
+        // The read itself completes after transfer + ECC, independent
+        // of the die becoming free at sense completion.
+        const sim::Time completion = ch_end + cmd.postLatency;
+        events_.schedule(completion,
+                         [this, done = std::move(cmd.done), completion] {
+                             --inflight_;
+                             if (done)
+                                 done(completion);
+                         });
+        occupyDie(die, sense_done, false, nullptr);
+        break;
+      }
+      case Command::Op::Program: {
+        // Transfer the page into the data register, then program.
+        const sim::Time ch_start = timing_.channelContention
+            ? std::max(now, channelFree_[chan])
+            : now;
+        const sim::Time ch_end = ch_start + timing_.pageTransfer;
+        if (timing_.channelContention)
+            channelFree_[chan] = ch_end;
+        stats_.channelBusy += timing_.pageTransfer;
+        const sim::Time end = ch_end + cmd.senseOrBusyTime;
+        stats_.dieBusy += end - now;
+        occupyDie(die, end, true, std::move(cmd.done));
+        break;
+      }
+      case Command::Op::Erase:
+      case Command::Op::AdjustWl: {
+        const sim::Time end = now + cmd.senseOrBusyTime;
+        stats_.dieBusy += end - now;
+        occupyDie(die, end, true, std::move(cmd.done));
+        break;
+      }
+    }
+}
+
+} // namespace ida::flash

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Flash chip-array timing model.
+ *
+ * Owns every Block in the device and sequences flash commands onto the
+ * shared resources: each die executes one command at a time and each
+ * channel carries one page transfer at a time (paper Fig. 1). Host reads
+ * are prioritized over every other die operation ("read-first
+ * scheduling", Table II).
+ *
+ * Block *state* mutates synchronously when a command is issued; the
+ * command object only models *timing* and invokes its completion callback
+ * at the simulated finish time. This keeps multi-step FTL flows (GC,
+ * refresh) simple and deterministic: each phase issues its commands and
+ * waits for all completions before mutating further.
+ *
+ * Per-command timing (paper Sec. II-C, Table II):
+ *  - Read:    sense tR(page) x (1 + retryRounds) on the die, then one
+ *             page transfer on the channel, then pipelined ECC decode.
+ *  - Program: one page transfer in on the channel, then tPROG on the die.
+ *  - Erase:   tERASE on the die.
+ *  - AdjustWl: tADJ (voltage adjustment, Sec. III-B) on the die.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "flash/block.hh"
+#include "flash/coding.hh"
+#include "flash/geometry.hh"
+#include "flash/timing.hh"
+#include "sim/event_queue.hh"
+
+namespace ida::flash {
+
+/** Completion callback: receives the command's finish time. */
+using DoneCallback = std::function<void(sim::Time)>;
+
+/** Aggregate chip-array activity counters. */
+struct ChipStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t programs = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t adjusts = 0;
+    std::uint64_t retrySenseRounds = 0;
+    /** Program/erase suspensions performed (programSuspension mode). */
+    std::uint64_t suspensions = 0;
+    /** Total die-busy time summed over dies. */
+    sim::Time dieBusy = 0;
+    /** Total channel-busy time summed over channels. */
+    sim::Time channelBusy = 0;
+    /** Total sensing time (the memory-access stage only). */
+    sim::Time senseTime = 0;
+};
+
+/**
+ * The array of flash chips behind the SSD controller.
+ */
+class ChipArray
+{
+  public:
+    ChipArray(const Geometry &geom, const FlashTiming &timing,
+              const CodingScheme &coding, sim::EventQueue &events);
+
+    const Geometry &geometry() const { return geom_; }
+    sim::Time now() const { return events_.now(); }
+    const FlashTiming &timing() const { return timing_; }
+    const CodingScheme &coding() const { return coding_; }
+
+    Block &block(BlockId b) { return blocks_[b]; }
+    const Block &block(BlockId b) const { return blocks_[b]; }
+
+    /**
+     * Issue a page read.
+     *
+     * The sensing count is taken from the page's wordline coding mode at
+     * issue time. @p host_read selects the priority class;
+     * @p extra_rounds adds read-retry re-sensings (each costs the page's
+     * full memory-access latency again; paper Sec. V-F).
+     */
+    void readPage(Ppn ppn, bool host_read, int extra_rounds,
+                  DoneCallback done);
+
+    /**
+     * Program the next in-order page of @p ppn's block; @p ppn must be
+     * exactly the block's write pointer (flash programs are sequential).
+     */
+    void programPage(Ppn ppn, DoneCallback done);
+
+    /**
+     * Program a page instantly with no timing cost (state change only);
+     * used to preload the initial footprint. @p ppn must be the block's
+     * write pointer.
+     */
+    void programImmediate(Ppn ppn);
+
+    /** Erase a block. */
+    void eraseBlock(BlockId b, DoneCallback done);
+
+    /**
+     * Apply the IDA voltage adjustment to one wordline (block state
+     * mutates immediately; timing charged as one tADJ die operation).
+     */
+    void adjustWordline(BlockId b, std::uint32_t wl, LevelMask mask,
+                        DoneCallback done);
+
+    /** The memory-access latency a read of @p ppn would take right now. */
+    sim::Time currentReadLatency(Ppn ppn) const;
+
+    const ChipStats &stats() const { return stats_; }
+
+    /** Pending + running commands across all dies (for drain checks). */
+    std::uint64_t inflight() const { return inflight_; }
+
+  private:
+    struct Command
+    {
+        enum class Op { Read, Program, Erase, AdjustWl };
+        Op op;
+        bool hostRead = false;
+        /** Precomputed die occupancy of the pre-transfer stage. */
+        sim::Time senseOrBusyTime = 0;
+        /** True when the op uses the channel (read out / program in). */
+        bool usesChannel = false;
+        /** Extra latency after resources are released (ECC pipeline). */
+        sim::Time postLatency = 0;
+        DoneCallback done;
+    };
+
+    struct Die
+    {
+        std::deque<Command> readQ;
+        std::deque<Command> otherQ;
+        bool busy = false;
+        /** Generation of the pending die-end event (stale-event guard). */
+        std::uint64_t endGen = 0;
+        /** End time of the op currently occupying the die. */
+        sim::Time endTime = 0;
+        /** Whether the running op may be suspended by a host read. */
+        bool suspendable = false;
+        /** Completion callback of the running non-read op. */
+        DoneCallback runningDone;
+        /** A suspended op waiting to resume (remaining die time). */
+        bool hasSuspended = false;
+        sim::Time suspendedRemaining = 0;
+        DoneCallback suspendedDone;
+    };
+
+    void enqueue(DieId die, Command cmd);
+    void trySuspend(DieId die);
+    void tryStart(DieId die);
+    void occupyDie(DieId die, sim::Time end, bool suspendable,
+                   DoneCallback done);
+    void onDieOpEnd(DieId die, std::uint64_t gen);
+    void resumeSuspended(DieId die);
+
+    const Geometry geom_;
+    const FlashTiming timing_;
+    const CodingScheme coding_;
+    sim::EventQueue &events_;
+
+    std::vector<Block> blocks_;
+    std::vector<Die> dies_;
+    std::vector<sim::Time> channelFree_;
+    ChipStats stats_;
+    std::uint64_t inflight_ = 0;
+};
+
+} // namespace ida::flash

@@ -1,0 +1,235 @@
+#include "flash/coding.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/log.hh"
+
+namespace ida::flash {
+
+bool
+IdaMerge::changesAnything() const
+{
+    for (std::size_t s = 0; s < stateMap.size(); ++s) {
+        if (stateMap[s] != static_cast<int>(s))
+            return true;
+    }
+    return false;
+}
+
+CodingScheme::CodingScheme(int bits, std::vector<std::uint8_t> table,
+                           std::string name)
+    : bits_(bits), table_(std::move(table)), name_(std::move(name))
+{
+    if (bits_ < 1 || bits_ > 6)
+        sim::fatal("CodingScheme: bits per cell must be in [1, 6]");
+    const std::size_t want = std::size_t{1} << bits_;
+    if (table_.size() != want)
+        sim::fatal("CodingScheme '" + name_ + "': state table must have 2^bits entries");
+    std::set<std::uint8_t> uniq(table_.begin(), table_.end());
+    if (uniq.size() != want)
+        sim::fatal("CodingScheme '" + name_ + "': duplicate state tuples");
+    if (table_[0] != fullMask(bits_))
+        sim::fatal("CodingScheme '" + name_ + "': erased state (S1) must read all ones");
+    deriveConventional();
+    mergeCache_.resize(want);
+    mergeCached_.assign(want, false);
+}
+
+int
+CodingScheme::bitOf(int state, int level) const
+{
+    return (table_[state] >> level) & 1;
+}
+
+int
+CodingScheme::stateOf(std::uint8_t tuple) const
+{
+    for (int s = 0; s < numStates(); ++s) {
+        if (table_[s] == tuple)
+            return s;
+    }
+    sim::panic("CodingScheme::stateOf: tuple not in table");
+}
+
+void
+CodingScheme::deriveConventional()
+{
+    sensings_.assign(bits_, 0);
+    voltages_.assign(bits_, {});
+    for (int level = 0; level < bits_; ++level) {
+        for (int s = 0; s + 1 < numStates(); ++s) {
+            if (bitOf(s, level) != bitOf(s + 1, level)) {
+                ++sensings_[level];
+                voltages_[level].push_back(s);
+            }
+        }
+        if (sensings_[level] == 0) {
+            sim::fatal("CodingScheme '" + name_ +
+                       "': a level never transitions; it stores no data");
+        }
+    }
+    std::set<int> distinct(sensings_.begin(), sensings_.end());
+    tierOfCount_.assign(distinct.begin(), distinct.end());
+}
+
+int
+CodingScheme::latencyTier(int nSensings) const
+{
+    int tier = 0;
+    for (int c : tierOfCount_) {
+        if (c < nSensings)
+            ++tier;
+    }
+    return tier;
+}
+
+int
+CodingScheme::maxTier() const
+{
+    return static_cast<int>(tierOfCount_.size()) - 1;
+}
+
+const IdaMerge &
+CodingScheme::idaMerge(LevelMask validMask) const
+{
+    const LevelMask full = fullMask(bits_);
+    validMask = static_cast<LevelMask>(validMask & full);
+    if (validMask == 0 || validMask == full)
+        sim::panic("idaMerge: mask must be a proper non-empty level subset");
+    if (!mergeCached_[validMask]) {
+        mergeCache_[validMask] = computeMerge(validMask);
+        mergeCached_[validMask] = true;
+    }
+    return mergeCache_[validMask];
+}
+
+IdaMerge
+CodingScheme::computeMerge(LevelMask validMask) const
+{
+    IdaMerge m;
+    m.validMask = validMask;
+    m.stateMap.resize(numStates());
+
+    // Group states by their projection onto the valid levels; every state
+    // in a group stores identical *useful* data, so they are mergeable
+    // (paper Sec. III-B: S1/S8, S2/S7, ... for the LSB-invalid TLC case).
+    // ISPP can only raise a cell's threshold voltage, so the class
+    // representative must be the highest-voltage member: every state can
+    // then reach it.
+    std::map<std::uint8_t, int> reps; // projection -> max state index
+    for (int s = 0; s < numStates(); ++s) {
+        const std::uint8_t key = table_[s] & validMask;
+        auto [it, inserted] = reps.try_emplace(key, s);
+        if (!inserted)
+            it->second = std::max(it->second, s);
+    }
+    for (int s = 0; s < numStates(); ++s)
+        m.stateMap[s] = reps[table_[s] & validMask];
+
+    m.survivors.reserve(reps.size());
+    for (const auto &[key, s] : reps)
+        m.survivors.push_back(s);
+    std::sort(m.survivors.begin(), m.survivors.end());
+
+    // Sensing counts / read voltages over the surviving state sequence:
+    // a level-L read now only needs the boundaries where bit L flips
+    // between *adjacent survivors*. The physical boundary between
+    // survivors a and b (a < b) can be sensed at any voltage in
+    // [a, b-1]; we use the conventional boundary just below b, matching
+    // the paper's choice of V5/V6/V7 for the TLC example.
+    m.sensingCounts.assign(bits_, 0);
+    m.readVoltages.assign(bits_, {});
+    for (int level = 0; level < bits_; ++level) {
+        if (!((validMask >> level) & 1))
+            continue;
+        for (std::size_t i = 0; i + 1 < m.survivors.size(); ++i) {
+            const int a = m.survivors[i];
+            const int b = m.survivors[i + 1];
+            if (bitOf(a, level) != bitOf(b, level)) {
+                ++m.sensingCounts[level];
+                m.readVoltages[level].push_back(b - 1);
+            }
+        }
+    }
+    return m;
+}
+
+CodingScheme
+CodingScheme::reflectedGray(int bits)
+{
+    const int n = 1 << bits;
+    std::vector<std::uint8_t> table(n);
+    for (int i = 0; i < n; ++i) {
+        const unsigned gray = static_cast<unsigned>(i) ^
+                              (static_cast<unsigned>(i) >> 1);
+        // Gray bit (bits-1-L) drives level L, inverted so the erased
+        // state S1 (i = 0) reads all ones. This reproduces the paper's
+        // Fig. 2 assignment exactly for bits = 3 (e.g. S5 = LSB 0,
+        // CSB 0, MSB 1).
+        std::uint8_t tuple = 0;
+        for (int level = 0; level < bits; ++level) {
+            const int g = (gray >> (bits - 1 - level)) & 1;
+            tuple |= static_cast<std::uint8_t>((1 - g) << level);
+        }
+        table[i] = tuple;
+    }
+    return CodingScheme(bits, std::move(table),
+                        "reflected-gray-" + std::to_string(bits) + "bit");
+}
+
+CodingScheme
+CodingScheme::tlc124()
+{
+    CodingScheme s = reflectedGray(3);
+    return CodingScheme(3,
+                        std::vector<std::uint8_t>(
+                            s.table_.begin(), s.table_.end()),
+                        "tlc-1-2-4");
+}
+
+CodingScheme
+CodingScheme::tlc232()
+{
+    // A Gray path over the 3-cube with per-level transition counts
+    // LSB = 2, CSB = 3, MSB = 2 (the alternative vendor coding the
+    // paper mentions in Sec. III-B). Tuples are (MSB CSB LSB) read
+    // right-to-left below; bit 0 = LSB.
+    auto t = [](int l, int c, int m) {
+        return static_cast<std::uint8_t>(l | (c << 1) | (m << 2));
+    };
+    std::vector<std::uint8_t> table = {
+        t(1, 1, 1), // S1 (erased)
+        t(0, 1, 1), // S2: LSB flip
+        t(0, 0, 1), // S3: CSB flip
+        t(0, 0, 0), // S4: MSB flip
+        t(0, 1, 0), // S5: CSB flip
+        t(1, 1, 0), // S6: LSB flip
+        t(1, 0, 0), // S7: CSB flip
+        t(1, 0, 1), // S8: MSB flip
+    };
+    return CodingScheme(3, std::move(table), "tlc-2-3-2");
+}
+
+CodingScheme
+CodingScheme::mlc12()
+{
+    CodingScheme s = reflectedGray(2);
+    return CodingScheme(2,
+                        std::vector<std::uint8_t>(
+                            s.table_.begin(), s.table_.end()),
+                        "mlc-1-2");
+}
+
+CodingScheme
+CodingScheme::qlc1248()
+{
+    CodingScheme s = reflectedGray(4);
+    return CodingScheme(4,
+                        std::vector<std::uint8_t>(
+                            s.table_.begin(), s.table_.end()),
+                        "qlc-1-2-4-8");
+}
+
+} // namespace ida::flash

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Multi-level-cell coding model and the Invalid Data-Aware (IDA) merge
+ * transform — the paper's primary contribution.
+ *
+ * A b-bit flash cell stores one of 2^b threshold-voltage states
+ * S1 < S2 < ... < S(2^b). A *coding scheme* assigns each state a b-bit
+ * tuple (level 0 = LSB .. level b-1 = MSB). Reading page level L senses
+ * the wordline once per read voltage where bit L flips along the state
+ * order, so the sensing count of level L equals the number of bit-L
+ * transitions in the state sequence (paper Sec. II-C).
+ *
+ * When some levels of a wordline are invalidated, states whose *valid*
+ * bits agree become interchangeable. The IDA transform merges each such
+ * equivalence class into its highest-voltage member (ISPP can only add
+ * charge, so states may only move right — paper Sec. III-B), after which
+ * the surviving states need fewer sensings per remaining level: in the
+ * conventional 1-2-4 TLC code, CSB drops 2->1 and MSB drops 4->2 when
+ * the LSB is invalid, and MSB drops 4->1 when LSB and CSB are both
+ * invalid (paper Fig. 5); in reflected-Gray QLC, bit4 drops 8->2 and
+ * bit3 drops 4->1 when the two low bits are invalid (paper Fig. 6).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ida::flash {
+
+/** Bit mask over page levels; bit L set means level L is (still) valid. */
+using LevelMask = std::uint8_t;
+
+/** Mask with the low @p bits levels set (the all-valid mask). */
+inline constexpr LevelMask
+fullMask(int bits)
+{
+    return static_cast<LevelMask>((1u << bits) - 1u);
+}
+
+/**
+ * Result of applying the IDA merge for one valid-level mask.
+ *
+ * Indices are zero based throughout: state 0 is the paper's S1 (the
+ * erased state) and read-voltage boundary v separates state v from
+ * state v+1 (the paper's V(v+1)).
+ */
+struct IdaMerge
+{
+    /** Valid-level mask this merge was computed for. */
+    LevelMask validMask = 0;
+
+    /** stateMap[s] = the (>= s) state s is re-programmed to. */
+    std::vector<int> stateMap;
+
+    /** Sorted list of surviving states (targets of stateMap). */
+    std::vector<int> survivors;
+
+    /**
+     * sensingCounts[L] = sensings needed to read level L after the
+     * merge; 0 for invalid levels (they are never read again).
+     */
+    std::vector<int> sensingCounts;
+
+    /**
+     * readVoltages[L] = boundary indices to sense for level L after the
+     * merge; empty for invalid levels.
+     */
+    std::vector<std::vector<int>> readVoltages;
+
+    /** True if the merge moves at least one state (i.e., has any effect). */
+    bool changesAnything() const;
+};
+
+/**
+ * A table-driven multi-level-cell coding scheme.
+ *
+ * Immutable after construction. All sensing-count and IDA-merge queries
+ * are derived from the state->bits table, so any Gray (or non-Gray)
+ * labeling over any bit density can be modeled.
+ */
+class CodingScheme
+{
+  public:
+    /**
+     * Build a scheme from an explicit state table.
+     *
+     * @param bits   bits per cell (1..6).
+     * @param table  table[s] = bit tuple of state s, bit L = level L.
+     *               Must contain 2^bits distinct entries and table[0]
+     *               must be all ones (the erased state reads all 1s).
+     * @param name   human-readable name for reports.
+     */
+    CodingScheme(int bits, std::vector<std::uint8_t> table,
+                 std::string name);
+
+    /** Bits per cell. */
+    int bits() const { return bits_; }
+
+    /** Number of threshold states (2^bits). */
+    int numStates() const { return static_cast<int>(table_.size()); }
+
+    /** Scheme name for reports. */
+    const std::string &name() const { return name_; }
+
+    /** Bit value of @p level in @p state (0 or 1). */
+    int bitOf(int state, int level) const;
+
+    /** The full bit tuple of @p state. */
+    std::uint8_t tupleOf(int state) const { return table_[state]; }
+
+    /**
+     * The state programmed when writing bit tuple @p tuple with the
+     * conventional coding.
+     */
+    int stateOf(std::uint8_t tuple) const;
+
+    /** Sensings needed to read @p level with the conventional coding. */
+    int sensingCount(int level) const { return sensings_[level]; }
+
+    /** All conventional per-level sensing counts (index = level). */
+    const std::vector<int> &sensingCounts() const { return sensings_; }
+
+    /** Boundary indices sensed for @p level with conventional coding. */
+    const std::vector<int> &readVoltages(int level) const {
+        return voltages_[level];
+    }
+
+    /**
+     * Compute the IDA merge for @p validMask.
+     *
+     * @p validMask must be a proper, non-empty subset of the full mask
+     * (merging with everything valid or nothing valid is meaningless).
+     * Results are memoized per mask; repeated queries are O(1).
+     */
+    const IdaMerge &idaMerge(LevelMask validMask) const;
+
+    /**
+     * Latency *tier* of a read needing @p nSensings sensings: the number
+     * of distinct conventional sensing counts strictly below it.
+     *
+     * Tier 0 reads at the device's fastest (LSB) latency, tier 1 at
+     * LSB + dTR, etc. (paper Table II / Fig. 9). E.g. conventional TLC
+     * counts {1,2,4} map 1->0, 2->1, 4->2; an IDA-merged MSB needing 2
+     * sensings therefore reads at the CSB latency.
+     */
+    int latencyTier(int nSensings) const;
+
+    /** Highest latency tier any conventional read of this scheme uses. */
+    int maxTier() const;
+
+    // Preset schemes used by the paper.
+
+    /**
+     * Binary-reflected Gray coding over @p bits levels: sensing counts
+     * 1-2-4(-8...) from LSB to MSB. bits=3 is the paper's Fig. 2 TLC
+     * code, bits=2 the MLC code, bits=4 the Fig. 6 QLC code.
+     */
+    static CodingScheme reflectedGray(int bits);
+
+    /** The paper's conventional TLC coding (Fig. 2; 1-2-4 sensings). */
+    static CodingScheme tlc124();
+
+    /** Alternative vendor TLC coding with 2-3-2 sensings (Sec. III-B). */
+    static CodingScheme tlc232();
+
+    /** Conventional MLC coding (1-2 sensings; Sec. V-G). */
+    static CodingScheme mlc12();
+
+    /** Reflected-Gray QLC coding (1-2-4-8 sensings; Fig. 6). */
+    static CodingScheme qlc1248();
+
+  private:
+    void deriveConventional();
+    IdaMerge computeMerge(LevelMask validMask) const;
+
+    int bits_;
+    std::vector<std::uint8_t> table_;
+    std::string name_;
+
+    std::vector<int> sensings_;             // per level
+    std::vector<std::vector<int>> voltages_; // per level
+    std::vector<int> tierOfCount_;           // distinct counts, sorted
+
+    mutable std::vector<IdaMerge> mergeCache_; // indexed by mask
+    mutable std::vector<bool> mergeCached_;
+};
+
+} // namespace ida::flash

@@ -1,0 +1,4 @@
+// geometry.hh is header-only; this translation unit exists so the build
+// fails fast (with a clear message) if the header stops compiling
+// stand-alone.
+#include "flash/geometry.hh"

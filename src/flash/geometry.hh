@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Physical SSD geometry: channel -> chip -> die -> plane -> block -> page,
+ * with flat physical-page-number (PPN) encoding helpers.
+ *
+ * The paper's baseline is a 512 GB SSD: 4 channels x 4 chips, 2 dies/chip,
+ * 2 planes/die, 5472 blocks/plane, 192 pages/block, 8 KB pages (Table II).
+ * The defaults here keep the full structural shape but scale blocksPerPlane
+ * down so per-page metadata fits a laptop-scale simulation; every count is
+ * a knob.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/log.hh"
+
+namespace ida::flash {
+
+/** Flat physical page number. */
+using Ppn = std::uint64_t;
+/** Flat logical page number. */
+using Lpn = std::uint64_t;
+/** Flat block id (global across the device). */
+using BlockId = std::uint64_t;
+/** Flat die id (global across the device). */
+using DieId = std::uint32_t;
+
+inline constexpr Ppn kInvalidPpn = ~Ppn{0};
+inline constexpr Lpn kInvalidLpn = ~Lpn{0};
+
+/** Decomposed physical page address. */
+struct PageAddr
+{
+    std::uint32_t channel = 0;
+    std::uint32_t chip = 0;   // within channel
+    std::uint32_t die = 0;    // within chip
+    std::uint32_t plane = 0;  // within die
+    std::uint32_t block = 0;  // within plane
+    std::uint32_t page = 0;   // within block
+
+    bool operator==(const PageAddr &) const = default;
+};
+
+/** Device geometry and address arithmetic. */
+struct Geometry
+{
+    std::uint32_t channels = 4;
+    std::uint32_t chipsPerChannel = 4;
+    std::uint32_t diesPerChip = 2;
+    std::uint32_t planesPerDie = 2;
+    std::uint32_t blocksPerPlane = 128; // paper: 5472 (scaled, see DESIGN.md)
+    std::uint32_t pagesPerBlock = 192;
+    std::uint32_t pageSizeBytes = 8192;
+    std::uint32_t bitsPerCell = 3;
+
+    std::uint32_t chips() const { return channels * chipsPerChannel; }
+    std::uint32_t dies() const { return chips() * diesPerChip; }
+    std::uint32_t planes() const { return dies() * planesPerDie; }
+    std::uint64_t blocks() const {
+        return std::uint64_t{planes()} * blocksPerPlane;
+    }
+    std::uint64_t pages() const { return blocks() * pagesPerBlock; }
+    std::uint64_t capacityBytes() const {
+        return pages() * pageSizeBytes;
+    }
+    std::uint32_t wordlinesPerBlock() const {
+        return pagesPerBlock / bitsPerCell;
+    }
+
+    /** Validate internal consistency; fatal() on a bad configuration. */
+    void
+    validate() const
+    {
+        if (channels == 0 || chipsPerChannel == 0 || diesPerChip == 0 ||
+            planesPerDie == 0 || blocksPerPlane == 0 ||
+            pagesPerBlock == 0 || pageSizeBytes == 0) {
+            sim::fatal("Geometry: all dimensions must be nonzero");
+        }
+        if (bitsPerCell < 1 || bitsPerCell > 6)
+            sim::fatal("Geometry: bitsPerCell must be in [1, 6]");
+        if (pagesPerBlock % bitsPerCell != 0)
+            sim::fatal("Geometry: pagesPerBlock must divide by bitsPerCell");
+    }
+
+    /** Page level (0 = LSB) of in-block page index @p page. */
+    std::uint32_t levelOfPage(std::uint32_t page) const {
+        return page % bitsPerCell;
+    }
+
+    /** Wordline of in-block page index @p page. */
+    std::uint32_t wordlineOfPage(std::uint32_t page) const {
+        return page / bitsPerCell;
+    }
+
+    /** In-block page index of (@p wordline, @p level). */
+    std::uint32_t pageOfWordline(std::uint32_t wordline,
+                                 std::uint32_t level) const {
+        return wordline * bitsPerCell + level;
+    }
+
+    // Flat encodings. PPN layout (most to least significant):
+    // channel, chip, die, plane, block, page.
+
+    Ppn
+    encode(const PageAddr &a) const
+    {
+        Ppn p = a.channel;
+        p = p * chipsPerChannel + a.chip;
+        p = p * diesPerChip + a.die;
+        p = p * planesPerDie + a.plane;
+        p = p * blocksPerPlane + a.block;
+        p = p * pagesPerBlock + a.page;
+        return p;
+    }
+
+    PageAddr
+    decode(Ppn p) const
+    {
+        PageAddr a;
+        a.page = static_cast<std::uint32_t>(p % pagesPerBlock);
+        p /= pagesPerBlock;
+        a.block = static_cast<std::uint32_t>(p % blocksPerPlane);
+        p /= blocksPerPlane;
+        a.plane = static_cast<std::uint32_t>(p % planesPerDie);
+        p /= planesPerDie;
+        a.die = static_cast<std::uint32_t>(p % diesPerChip);
+        p /= diesPerChip;
+        a.chip = static_cast<std::uint32_t>(p % chipsPerChannel);
+        p /= chipsPerChannel;
+        a.channel = static_cast<std::uint32_t>(p);
+        return a;
+    }
+
+    /** Global block id of the block containing @p p. */
+    BlockId blockOf(Ppn p) const { return p / pagesPerBlock; }
+
+    /** First PPN of global block @p b. */
+    Ppn firstPpnOf(BlockId b) const { return b * pagesPerBlock; }
+
+    /** Global die id of @p addr (channel-major). */
+    DieId
+    dieOf(const PageAddr &a) const
+    {
+        return (a.channel * chipsPerChannel + a.chip) * diesPerChip + a.die;
+    }
+
+    /** Global die id of the die containing global block @p b. */
+    DieId
+    dieOfBlock(BlockId b) const
+    {
+        return static_cast<DieId>(b / (std::uint64_t{planesPerDie} *
+                                       blocksPerPlane));
+    }
+
+    /** Channel id of global die @p d. */
+    std::uint32_t
+    channelOfDie(DieId d) const
+    {
+        return d / (diesPerChip * chipsPerChannel);
+    }
+
+    /** Plane id (global) of global block @p b. */
+    std::uint64_t planeOfBlock(BlockId b) const { return b / blocksPerPlane; }
+};
+
+} // namespace ida::flash

@@ -1,0 +1,36 @@
+#include "flash/timing.hh"
+
+namespace ida::flash {
+
+sim::Time
+FlashTiming::readLatency(const CodingScheme &scheme, int nSensings) const
+{
+    const int tier = scheme.latencyTier(nSensings);
+    return lsbRead + static_cast<sim::Time>(tier) * deltaTr;
+}
+
+sim::Time
+FlashTiming::conventionalReadLatency(const CodingScheme &scheme,
+                                     int level) const
+{
+    return readLatency(scheme, scheme.sensingCount(level));
+}
+
+FlashTiming
+FlashTiming::mlcDefaults()
+{
+    FlashTiming t;
+    t.lsbRead = 65 * sim::kUsec;
+    t.deltaTr = 50 * sim::kUsec; // 65us LSB, 115us MSB (Sec. V-G)
+    return t;
+}
+
+FlashTiming
+FlashTiming::tlcWithDeltaTr(sim::Time delta_tr)
+{
+    FlashTiming t;
+    t.deltaTr = delta_tr;
+    return t;
+}
+
+} // namespace ida::flash

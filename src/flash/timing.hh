@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Flash timing model (paper Table II).
+ *
+ * Page-read latency depends on the page type because different levels
+ * need different sensing counts: conventional TLC reads LSB/CSB/MSB in
+ * 50/100/150 us. The model is parameterized by the fastest read (tLSB)
+ * and the per-tier step dTR, the knob the paper sweeps in Fig. 9; the
+ * latency of a read is tLSB + tier * dTR where the tier comes from the
+ * coding scheme's sensing-count ladder (CodingScheme::latencyTier).
+ */
+#pragma once
+
+#include "flash/coding.hh"
+#include "sim/time.hh"
+
+namespace ida::flash {
+
+/** Device timing parameters; defaults follow the paper's Table II TLC. */
+struct FlashTiming
+{
+    /** Fastest (tier 0, LSB) memory-access latency. */
+    sim::Time lsbRead = 50 * sim::kUsec;
+
+    /** Per-tier read latency step (the paper's dTR, Fig. 9). */
+    sim::Time deltaTr = 50 * sim::kUsec;
+
+    /** Page program (ISPP) latency. */
+    sim::Time pageProgram = sim::Time(2.3 * sim::kMsec);
+
+    /** Block erase latency. */
+    sim::Time blockErase = 3 * sim::kMsec;
+
+    /** Channel transfer of one page (8KB @ 333 MT/s, Table II). */
+    sim::Time pageTransfer = 48 * sim::kUsec;
+
+    /** ECC decode of one page. */
+    sim::Time eccDecode = 20 * sim::kUsec;
+
+    /**
+     * Voltage adjustment of one wordline when applying IDA coding.
+     *
+     * The paper argues this is about half an MSB program (the ISPP range
+     * is halved) but conservatively charges a full MSB page-program
+     * latency (Sec. III-B); we keep that conservative default and expose
+     * the knob for ablation.
+     */
+    sim::Time voltageAdjust = sim::Time(2.3 * sim::kMsec);
+
+    /**
+     * Model the channel as a shared, serializing bus (true) or as
+     * contention-free bandwidth (false; the transfer latency still
+     * applies per page). The paper's DiskSim-based results are only
+     * reachable when reads are sensing-bound rather than channel-bound,
+     * i.e. with this off; bench/ablation (EXPERIMENTS.md) quantifies
+     * the difference.
+     */
+    bool channelContention = false;
+
+    /**
+     * Program/erase suspension (Wu & He, FAST'12 — the paper's related
+     * work [32]): a host read arriving at a die mid-program/erase
+     * suspends the operation, runs, and lets it resume. Off by default
+     * (the paper's baseline uses read-first *scheduling* only);
+     * bench/ablation_suspension shows it composes with IDA.
+     */
+    bool programSuspension = false;
+
+    /** Suspend + resume overhead added to an interrupted operation. */
+    sim::Time suspendResumeOverhead = 20 * sim::kUsec;
+
+    /**
+     * Memory-access latency of a read needing @p nSensings sensings
+     * under @p scheme's sensing-count ladder.
+     */
+    sim::Time readLatency(const CodingScheme &scheme, int nSensings) const;
+
+    /** Convenience: conventional read latency of @p level. */
+    sim::Time conventionalReadLatency(const CodingScheme &scheme,
+                                      int level) const;
+
+    /** Table II MLC timings (65/115 us reads; Sec. V-G). */
+    static FlashTiming mlcDefaults();
+
+    /** Default TLC timings with a different dTR (Fig. 9 sweep). */
+    static FlashTiming tlcWithDeltaTr(sim::Time delta_tr);
+};
+
+} // namespace ida::flash

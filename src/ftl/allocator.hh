@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CWDP page allocation (Jung & Kandemir, HotStorage'12; paper Table II).
+ *
+ * Successive host-page writes stripe across the parallel units in
+ * Channel -> Way(chip) -> Die -> Plane order, maximizing channel-level
+ * parallelism first. Each plane keeps one open "host" block and one open
+ * "internal" block (GC/refresh migration), so internal traffic never
+ * mixes into host blocks.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "flash/chip.hh"
+#include "ftl/block_manager.hh"
+
+namespace ida::ftl {
+
+using flash::Ppn;
+
+/** Allocates physical pages for host writes and internal migrations. */
+class PageAllocator
+{
+  public:
+    /**
+     * @param low_free called (with the plane id) whenever an allocation
+     *        leaves a plane's free pool at-or-below the GC threshold;
+     *        the FTL hooks GC triggering here.
+     */
+    PageAllocator(const flash::Geometry &geom, flash::ChipArray &chips,
+                  BlockManager &blocks,
+                  std::function<void(std::uint64_t)> low_free);
+
+    /**
+     * Allocate the next host-write page following the CWDP stripe.
+     * The page is *reserved* in the plane's open host block; the caller
+     * must immediately issue the program for it.
+     */
+    Ppn allocateHostPage();
+
+    /**
+     * Allocate a migration page on @p plane (same-plane copyback for GC
+     * and refresh).
+     */
+    Ppn allocateInternalPage(std::uint64_t plane);
+
+    /**
+     * The global plane the next host allocation will land on (CWDP
+     * order); exposed for tests.
+     */
+    std::uint64_t nextHostPlane() const;
+
+  private:
+    Ppn allocateOn(std::uint64_t plane, bool internal);
+
+    const flash::Geometry &geom_;
+    flash::ChipArray &chips_;
+    BlockManager &blocks_;
+    std::function<void(std::uint64_t)> lowFree_;
+
+    std::uint64_t rr_ = 0; // CWDP round-robin cursor
+    std::vector<BlockId> hostOpen_;     // per plane, kInvalid when closed
+    std::vector<BlockId> internalOpen_; // per plane
+
+    static constexpr BlockId kNoBlock = ~BlockId{0};
+};
+
+} // namespace ida::ftl

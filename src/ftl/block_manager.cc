@@ -1,0 +1,117 @@
+#include "ftl/block_manager.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/log.hh"
+
+namespace ida::ftl {
+
+BlockManager::BlockManager(const flash::Geometry &geom,
+                           flash::ChipArray &chips)
+    : geom_(geom), chips_(chips),
+      meta_(geom.blocks()),
+      freePool_(geom.planes())
+{
+    for (std::uint64_t b = 0; b < geom_.blocks(); ++b)
+        freePool_[geom_.planeOfBlock(b)].push_back(b);
+}
+
+std::size_t
+BlockManager::minFreeCount() const
+{
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (const auto &pool : freePool_)
+        best = std::min(best, pool.size());
+    return best;
+}
+
+BlockId
+BlockManager::takeFree(std::uint64_t plane)
+{
+    auto &pool = freePool_[plane];
+    if (pool.empty())
+        sim::fatal("BlockManager: plane ran out of free blocks "
+                   "(workload outran GC; shrink the footprint or raise "
+                   "over-provisioning)");
+    const BlockId b = pool.front();
+    pool.pop_front();
+    meta_[b].inFreePool = false;
+    return b;
+}
+
+void
+BlockManager::release(BlockId b)
+{
+    BlockMeta &m = meta_[b];
+    if (m.inFreePool)
+        sim::panic("BlockManager::release: block already free");
+    if (m.hostActive || m.internalActive)
+        sim::panic("BlockManager::release: block still active");
+    if (!chips_.block(b).isErased())
+        sim::panic("BlockManager::release: block not erased");
+    m = BlockMeta{};
+    freePool_[geom_.planeOfBlock(b)].push_back(b);
+    --inUse_;
+}
+
+void
+BlockManager::closeActive(BlockId b)
+{
+    BlockMeta &m = meta_[b];
+    if (!m.hostActive && !m.internalActive)
+        sim::panic("BlockManager::closeActive: block was not active");
+    m.hostActive = false;
+    m.internalActive = false;
+    ++inUse_;
+}
+
+bool
+BlockManager::gcEligible(BlockId b) const
+{
+    const BlockMeta &m = meta_[b];
+    return !m.inFreePool && !m.hostActive && !m.internalActive &&
+           !m.busyWithJob && chips_.block(b).isFull();
+}
+
+bool
+BlockManager::pickGcVictim(std::uint64_t plane, BlockId &victim) const
+{
+    const BlockId first = firstBlockOf(plane);
+    bool found = false;
+    std::uint32_t bestValid = 0;
+    std::uint32_t bestErase = 0;
+    for (std::uint32_t i = 0; i < geom_.blocksPerPlane; ++i) {
+        const BlockId b = first + i;
+        if (!gcEligible(b))
+            continue;
+        const auto &blk = chips_.block(b);
+        const std::uint32_t valid = blk.validCount();
+        const std::uint32_t erase = blk.eraseCount();
+        if (!found || valid < bestValid ||
+            (valid == bestValid && erase < bestErase)) {
+            found = true;
+            victim = b;
+            bestValid = valid;
+            bestErase = erase;
+        }
+    }
+    return found;
+}
+
+std::vector<BlockId>
+BlockManager::refreshCandidates(sim::Time now, sim::Time period) const
+{
+    std::vector<BlockId> out;
+    for (std::uint64_t b = 0; b < geom_.blocks(); ++b) {
+        if (!gcEligible(b))
+            continue;
+        if (chips_.block(b).validCount() == 0)
+            continue; // nothing to protect; GC will reclaim it
+        if (now - meta_[b].refreshedAt >= period)
+            out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace ida::ftl

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FTL-side block bookkeeping: per-plane free pools, active (open) write
+ * blocks, and the per-block metadata the refresh/GC policies need on top
+ * of the physical flash::Block state.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "flash/chip.hh"
+#include "flash/geometry.hh"
+
+namespace ida::ftl {
+
+using flash::BlockId;
+
+/** FTL metadata attached to every physical block. */
+struct BlockMeta
+{
+    /** Block currently open for host writes on its plane. */
+    bool hostActive = false;
+    /** Block currently open for GC/refresh migration writes. */
+    bool internalActive = false;
+    /** Block sitting in its plane's free pool. */
+    bool inFreePool = true;
+    /** Block has a GC or refresh job operating on it right now. */
+    bool busyWithJob = false;
+    /**
+     * Set after an IDA refresh: the next refresh of this block must
+     * fall back to plain migration so the IDA block gets reclaimed
+     * (paper Sec. III-C, "After the Data Refresh").
+     */
+    bool forceMigrateNextRefresh = false;
+    /** Time the block's current data generation was refreshed/written. */
+    sim::Time refreshedAt = 0;
+};
+
+/**
+ * Per-plane block pools plus per-block FTL metadata.
+ *
+ * The physical page/erase state stays in flash::Block (owned by the
+ * ChipArray); this class only manages allocation lifecycles.
+ */
+class BlockManager
+{
+  public:
+    BlockManager(const flash::Geometry &geom, flash::ChipArray &chips);
+
+    BlockMeta &meta(BlockId b) { return meta_[b]; }
+    const BlockMeta &meta(BlockId b) const { return meta_[b]; }
+
+    std::uint32_t planes() const {
+        return static_cast<std::uint32_t>(freePool_.size());
+    }
+
+    /** Free blocks currently pooled on @p plane. */
+    std::size_t freeCount(std::uint64_t plane) const {
+        return freePool_[plane].size();
+    }
+
+    /** Smallest free-pool size across planes. */
+    std::size_t minFreeCount() const;
+
+    /** Blocks holding data (not free, not open): candidates for GC. */
+    std::uint64_t inUseBlocks() const { return inUse_; }
+
+    /**
+     * Pop a free block from @p plane (fatal when empty: the workload
+     * outran GC, which is a configuration problem in a read-dominant
+     * study).
+     */
+    BlockId takeFree(std::uint64_t plane);
+
+    /** Return an erased block to its plane's pool. */
+    void release(BlockId b);
+
+    /**
+     * Mark a full active block as closed (plain in-use data block,
+     * GC/refresh eligible).
+     */
+    void closeActive(BlockId b);
+
+    /**
+     * Select a GC victim on @p plane: the full, idle block with the
+     * fewest valid pages, breaking ties toward the lowest erase count
+     * (GREEDY wear-aware, Table II). Returns true and sets @p victim
+     * when one exists.
+     */
+    bool pickGcVictim(std::uint64_t plane, BlockId &victim) const;
+
+    /**
+     * Enumerate refresh candidates: full, idle data blocks whose data
+     * generation is older than @p period at time @p now.
+     */
+    std::vector<BlockId> refreshCandidates(sim::Time now,
+                                           sim::Time period) const;
+
+    /** First global block id of @p plane. */
+    BlockId firstBlockOf(std::uint64_t plane) const {
+        return plane * geom_.blocksPerPlane;
+    }
+
+  private:
+    bool gcEligible(BlockId b) const;
+
+    const flash::Geometry &geom_;
+    flash::ChipArray &chips_;
+    std::vector<BlockMeta> meta_;
+    std::vector<std::deque<BlockId>> freePool_;
+    std::uint64_t inUse_ = 0;
+};
+
+} // namespace ida::ftl

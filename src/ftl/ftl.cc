@@ -1,0 +1,400 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/gc.hh"
+#include "ftl/refresh.hh"
+#include "sim/log.hh"
+
+namespace ida::ftl {
+
+Ftl::Ftl(const flash::Geometry &geom, const FtlConfig &cfg,
+         flash::ChipArray &chips, ecc::EccModel ecc,
+         sim::EventQueue &events, sim::Rng &rng)
+    : geom_(geom), cfg_(cfg), chips_(chips), ecc_(std::move(ecc)),
+      events_(events), rng_(rng),
+      logicalPages_(static_cast<std::uint64_t>(
+          std::floor(static_cast<double>(geom.pages()) *
+                     (1.0 - cfg.overProvision)))),
+      mapping_(logicalPages_, geom.pages()),
+      blocks_(geom, chips),
+      allocator_(geom, chips, blocks_,
+                 [this](std::uint64_t plane) { maybeStartGc(plane); }),
+      gcRunning_(geom.planes(), false),
+      fastQ_(geom.planes()),
+      slowQ_(geom.planes()),
+      wbuf_(cfg.writeBuffer)
+{
+    if (cfg_.enableIda && cfg_.moveToLsbAlternative)
+        sim::fatal("FtlConfig: enableIda and moveToLsbAlternative are "
+                   "mutually exclusive");
+    if (cfg_.overProvision <= 0.0 || cfg_.overProvision >= 0.9)
+        sim::fatal("FtlConfig: overProvision out of range");
+    stats_.readClass.byLevel.assign(geom.bitsPerCell, 0);
+    stats_.readClass.byLevelLowerInvalid.assign(geom.bitsPerCell, 0);
+}
+
+Ftl::~Ftl() = default;
+
+void
+Ftl::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    events_.scheduleAfter(cfg_.refreshCheckInterval,
+                          [this] { refreshScan(); });
+}
+
+void
+Ftl::resetReadClassification()
+{
+    stats_.readClass = ReadClassStats{};
+    stats_.readClass.byLevel.assign(geom_.bitsPerCell, 0);
+    stats_.readClass.byLevelLowerInvalid.assign(geom_.bitsPerCell, 0);
+    stats_.hostReads = 0;
+    stats_.hostWrites = 0;
+    stats_.hostReadsUnmapped = 0;
+}
+
+bool
+Ftl::quiescent() const
+{
+    for (bool g : gcRunning_) {
+        if (g)
+            return false;
+    }
+    return activeRefresh_ == 0 && flushesInFlight_ == 0;
+}
+
+void
+Ftl::classifyHostRead(Ppn ppn)
+{
+    const auto page = static_cast<std::uint32_t>(ppn % geom_.pagesPerBlock);
+    const std::uint32_t level = geom_.levelOfPage(page);
+    const std::uint32_t wl = geom_.wordlineOfPage(page);
+    const auto &blk = chips_.block(geom_.blockOf(ppn));
+
+    auto &rc = stats_.readClass;
+    ++rc.byLevel[level];
+    bool lowerInvalid = false;
+    for (std::uint32_t l = 0; l < level; ++l) {
+        if (blk.pageState(geom_.pageOfWordline(wl, l)) ==
+            flash::PageState::Invalid) {
+            lowerInvalid = true;
+            break;
+        }
+    }
+    if (lowerInvalid)
+        ++rc.byLevelLowerInvalid[level];
+}
+
+void
+Ftl::hostRead(Lpn lpn, PageDone done)
+{
+    ++stats_.hostReads;
+    if (wbuf_.contains(lpn)) {
+        // The freshest copy is still in controller DRAM.
+        wbuf_.noteReadHit();
+        events_.scheduleAfter(wbuf_.config().dramLatency,
+                              [done = std::move(done), this] {
+                                  done(events_.now());
+                              });
+        return;
+    }
+    const Ppn src = mapping_.lookup(lpn);
+    if (src == kInvalidPpn) {
+        // Never-written data: served without touching the flash array.
+        ++stats_.hostReadsUnmapped;
+        events_.scheduleAfter(0, [done = std::move(done), this] {
+            done(events_.now());
+        });
+        return;
+    }
+
+    classifyHostRead(src);
+    const auto &srcBlk = chips_.block(geom_.blockOf(src));
+    const int rounds = ecc_.retryRounds(
+        srcBlk.eraseCount(), events_.now() - srcBlk.programTime(), rng_);
+
+    // IDA benefit accounting: latency saved vs the conventional coding.
+    const auto page = static_cast<std::uint32_t>(src % geom_.pagesPerBlock);
+    const auto &blk = chips_.block(geom_.blockOf(src));
+    if (blk.isIdaWordline(geom_.wordlineOfPage(page))) {
+        auto &rc = stats_.readClass;
+        ++rc.idaServed;
+        const sim::Time conv = chips_.timing().conventionalReadLatency(
+            chips_.coding(), static_cast<int>(geom_.levelOfPage(page)));
+        const sim::Time actual = chips_.currentReadLatency(src);
+        rc.idaSavings += (conv - actual) *
+                         static_cast<sim::Time>(1 + rounds);
+    }
+
+    chips_.readPage(src, true, rounds, std::move(done));
+}
+
+void
+Ftl::hostWrite(Lpn lpn, PageDone done)
+{
+    ++stats_.hostWrites;
+    if (wbuf_.enabled() && wbuf_.insert(lpn)) {
+        // Absorbed in controller DRAM; destaged in the background.
+        events_.scheduleAfter(wbuf_.config().dramLatency,
+                              [done = std::move(done), this] {
+                                  if (done)
+                                      done(events_.now());
+                              });
+        maybeFlushWriteBuffer();
+        return;
+    }
+    programHostData(lpn, std::move(done));
+}
+
+void
+Ftl::programHostData(Lpn lpn, PageDone done)
+{
+    const Ppn dst = allocator_.allocateHostPage();
+    const Ppn old = mapping_.remap(lpn, dst);
+    if (old != kInvalidPpn) {
+        chips_.block(geom_.blockOf(old))
+            .invalidate(static_cast<std::uint32_t>(
+                old % geom_.pagesPerBlock));
+    }
+    chips_.programPage(dst, std::move(done));
+    noteInUse();
+}
+
+void
+Ftl::maybeFlushWriteBuffer()
+{
+    // Destage down to the watermark; a small in-flight cap keeps the
+    // flusher from monopolizing the host write points.
+    constexpr std::uint32_t kMaxFlushInFlight = 8;
+    while (flushesInFlight_ < kMaxFlushInFlight && wbuf_.needsFlush()) {
+        Lpn lpn;
+        if (!wbuf_.popFlushCandidate(lpn))
+            return;
+        ++flushesInFlight_;
+        programHostData(lpn, [this](sim::Time) {
+            --flushesInFlight_;
+            maybeFlushWriteBuffer();
+        });
+    }
+}
+
+void
+Ftl::preloadWrite(Lpn lpn)
+{
+    preloading_ = true;
+    const Ppn dst = allocator_.allocateHostPage();
+    const Ppn old = mapping_.remap(lpn, dst);
+    if (old != kInvalidPpn) {
+        chips_.block(geom_.blockOf(old))
+            .invalidate(static_cast<std::uint32_t>(
+                old % geom_.pagesPerBlock));
+    }
+    chips_.programImmediate(dst);
+    preloading_ = false;
+}
+
+void
+Ftl::finalizePreload()
+{
+    // Spread the apparent age of preloaded blocks so they become
+    // refresh-eligible uniformly over preloadAgeSpread (defaulting to
+    // the full refresh period) instead of storming at one instant.
+    const auto spread = static_cast<std::uint64_t>(
+        cfg_.preloadAgeSpread > 0 ? cfg_.preloadAgeSpread
+                                  : cfg_.refreshPeriod);
+    for (std::uint64_t b = 0; b < geom_.blocks(); ++b) {
+        BlockMeta &m = blocks_.meta(b);
+        if (m.inFreePool)
+            continue;
+        m.refreshedAt = events_.now() - cfg_.refreshPeriod +
+            static_cast<sim::Time>(rng_.uniformInt(0, spread));
+    }
+    noteInUse();
+    for (std::uint64_t plane = 0; plane < geom_.planes(); ++plane)
+        maybeStartGc(plane);
+}
+
+bool
+Ftl::migrateValidPage(Ppn src, PageDone done)
+{
+    const Lpn lpn = mapping_.reverse(src);
+    if (lpn == kInvalidLpn)
+        return false; // updated or already migrated meanwhile
+    const std::uint64_t plane = geom_.planeOfBlock(geom_.blockOf(src));
+    const Ppn dst = allocator_.allocateInternalPage(plane);
+    mapping_.remap(lpn, dst);
+    chips_.block(geom_.blockOf(src))
+        .invalidate(static_cast<std::uint32_t>(src % geom_.pagesPerBlock));
+    chips_.programPage(dst, std::move(done));
+    noteInUse();
+    return true;
+}
+
+bool
+Ftl::queueMigration(Ppn src, bool want_fast, PageDone done)
+{
+    if (mapping_.reverse(src) == kInvalidLpn)
+        return false;
+    const std::uint64_t plane = geom_.planeOfBlock(geom_.blockOf(src));
+    auto &q = want_fast ? fastQ_[plane] : slowQ_[plane];
+    q.push_back(PendingMigration{src, std::move(done)});
+    return true;
+}
+
+void
+Ftl::flushMigrations(std::uint64_t plane)
+{
+    auto &fast = fastQ_[plane];
+    auto &slow = slowQ_[plane];
+
+    // Entries whose source was invalidated while buffered (a host
+    // update raced the refresh) complete immediately without a program.
+    auto prune = [&](std::deque<PendingMigration> &q) {
+        while (!q.empty() &&
+               mapping_.reverse(q.front().src) == kInvalidLpn) {
+            if (q.front().done) {
+                events_.scheduleAfter(
+                    0, [done = std::move(q.front().done), this] {
+                        done(events_.now());
+                    });
+            }
+            q.pop_front();
+        }
+    };
+
+    for (;;) {
+        prune(fast);
+        prune(slow);
+        if (fast.empty() && slow.empty())
+            break;
+
+        // The internal block programs in order, so the next slot's page
+        // level is fixed; give LSB slots to fast-wanting pages. Only one
+        // slot in three is fast: everything else is displaced onto slow
+        // CSB/MSB positions (the paper's Sec. III-C argument).
+        const Ppn dst = allocator_.allocateInternalPage(plane);
+        const auto page =
+            static_cast<std::uint32_t>(dst % geom_.pagesPerBlock);
+        const bool fast_slot = geom_.levelOfPage(page) == 0;
+
+        const bool use_fast =
+            (fast_slot && !fast.empty()) || slow.empty();
+        auto &q = use_fast ? fast : slow;
+        PendingMigration m = std::move(q.front());
+        q.pop_front();
+
+        if (use_fast) {
+            if (fast_slot)
+                ++stats_.refresh.fastSlotHits;
+            else
+                ++stats_.refresh.displacedFastPages;
+        }
+        const Lpn lpn = mapping_.reverse(m.src);
+        mapping_.remap(lpn, dst);
+        chips_.block(geom_.blockOf(m.src))
+            .invalidate(static_cast<std::uint32_t>(
+                m.src % geom_.pagesPerBlock));
+        chips_.programPage(dst, std::move(m.done));
+        noteInUse();
+    }
+}
+
+void
+Ftl::eraseAndRelease(BlockId b, std::function<void()> done)
+{
+    ++stats_.gc.erases;
+    chips_.eraseBlock(b, [this, b, done = std::move(done)](sim::Time) {
+        blocks_.release(b);
+        if (done)
+            done();
+    });
+}
+
+void
+Ftl::noteInUse()
+{
+    stats_.maxInUseBlocks =
+        std::max(stats_.maxInUseBlocks, blocks_.inUseBlocks());
+}
+
+void
+Ftl::maybeStartGc(std::uint64_t plane)
+{
+    if (preloading_)
+        return;
+    if (gcRunning_[plane])
+        return;
+    if (blocks_.freeCount(plane) > cfg_.gcFreeThreshold)
+        return;
+    BlockId victim;
+    if (!blocks_.pickGcVictim(plane, victim))
+        return;
+    gcRunning_[plane] = true;
+    ++stats_.gc.invocations;
+    auto job = std::make_unique<GcJob>(*this, victim);
+    GcJob *raw = job.get();
+    gcJobs_.push_back(std::move(job));
+    raw->start();
+}
+
+void
+Ftl::onGcFinished(std::uint64_t plane)
+{
+    gcRunning_[plane] = false;
+    events_.scheduleAfter(0, [this, plane] {
+        std::erase_if(gcJobs_,
+                      [](const auto &j) { return j->finished(); });
+        maybeStartGc(plane);
+    });
+}
+
+void
+Ftl::startRefreshCandidates()
+{
+    if (!started_ || activeRefresh_ >= cfg_.maxConcurrentRefresh)
+        return;
+    auto cands = blocks_.refreshCandidates(events_.now(),
+                                           cfg_.refreshPeriod);
+    std::sort(cands.begin(), cands.end(), [this](BlockId a, BlockId b) {
+        return blocks_.meta(a).refreshedAt < blocks_.meta(b).refreshedAt;
+    });
+    for (BlockId b : cands) {
+        if (activeRefresh_ >= cfg_.maxConcurrentRefresh)
+            break;
+        ++activeRefresh_;
+        auto job = std::make_unique<RefreshJob>(*this, b);
+        RefreshJob *raw = job.get();
+        refreshJobs_.push_back(std::move(job));
+        raw->start();
+    }
+}
+
+void
+Ftl::refreshScan()
+{
+    if (!started_)
+        return;
+    startRefreshCandidates();
+    events_.scheduleAfter(cfg_.refreshCheckInterval,
+                          [this] { refreshScan(); });
+}
+
+void
+Ftl::onRefreshFinished(BlockId)
+{
+    --activeRefresh_;
+    // Keep the refresh pipeline full: pull the next overdue block as
+    // soon as a slot frees instead of waiting for the next scan tick.
+    events_.scheduleAfter(0, [this] {
+        std::erase_if(refreshJobs_,
+                      [](const auto &j) { return j->finished(); });
+        startRefreshCandidates();
+    });
+}
+
+} // namespace ida::ftl

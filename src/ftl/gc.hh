@@ -1,0 +1,42 @@
+/**
+ * @file
+ * GREEDY garbage collection job (paper Table II): read every valid page
+ * of the victim, migrate each into the plane's internal block, erase the
+ * victim, return it to the free pool.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "flash/geometry.hh"
+
+namespace ida::ftl {
+
+class Ftl;
+
+/** One garbage-collection of one victim block, run as a phase machine. */
+class GcJob
+{
+  public:
+    GcJob(Ftl &ftl, flash::BlockId victim);
+
+    /** Kick off the read phase; completion is asynchronous. */
+    void start();
+
+    bool finished() const { return finished_; }
+    flash::BlockId victim() const { return victim_; }
+
+  private:
+    enum class Phase { Idle, Read, Migrate, Erase };
+
+    void advance();
+    void opDone();
+
+    Ftl &ftl_;
+    flash::BlockId victim_;
+    Phase phase_ = Phase::Idle;
+    std::uint32_t pending_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace ida::ftl

@@ -1,0 +1,42 @@
+#include "ftl/mapping.hh"
+
+#include "sim/log.hh"
+
+namespace ida::ftl {
+
+MappingTable::MappingTable(std::uint64_t logical_pages,
+                           std::uint64_t physical_pages)
+    : l2p_(logical_pages, kInvalidPpn), p2l_(physical_pages, kInvalidLpn)
+{
+    if (logical_pages == 0 || physical_pages < logical_pages)
+        sim::fatal("MappingTable: physical space must cover logical space");
+}
+
+Ppn
+MappingTable::remap(Lpn lpn, Ppn ppn)
+{
+    if (p2l_[ppn] != kInvalidLpn)
+        sim::panic("MappingTable::remap: target physical page already used");
+    const Ppn old = l2p_[lpn];
+    if (old != kInvalidPpn)
+        p2l_[old] = kInvalidLpn;
+    else
+        ++mapped_;
+    l2p_[lpn] = ppn;
+    p2l_[ppn] = lpn;
+    return old;
+}
+
+Ppn
+MappingTable::unmap(Lpn lpn)
+{
+    const Ppn old = l2p_[lpn];
+    if (old == kInvalidPpn)
+        return kInvalidPpn;
+    p2l_[old] = kInvalidLpn;
+    l2p_[lpn] = kInvalidPpn;
+    --mapped_;
+    return old;
+}
+
+} // namespace ida::ftl

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Page-level address translation: logical-to-physical (L2P) and the
+ * physical-to-logical (P2L) inverse needed by GC and refresh migration.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+
+namespace ida::ftl {
+
+using flash::Lpn;
+using flash::Ppn;
+using flash::kInvalidLpn;
+using flash::kInvalidPpn;
+
+/** Flat page-level mapping table with an always-consistent inverse. */
+class MappingTable
+{
+  public:
+    MappingTable(std::uint64_t logical_pages, std::uint64_t physical_pages);
+
+    std::uint64_t logicalPages() const { return l2p_.size(); }
+    std::uint64_t physicalPages() const { return p2l_.size(); }
+
+    /** Physical page of @p lpn, or kInvalidPpn when unmapped. */
+    Ppn lookup(Lpn lpn) const { return l2p_[lpn]; }
+
+    /** Logical page stored at @p ppn, or kInvalidLpn. */
+    Lpn reverse(Ppn ppn) const { return p2l_[ppn]; }
+
+    bool isMapped(Lpn lpn) const { return l2p_[lpn] != kInvalidPpn; }
+
+    /**
+     * Point @p lpn at @p ppn; returns the previous physical page
+     * (kInvalidPpn if this is the first write). The previous physical
+     * page's reverse entry is cleared; the caller is responsible for
+     * invalidating it in the block state.
+     */
+    Ppn remap(Lpn lpn, Ppn ppn);
+
+    /** Drop the mapping of @p lpn (TRIM); returns the old PPN. */
+    Ppn unmap(Lpn lpn);
+
+    /** Number of currently mapped logical pages. */
+    std::uint64_t mappedCount() const { return mapped_; }
+
+  private:
+    std::vector<Ppn> l2p_;
+    std::vector<Lpn> p2l_;
+    std::uint64_t mapped_ = 0;
+};
+
+} // namespace ida::ftl

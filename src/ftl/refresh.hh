@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Data-refresh job: the remapping-based refresh of Cai et al. (FCR,
+ * ICCD'12) that the paper builds on, plus the IDA-modified flow of
+ * paper Fig. 7.
+ *
+ * Baseline flow:  read all valid pages -> ECC -> migrate them to a new
+ * block -> erase the target.
+ *
+ * IDA flow:       read all valid pages -> ECC -> classify wordlines per
+ * Table I -> migrate only the non-beneficial pages (and valid LSBs of
+ * cases 1/3) -> voltage-adjust the target wordlines -> re-read the
+ * N_target reprogrammed pages -> write back the N_error disturbed ones.
+ * The target block then *stays in use* as an IDA block and is force-
+ * migrated on its next refresh cycle.
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "flash/coding.hh"
+#include "flash/geometry.hh"
+
+namespace ida::ftl {
+
+class Ftl;
+
+/** One data refresh of one target block, run as a phase machine. */
+class RefreshJob
+{
+  public:
+    RefreshJob(Ftl &ftl, flash::BlockId target);
+
+    /** Kick off the read phase; completion is asynchronous. */
+    void start();
+
+    bool finished() const { return finished_; }
+    flash::BlockId target() const { return target_; }
+
+  private:
+    enum class Phase {
+        Idle,
+        ReadAll,   // 1-2 in Fig. 7: read + ECC-decode every valid page
+        Migrate,   // 3: move non-beneficial pages to the new block
+        Adjust,    // 4: voltage-adjust IDA target wordlines
+        Verify,    // 5-6: re-read reprogrammed pages, decode
+        WriteBack, // 7-8: persist pages the adjustment disturbed
+        Finish,
+    };
+
+    void classify();
+    void advance();
+    void opDone();
+    void finish(bool applied_ida);
+
+    /**
+     * The IDA valid-level mask of one wordline: the maximal run of
+     * valid levels from the MSB down, excluding the LSB (level 0).
+     * Zero when the MSB is invalid (Table I cases 5-8: no benefit).
+     */
+    flash::LevelMask idaMaskOf(std::uint32_t wl) const;
+
+    Ftl &ftl_;
+    flash::BlockId target_;
+    Phase phase_ = Phase::Idle;
+    std::uint32_t pending_ = 0;
+    bool finished_ = false;
+    bool applyIda_ = false;
+
+    std::uint32_t validAtStart_ = 0;
+    std::vector<flash::Ppn> toMove_;
+    std::vector<std::pair<std::uint32_t, flash::LevelMask>> toAdjust_;
+    std::vector<flash::Ppn> targets_; // N_target pages kept in place
+};
+
+} // namespace ida::ftl

@@ -1,0 +1,57 @@
+#include "ftl/wear.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ida::ftl {
+
+double
+WearSnapshot::lifetimeUsed(std::uint32_t erase_limit) const
+{
+    if (erase_limit == 0)
+        return 1.0;
+    return static_cast<double>(maxErase) /
+           static_cast<double>(erase_limit);
+}
+
+double
+WearSnapshot::writeAmplification(std::uint64_t host_pages) const
+{
+    if (host_pages == 0)
+        return 0.0;
+    return static_cast<double>(programs) /
+           static_cast<double>(host_pages);
+}
+
+WearSnapshot
+captureWear(const flash::ChipArray &chips)
+{
+    WearSnapshot w;
+    const auto &geom = chips.geometry();
+    const std::uint64_t n = geom.blocks();
+    if (n == 0)
+        return w;
+
+    w.minErase = ~std::uint32_t{0};
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (std::uint64_t b = 0; b < n; ++b) {
+        const std::uint32_t e = chips.block(b).eraseCount();
+        w.totalErases += e;
+        w.minErase = std::min(w.minErase, e);
+        w.maxErase = std::max(w.maxErase, e);
+        sum += e;
+        sumSq += static_cast<double>(e) * e;
+    }
+    w.meanErase = sum / static_cast<double>(n);
+    const double var =
+        sumSq / static_cast<double>(n) - w.meanErase * w.meanErase;
+    w.stddevErase = std::sqrt(std::max(var, 0.0));
+    w.skew = w.meanErase > 0.0
+        ? static_cast<double>(w.maxErase) / w.meanErase
+        : (w.maxErase > 0 ? static_cast<double>(w.maxErase) : 1.0);
+    w.programs = chips.stats().programs;
+    return w;
+}
+
+} // namespace ida::ftl

@@ -1,0 +1,56 @@
+#include "ftl/write_buffer.hh"
+
+#include "sim/log.hh"
+
+namespace ida::ftl {
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.flushWatermark <= 0.0 || cfg_.flushWatermark > 1.0)
+        sim::fatal("WriteBuffer: flushWatermark must be in (0, 1]");
+}
+
+bool
+WriteBuffer::insert(flash::Lpn lpn)
+{
+    if (!enabled())
+        return false;
+    if (dirty_.count(lpn)) {
+        ++stats_.coalescedWrites;
+        return true;
+    }
+    if (full()) {
+        ++stats_.bypasses;
+        return false;
+    }
+    fifo_.push_back(lpn);
+    dirty_.insert(lpn);
+    ++stats_.bufferedWrites;
+    return true;
+}
+
+bool
+WriteBuffer::needsFlush() const
+{
+    if (!enabled())
+        return false;
+    return static_cast<double>(dirty_.size()) >
+           cfg_.flushWatermark * static_cast<double>(cfg_.capacityPages);
+}
+
+bool
+WriteBuffer::popFlushCandidate(flash::Lpn &lpn)
+{
+    while (!fifo_.empty()) {
+        lpn = fifo_.front();
+        fifo_.pop_front();
+        if (dirty_.erase(lpn)) {
+            ++stats_.flushes;
+            return true;
+        }
+        // Entry was coalesced away under a different FIFO slot: skip.
+    }
+    return false;
+}
+
+} // namespace ida::ftl

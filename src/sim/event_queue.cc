@@ -1,0 +1,44 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace ida::sim {
+
+void
+EventQueue::schedule(Time when, Callback cb)
+{
+    if (when < now_)
+        when = now_;
+    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+Time
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // The callback may schedule new events, so pop before invoking.
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+    }
+    return now_;
+}
+
+Time
+EventQueue::runUntil(Time limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace ida::sim

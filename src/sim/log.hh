@@ -1,0 +1,42 @@
+/**
+ * @file
+ * gem5-style status/error helpers.
+ *
+ * panic() flags simulator bugs (aborts); fatal() flags user/configuration
+ * errors (clean exit); warn()/inform() are advisory and never stop a run.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ida::sim {
+
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace ida::sim

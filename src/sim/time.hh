@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Simulated-time definitions shared by every module.
+ *
+ * Time is a signed 64-bit count of nanoseconds. Flash timing parameters
+ * in the paper are quoted in microseconds and milliseconds; data-retention
+ * and refresh periods span days to months. Nanosecond resolution keeps
+ * sub-microsecond arithmetic exact while int64_t still covers ~292 years.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ida::sim {
+
+/** Simulated time in nanoseconds. */
+using Time = std::int64_t;
+
+/** One microsecond in simulation ticks. */
+inline constexpr Time kUsec = 1'000;
+/** One millisecond in simulation ticks. */
+inline constexpr Time kMsec = 1'000'000;
+/** One second in simulation ticks. */
+inline constexpr Time kSec = 1'000'000'000;
+/** One minute in simulation ticks. */
+inline constexpr Time kMin = 60 * kSec;
+/** One hour in simulation ticks. */
+inline constexpr Time kHour = 60 * kMin;
+/** One day in simulation ticks. */
+inline constexpr Time kDay = 24 * kHour;
+
+/** Convert ticks to (double) microseconds, the paper's reporting unit. */
+inline constexpr double
+toUsec(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUsec);
+}
+
+/** Convert ticks to (double) seconds. */
+inline constexpr double
+toSec(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+} // namespace ida::sim

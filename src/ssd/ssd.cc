@@ -1,0 +1,126 @@
+#include "ssd/ssd.hh"
+
+#include <algorithm>
+
+#include "ecc/retry_model.hh"
+#include "sim/log.hh"
+
+namespace ida::ssd {
+
+double
+SsdStats::readThroughputMBps() const
+{
+    const sim::Time window = lastCompletion - measureStart;
+    if (window <= 0)
+        return 0.0;
+    return (static_cast<double>(bytesRead) / (1024.0 * 1024.0)) /
+           sim::toSec(window);
+}
+
+Ssd::Ssd(const SsdConfig &cfg)
+    : cfg_(cfg), coding_(cfg.makeCoding()), rng_(cfg.seed)
+{
+    cfg_.validate();
+    chips_ = std::make_unique<flash::ChipArray>(cfg_.geometry, cfg_.timing,
+                                                coding_, events_);
+    ecc::EccModel ecc = cfg_.useRberRetry
+        ? ecc::EccModel(cfg_.adjustErrorRate, ecc::RberModel(),
+                        cfg_.rberDeviceAgePe)
+        : ecc::EccModel(cfg_.adjustErrorRate,
+                        ecc::RetryModel::lifetimePhase(
+                            cfg_.retrySeverity));
+    ftl_ = std::make_unique<ftl::Ftl>(cfg_.geometry, cfg_.ftl, *chips_,
+                                      std::move(ecc), events_, rng_);
+}
+
+Ssd::~Ssd() = default;
+
+void
+Ssd::preloadSequential(std::uint64_t pages)
+{
+    if (pages > logicalPages())
+        sim::fatal("Ssd::preloadSequential: footprint exceeds logical "
+                   "capacity");
+    for (flash::Lpn lpn = 0; lpn < pages; ++lpn)
+        ftl_->preloadWrite(lpn);
+    ftl_->finalizePreload();
+}
+
+void
+Ssd::start()
+{
+    ftl_->start();
+}
+
+void
+Ssd::submit(const HostRequest &req)
+{
+    if (req.pageCount == 0)
+        sim::fatal("Ssd::submit: empty request");
+    if (req.startPage + req.pageCount > logicalPages())
+        sim::fatal("Ssd::submit: request beyond logical capacity");
+    ++inflightRequests_;
+    events_.schedule(req.arrival, [this, req] { dispatch(req); });
+}
+
+void
+Ssd::dispatch(const HostRequest &req)
+{
+    // Shared completion context for the request's page operations.
+    struct Ctx
+    {
+        Ssd *ssd;
+        HostRequest req;
+        std::uint32_t pending;
+        sim::Time lastDone = 0;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->ssd = this;
+    ctx->req = req;
+    ctx->pending = req.pageCount;
+
+    auto pageDone = [ctx](sim::Time when) {
+        ctx->lastDone = std::max(ctx->lastDone, when);
+        if (--ctx->pending > 0)
+            return;
+        Ssd *ssd = ctx->ssd;
+        --ssd->inflightRequests_;
+        SsdStats &st = ssd->stats_;
+        const HostRequest &r = ctx->req;
+        if (r.onComplete)
+            r.onComplete(ctx->lastDone);
+        if (r.arrival < st.measureStart)
+            return; // warm-up request
+        const double resp = sim::toUsec(ctx->lastDone - r.arrival);
+        const std::uint64_t bytes = std::uint64_t{r.pageCount} *
+                                    ssd->cfg_.geometry.pageSizeBytes;
+        st.lastCompletion = std::max(st.lastCompletion, ctx->lastDone);
+        if (r.isRead) {
+            ++st.readRequests;
+            st.readResponseUs.add(resp);
+            st.readHist.add(resp);
+            st.bytesRead += bytes;
+        } else {
+            ++st.writeRequests;
+            st.writeResponseUs.add(resp);
+            st.bytesWritten += bytes;
+        }
+    };
+
+    for (std::uint32_t i = 0; i < req.pageCount; ++i) {
+        const flash::Lpn lpn = req.startPage + i;
+        if (req.isRead)
+            ftl_->hostRead(lpn, pageDone);
+        else
+            ftl_->hostWrite(lpn, pageDone);
+    }
+}
+
+bool
+Ssd::drained() const
+{
+    return inflightRequests_ == 0 && chips_->inflight() == 0 &&
+           ftl_->quiescent();
+}
+
+} // namespace ida::ssd

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The top-level SSD device: owns the event queue, chip array, ECC model
+ * and FTL, accepts multi-page host requests, and collects the response
+ * time / throughput statistics the paper's figures report.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ecc/ecc_model.hh"
+#include "flash/chip.hh"
+#include "ftl/ftl.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "ssd/config.hh"
+#include "stats/histogram.hh"
+#include "stats/stats.hh"
+
+namespace ida::ssd {
+
+/** One host I/O request (page-granular, like the paper's simulator). */
+struct HostRequest
+{
+    sim::Time arrival = 0;
+    bool isRead = true;
+    flash::Lpn startPage = 0;
+    std::uint32_t pageCount = 1;
+    /** Optional notification when the whole request completes. */
+    std::function<void(sim::Time)> onComplete;
+};
+
+/** Device-level measured statistics. */
+struct SsdStats
+{
+    stats::Summary readResponseUs;   // per *request*, arrival->done
+    stats::Summary writeResponseUs;
+    stats::Histogram readHist{1.0, 1.25, 96};
+    std::uint64_t readRequests = 0;  // measured only
+    std::uint64_t writeRequests = 0;
+    std::uint64_t bytesRead = 0;     // measured only
+    std::uint64_t bytesWritten = 0;
+    sim::Time measureStart = 0;
+    sim::Time lastCompletion = 0;
+
+    /** Measured host-read throughput in MB/s. */
+    double readThroughputMBps() const;
+};
+
+/**
+ * The simulated SSD.
+ *
+ * Usage: construct, preload the footprint, start(), submit requests
+ * (arrival times must be non-decreasing relative to the event clock),
+ * then run the event queue.
+ */
+class Ssd
+{
+  public:
+    explicit Ssd(const SsdConfig &cfg);
+    ~Ssd();
+
+    Ssd(const Ssd &) = delete;
+    Ssd &operator=(const Ssd &) = delete;
+
+    const SsdConfig &config() const { return cfg_; }
+    sim::EventQueue &events() { return events_; }
+    flash::ChipArray &chips() { return *chips_; }
+    ftl::Ftl &ftl() { return *ftl_; }
+    const ftl::Ftl &ftl() const { return *ftl_; }
+    const flash::CodingScheme &coding() const { return coding_; }
+
+    /** Exported logical capacity in pages. */
+    std::uint64_t logicalPages() const { return ftl_->logicalPages(); }
+
+    /** Instantly install logical pages [0, pages) (no simulated time). */
+    void preloadSequential(std::uint64_t pages);
+
+    /** Arm periodic FTL activity (refresh scanning). */
+    void start();
+
+    /**
+     * Enqueue a host request at its arrival time. Requests arriving
+     * before @p measureStart (see setMeasureStart) are executed but not
+     * included in the response statistics (warm-up).
+     */
+    void submit(const HostRequest &req);
+
+    /** Statistics only count requests arriving at or after this time. */
+    void setMeasureStart(sim::Time t) { stats_.measureStart = t; }
+
+    const SsdStats &stats() const { return stats_; }
+
+    /** True when no host or internal flash operation is outstanding. */
+    bool drained() const;
+
+  private:
+    void dispatch(const HostRequest &req);
+
+    SsdConfig cfg_;
+    flash::CodingScheme coding_;
+    sim::EventQueue events_;
+    sim::Rng rng_;
+    std::unique_ptr<flash::ChipArray> chips_;
+    std::unique_ptr<ftl::Ftl> ftl_;
+    SsdStats stats_;
+    std::uint64_t inflightRequests_ = 0;
+};
+
+} // namespace ida::ssd

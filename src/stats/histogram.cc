@@ -1,0 +1,67 @@
+#include "stats/histogram.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace ida::stats {
+
+Histogram::Histogram(double lo, double growth, int buckets)
+    : lo_(lo), logGrowth_(std::log(growth)),
+      counts_(static_cast<std::size_t>(buckets) + 1, 0)
+{
+    if (lo <= 0.0 || growth <= 1.0 || buckets < 1)
+        sim::fatal("Histogram: need lo > 0, growth > 1, buckets >= 1");
+}
+
+int
+Histogram::bucketOf(double x) const
+{
+    if (x < lo_)
+        return 0;
+    const int b = 1 + static_cast<int>(std::log(x / lo_) / logGrowth_);
+    const int last = static_cast<int>(counts_.size()) - 1;
+    return b > last ? last : b;
+}
+
+void
+Histogram::add(double x)
+{
+    if (x < 0.0)
+        x = 0.0;
+    ++counts_[static_cast<std::size_t>(bucketOf(x))];
+    ++count_;
+    sum_ += x;
+}
+
+double
+Histogram::bucketBound(int b) const
+{
+    return lo_ * std::exp(logGrowth_ * static_cast<double>(b));
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (seen > target || seen == count_)
+            return bucketBound(static_cast<int>(b));
+    }
+    return bucketBound(static_cast<int>(counts_.size()) - 1);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace ida::stats

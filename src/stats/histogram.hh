@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Log-bucketed histogram for latency distributions with percentile
+ * queries (used for response-time tails in EXPERIMENTS.md and tests).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ida::stats {
+
+/**
+ * Histogram over non-negative values with geometrically growing buckets.
+ *
+ * Bucket b covers [lo * g^b, lo * g^(b+1)); values below @p lo land in
+ * bucket 0, values beyond the last bucket in the overflow bucket.
+ * Percentiles are approximate (bucket upper bound), which is plenty for
+ * latency reporting.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo      upper bound of the first bucket (> 0).
+     * @param growth  geometric bucket growth factor (> 1).
+     * @param buckets number of buckets before overflow.
+     */
+    Histogram(double lo = 1.0, double growth = 1.3, int buckets = 96);
+
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Approximate quantile (0 < q <= 1), e.g. 0.99 for p99. */
+    double quantile(double q) const;
+
+    /** Upper bound of bucket @p b. */
+    double bucketBound(int b) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    void reset();
+
+  private:
+    int bucketOf(double x) const;
+
+    double lo_;
+    double logGrowth_;
+    std::vector<std::uint64_t> counts_; // last entry = overflow
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace ida::stats

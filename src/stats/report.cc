@@ -1,0 +1,75 @@
+#include "stats/report.hh"
+
+#include <cstdio>
+
+#include "stats/table.hh"
+
+namespace ida::stats {
+
+Report::Report(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Report::section(const std::string &name)
+{
+    currentSection_ = name;
+}
+
+void
+Report::add(const std::string &key, const std::string &value)
+{
+    entries_.push_back(Entry{currentSection_, key, value});
+}
+
+void
+Report::add(const std::string &key, double value, int precision)
+{
+    add(key, Table::num(value, precision));
+}
+
+void
+Report::add(const std::string &key, std::uint64_t value)
+{
+    add(key, std::to_string(value));
+}
+
+std::size_t
+Report::size() const
+{
+    return entries_.size();
+}
+
+void
+Report::printText(std::ostream &os) const
+{
+    os << title_ << '\n';
+    std::string last;
+    for (const auto &e : entries_) {
+        if (e.section != last) {
+            last = e.section;
+            os << "  [" << e.section << "]\n";
+        }
+        os << "    " << e.key << ": " << e.value << '\n';
+    }
+}
+
+void
+Report::printCsv(std::ostream &os) const
+{
+    os << "section,key,value\n";
+    for (const auto &e : entries_)
+        os << e.section << ',' << e.key << ',' << e.value << '\n';
+}
+
+std::string
+Report::value(const std::string &key) const
+{
+    for (const auto &e : entries_) {
+        if (e.key == key)
+            return e.value;
+    }
+    return "";
+}
+
+} // namespace ida::stats

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Structured run reports: serialize experiment measurements as
+ * human-readable text or machine-readable CSV key/value records, so
+ * harness outputs can be archived and diffed across runs.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ida::stats {
+
+/**
+ * An ordered list of named metrics with section headers.
+ *
+ * Values are stored as strings so integers keep full precision; the
+ * numeric adders format with sensible defaults.
+ */
+class Report
+{
+  public:
+    explicit Report(std::string title);
+
+    /** Start a new section; subsequent metrics attach to it. */
+    void section(const std::string &name);
+
+    void add(const std::string &key, const std::string &value);
+    void add(const std::string &key, double value, int precision = 2);
+    void add(const std::string &key, std::uint64_t value);
+
+    /** Number of metrics added (excluding sections). */
+    std::size_t size() const;
+
+    /** Render as indented text. */
+    void printText(std::ostream &os) const;
+
+    /** Render as CSV rows: section,key,value. */
+    void printCsv(std::ostream &os) const;
+
+    /** Look up a metric's value ("" when absent); for tests. */
+    std::string value(const std::string &key) const;
+
+  private:
+    struct Entry
+    {
+        std::string section;
+        std::string key;
+        std::string value;
+    };
+
+    std::string title_;
+    std::string currentSection_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace ida::stats

@@ -1,0 +1,2 @@
+// stats.hh is header-only; compiled stand-alone by the library build.
+#include "stats/stats.hh"

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Generic statistics primitives: running summaries and simple rate
+ * helpers. Latency distributions use Histogram (histogram.hh).
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace ida::stats {
+
+/** Running sum/count/min/max summary of a scalar sample stream. */
+class Summary
+{
+  public:
+    void
+    add(double x)
+    {
+        sum_ += x;
+        ++count_;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    merge(const Summary &o)
+    {
+        sum_ += o.sum_;
+        count_ += o.count_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    void reset() { *this = Summary(); }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace ida::stats

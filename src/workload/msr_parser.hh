@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Parser for MSR Cambridge block traces (SNIA IOTTA #388), the workload
+ * source the paper uses. Format per line:
+ *
+ *   Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+ *
+ * Timestamp is a Windows filetime (100 ns ticks), Type is "Read" or
+ * "Write", Offset and Size are in bytes. Timestamps are rebased so the
+ * first request arrives at t = 0; offsets are page-aligned down and
+ * wrapped into the device's logical footprint.
+ *
+ * With the real traces unavailable offline, the synthetic generator
+ * (synthetic.hh) substitutes for them; this parser lets users drop the
+ * real files in.
+ */
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace ida::workload {
+
+/** Streaming MSR CSV trace reader. */
+class MsrTrace : public TraceStream
+{
+  public:
+    /**
+     * @param path           trace file path (CSV, possibly with header).
+     * @param page_size      device page size in bytes.
+     * @param logical_pages  wrap offsets into this many pages.
+     */
+    MsrTrace(const std::string &path, std::uint32_t page_size,
+             std::uint64_t logical_pages);
+
+    bool next(IoRequest &out) override;
+
+    /** Lines skipped because they failed to parse. */
+    std::uint64_t malformedLines() const { return malformed_; }
+
+    /**
+     * Parse one CSV line; returns false when @p line is not a valid
+     * record. Exposed for unit tests.
+     */
+    static bool parseLine(const std::string &line, std::uint32_t page_size,
+                          std::uint64_t logical_pages, IoRequest &out,
+                          std::uint64_t &raw_timestamp);
+
+  private:
+    std::ifstream in_;
+    std::uint32_t pageSize_;
+    std::uint64_t logicalPages_;
+    std::uint64_t malformed_ = 0;
+    bool haveBase_ = false;
+    std::uint64_t baseTimestamp_ = 0;
+    sim::Time lastArrival_ = 0;
+};
+
+} // namespace ida::workload

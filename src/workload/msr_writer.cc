@@ -1,0 +1,27 @@
+#include "workload/msr_writer.hh"
+
+namespace ida::workload {
+
+std::uint64_t
+writeMsrCsv(std::ostream &os, TraceStream &trace,
+            const MsrWriterConfig &cfg)
+{
+    std::uint64_t n = 0;
+    IoRequest r;
+    while (trace.next(r)) {
+        // Simulation ticks are nanoseconds; filetime ticks are 100 ns.
+        const std::uint64_t ts =
+            cfg.baseTimestamp + static_cast<std::uint64_t>(r.arrival) / 100;
+        const std::uint64_t offset =
+            r.startPage * static_cast<std::uint64_t>(cfg.pageSizeBytes);
+        const std::uint64_t size =
+            std::uint64_t{r.pageCount} * cfg.pageSizeBytes;
+        os << ts << ',' << cfg.hostname << ',' << cfg.disk << ','
+           << (r.isRead ? "Read" : "Write") << ',' << offset << ','
+           << size << ",0\n";
+        ++n;
+    }
+    return n;
+}
+
+} // namespace ida::workload

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * MSR Cambridge CSV trace writer — the inverse of MsrTrace. Lets users
+ * export a synthetic workload in the standard trace format (e.g. to
+ * replay it on other simulators or on real hardware with standard
+ * replay tools), and gives the parser a round-trip test partner.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace ida::workload {
+
+/** Options controlling the emitted records. */
+struct MsrWriterConfig
+{
+    /** Hostname column (MSR traces carry the server name). */
+    std::string hostname = "synth";
+
+    /** DiskNumber column. */
+    std::uint32_t disk = 0;
+
+    /** Page size used to convert page addresses to byte offsets. */
+    std::uint32_t pageSizeBytes = 8192;
+
+    /**
+     * Timestamp of the first request as a Windows filetime (100 ns
+     * ticks); subsequent records offset from it.
+     */
+    std::uint64_t baseTimestamp = 128166372000000000ull;
+};
+
+/**
+ * Drain @p trace into @p os as MSR CSV records. Returns the number of
+ * records written. The ResponseTime column is written as 0 (unknown
+ * before simulation).
+ */
+std::uint64_t writeMsrCsv(std::ostream &os, TraceStream &trace,
+                          const MsrWriterConfig &cfg = MsrWriterConfig());
+
+} // namespace ida::workload

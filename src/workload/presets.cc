@@ -1,0 +1,179 @@
+#include "workload/presets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace ida::workload {
+
+namespace {
+
+/**
+ * Build one Table III substitute.
+ *
+ * The write size is derived from the paper's read-data ratio so the
+ * generated volume mix matches the trace's:
+ *   rdr = rr*rs / (rr*rs + (1-rr)*ws)  =>  ws = rs*rr*(1-rdr)/(rdr*(1-rr))
+ * The update skew (writeZipf) is the main knob for the fraction of MSB
+ * reads with invalid siblings: more scattered updates (lower skew)
+ * invalidate more distinct wordline neighbours.
+ */
+WorkloadPreset
+tableIii(const std::string &name, std::uint64_t seed,
+         double read_ratio_pct, double read_size_kb, double read_data_pct,
+         double msb_invalid_pct)
+{
+    WorkloadPreset p;
+    p.name = name;
+    p.paperReadRatioPct = read_ratio_pct;
+    p.paperReadSizeKB = read_size_kb;
+    p.paperReadDataPct = read_data_pct;
+    p.paperMsbInvalidPct = msb_invalid_pct;
+
+    SyntheticConfig &s = p.synth;
+    s.seed = seed;
+    s.readRatio = read_ratio_pct / 100.0;
+    s.readSizePagesMean = read_size_kb / 8.0;
+    const double rr = s.readRatio;
+    const double rdr = read_data_pct / 100.0;
+    s.writeSizePagesMean = std::max(
+        1.0, s.readSizePagesMean * rr * (1.0 - rdr) /
+                 std::max(rdr * (1.0 - rr), 1e-6));
+    s.readZipf = 1.1;
+    // Updates are scattered (server-style random updates); the
+    // write-region share below, not the skew, tunes the sibling-invalid
+    // fractions. A skew-based knob is scale-dependent (Zipf head mass
+    // grows as the region shrinks) and breaks `scaled()` presets.
+    s.writeZipf = 0.6;
+    s.totalRequests = 400'000;
+    s.duration = 4 * sim::kHour;
+    s.burstFraction = 0.9;
+    s.burstGapScale = 0.01;
+
+    // Calibration (see DESIGN.md): the measured fraction of MSB reads
+    // with invalid lower siblings is ~0.7x the write-region share once
+    // the region churns, so size the region from the paper's Table III
+    // target and the footprint so the region is overwritten ~2x.
+    s.writeRegionFraction = std::clamp(msb_invalid_pct / 70.0, 0.25, 0.85);
+    const double trace_page_writes = static_cast<double>(s.totalRequests) *
+                                     (1.0 - rr) * s.writeSizePagesMean;
+    s.footprintPages = static_cast<std::uint64_t>(std::clamp(
+        trace_page_writes / (2.2 * s.writeRegionFraction), 20'000.0,
+        120'000.0));
+    // Longer than the trace: data refreshed during the run stays in its
+    // IDA block for the rest of the run, like the paper's 3-day..3-month
+    // periods against 7-day traces.
+    p.refreshPeriod = 2 * s.duration;
+    p.prewriteFraction = 0.5;
+    return p;
+}
+
+std::vector<WorkloadPreset>
+buildPaperWorkloads()
+{
+    // name, seed, read ratio %, read size KB, read data %, MSB-invalid %
+    // (paper Table III), footprint (scaled; see DESIGN.md).
+    return {
+        tableIii("proj_1", 101, 89.43, 37.45, 96.71, 22.12),
+        tableIii("proj_2", 102, 87.61, 41.64, 85.77, 32.47),
+        tableIii("proj_3", 103, 94.82, 8.99, 87.41, 20.81),
+        tableIii("proj_4", 104, 98.52, 23.72, 99.30, 24.63),
+        tableIii("hm_1", 105, 95.34, 14.93, 93.83, 20.54),
+        tableIii("src1_0", 106, 56.43, 36.47, 47.42, 33.31),
+        tableIii("src1_1", 107, 95.26, 35.87, 98.00, 34.79),
+        tableIii("src2_0", 108, 97.86, 60.32, 99.51, 21.27),
+        tableIii("stg_1", 109, 63.74, 59.68, 92.99, 38.76),
+        tableIii("usr_1", 110, 91.48, 52.72, 97.37, 45.44),
+        tableIii("usr_2", 111, 81.13, 50.89, 94.01, 21.43),
+    };
+}
+
+std::vector<WorkloadPreset>
+buildExtraWorkloads()
+{
+    // Fig. 4 (right): nine workloads categorized by read-request ratio.
+    std::vector<WorkloadPreset> out;
+    for (int i = 0; i < 9; ++i) {
+        const double rr = 50.0 + 5.0 * i;
+        WorkloadPreset p;
+        p.name = "r" + std::to_string(static_cast<int>(rr));
+        p.synth.seed = 200 + static_cast<std::uint64_t>(i);
+        p.synth.readRatio = rr / 100.0;
+        p.synth.readSizePagesMean = 4.0;
+        p.synth.writeSizePagesMean = 2.0;
+        p.synth.readZipf = 1.1;
+        p.synth.writeZipf = 0.9;
+        p.synth.writeRegionFraction = 0.4;
+        p.synth.totalRequests = 400'000;
+        // Same sizing rule as the Table III presets.
+        p.synth.footprintPages = static_cast<std::uint64_t>(std::clamp(
+            static_cast<double>(p.synth.totalRequests) * (1.0 - rr / 100.0) *
+                p.synth.writeSizePagesMean / (2.2 * 0.4),
+            20'000.0, 120'000.0));
+        p.synth.duration = 4 * sim::kHour;
+        p.refreshPeriod = 2 * p.synth.duration;
+        p.prewriteFraction = 0.5;
+        p.paperReadRatioPct = rr;
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<WorkloadPreset> &
+paperWorkloads()
+{
+    static const std::vector<WorkloadPreset> v = buildPaperWorkloads();
+    return v;
+}
+
+const std::vector<WorkloadPreset> &
+extraWorkloads()
+{
+    static const std::vector<WorkloadPreset> v = buildExtraWorkloads();
+    return v;
+}
+
+const WorkloadPreset &
+presetByName(const std::string &name)
+{
+    for (const auto &p : paperWorkloads()) {
+        if (p.name == name)
+            return p;
+    }
+    for (const auto &p : extraWorkloads()) {
+        if (p.name == name)
+            return p;
+    }
+    sim::fatal("presetByName: unknown workload '" + name + "'");
+}
+
+WorkloadPreset
+scaled(const WorkloadPreset &p, double factor)
+{
+    if (factor <= 0.0)
+        sim::fatal("scaled: factor must be positive");
+    WorkloadPreset out = p;
+    out.synth.totalRequests = std::max<std::uint64_t>(
+        1000, static_cast<std::uint64_t>(
+                  static_cast<double>(p.synth.totalRequests) * factor));
+    out.synth.duration = std::max<sim::Time>(
+        sim::kMin,
+        static_cast<sim::Time>(static_cast<double>(p.synth.duration) *
+                               factor));
+    out.refreshPeriod = std::max<sim::Time>(
+        sim::kMin,
+        static_cast<sim::Time>(static_cast<double>(p.refreshPeriod) *
+                               factor));
+    // Keep the churn *ratios* (writes per footprint page, pre-age depth)
+    // intact so shorter runs keep the same wordline-validity mix.
+    out.synth.footprintPages = std::max<std::uint64_t>(
+        10'000, static_cast<std::uint64_t>(
+                    static_cast<double>(p.synth.footprintPages) * factor));
+    out.prewriteFraction = p.prewriteFraction / factor;
+    return out;
+}
+
+} // namespace ida::workload

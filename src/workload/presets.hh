@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Named workload presets: synthetic substitutes for the paper's 11
+ * MSR Cambridge read-intensive traces (Table III) and the 9 additional
+ * read-ratio-binned workloads of Fig. 4 (right).
+ *
+ * Each preset records the paper's reported characteristics so the
+ * Table III harness can print paper-vs-measured columns.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace ida::workload {
+
+/** One named workload with its paper-reported reference values. */
+struct WorkloadPreset
+{
+    std::string name;
+    SyntheticConfig synth;
+    /** Refresh period to configure for this workload. */
+    sim::Time refreshPeriod = sim::kHour;
+    /** Fraction of the trace treated as warm-up (not measured). */
+    double warmupFraction = 0.3;
+
+    /**
+     * Device pre-aging: before the timed trace, this many requests'
+     * worth of the same write stream (different seed) is applied
+     * instantly, so resident blocks carry the update-induced invalid
+     * pages a long-running trace would have accumulated before its
+     * refreshes hit (paper Sec. III-A profiles exactly this state).
+     * Expressed as a fraction of totalRequests.
+     */
+    double prewriteFraction = 1.0;
+
+    // Paper Table III reference values (negative = not reported).
+    double paperReadRatioPct = -1.0;
+    double paperReadSizeKB = -1.0;
+    double paperReadDataPct = -1.0;
+    double paperMsbInvalidPct = -1.0;
+};
+
+/** The 11 read-intensive paper workloads (Table III). */
+const std::vector<WorkloadPreset> &paperWorkloads();
+
+/** The 9 extra workloads of Fig. 4 (right), binned by read ratio. */
+const std::vector<WorkloadPreset> &extraWorkloads();
+
+/** Look up a preset by name across both sets (fatal if unknown). */
+const WorkloadPreset &presetByName(const std::string &name);
+
+/**
+ * Scale a preset's length (request count and duration together, keeping
+ * the arrival rate and the refresh-cycles-per-run ratio) by @p factor.
+ * Used to trade fidelity for run time in quick benchmark modes.
+ */
+WorkloadPreset scaled(const WorkloadPreset &p, double factor);
+
+} // namespace ida::workload

@@ -1,0 +1,72 @@
+#include "workload/result_report.hh"
+
+namespace ida::workload {
+
+stats::Report
+makeReport(const RunResult &r)
+{
+    stats::Report rep("run: " + r.workload + " on " + r.system);
+
+    rep.section("response");
+    rep.add("read_mean_us", r.readRespUs, 1);
+    rep.add("read_p99_us", r.readP99Us, 1);
+    rep.add("write_mean_us", r.writeRespUs, 1);
+    rep.add("read_throughput_mbps", r.throughputMBps, 2);
+    rep.add("measured_reads", r.measuredReads);
+    rep.add("measured_writes", r.measuredWrites);
+
+    rep.section("read-classes");
+    const auto &rc = r.ftl.readClass;
+    for (std::size_t l = 0; l < rc.byLevel.size(); ++l) {
+        rep.add("reads_level" + std::to_string(l), rc.byLevel[l]);
+        rep.add("reads_level" + std::to_string(l) + "_lower_invalid",
+                rc.byLevelLowerInvalid[l]);
+    }
+    rep.add("ida_served", rc.idaServed);
+    rep.add("ida_saving_total_us", sim::toUsec(rc.idaSavings), 0);
+
+    rep.section("refresh");
+    const auto &rf = r.ftl.refresh;
+    rep.add("refreshes", rf.refreshes);
+    rep.add("ida_refreshes", rf.idaRefreshes);
+    rep.add("baseline_refreshes", rf.baselineRefreshes);
+    rep.add("valid_pages", rf.validPages);
+    rep.add("target_pages", rf.targetPages);
+    rep.add("adjusted_wordlines", rf.adjustedWordlines);
+    rep.add("extra_reads", rf.extraReads);
+    rep.add("extra_writes", rf.extraWrites);
+    rep.add("migrated_pages", rf.migratedPages);
+
+    rep.section("gc");
+    rep.add("invocations", r.ftl.gc.invocations);
+    rep.add("erases", r.ftl.gc.erases);
+    rep.add("migrated_pages", r.ftl.gc.migratedPages);
+
+    rep.section("flash");
+    rep.add("reads", r.chip.reads);
+    rep.add("programs", r.chip.programs);
+    rep.add("erases", r.chip.erases);
+    rep.add("adjusts", r.chip.adjusts);
+    rep.add("retry_rounds", r.chip.retrySenseRounds);
+    rep.add("die_busy_s", sim::toSec(r.chip.dieBusy), 2);
+    rep.add("channel_busy_s", sim::toSec(r.chip.channelBusy), 2);
+
+    rep.section("wear");
+    rep.add("total_erases", r.wear.totalErases);
+    rep.add("max_erase", std::uint64_t{r.wear.maxErase});
+    rep.add("mean_erase", r.wear.meanErase, 3);
+    rep.add("skew", r.wear.skew, 3);
+
+    rep.section("capacity");
+    rep.add("in_use_blocks", r.inUseBlocksEnd);
+    rep.add("total_blocks", r.totalBlocks);
+    rep.add("footprint_pages", r.footprintPages);
+    rep.add("max_in_use_blocks", r.ftl.maxInUseBlocks);
+
+    rep.section("meta");
+    rep.add("simulated_s", sim::toSec(r.simulatedTime), 1);
+    rep.add("wall_s", r.wallSeconds, 2);
+    return rep;
+}
+
+} // namespace ida::workload

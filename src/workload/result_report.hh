@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Bridge between RunResult and stats::Report: one function that lays a
+ * full measurement record out as a structured report, shared by the
+ * trace_replay example and any harness that wants archivable output.
+ */
+#pragma once
+
+#include "stats/report.hh"
+#include "workload/runner.hh"
+
+namespace ida::workload {
+
+/** Build a structured report of one run's measurements. */
+stats::Report makeReport(const RunResult &r);
+
+} // namespace ida::workload

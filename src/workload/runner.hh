@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment runner: executes one workload preset against one device
+ * configuration and collects the metrics the paper's tables and figures
+ * report. All benchmark harnesses and examples are thin wrappers over
+ * this.
+ */
+#pragma once
+
+#include <string>
+
+#include "ftl/wear.hh"
+#include "ssd/ssd.hh"
+#include "workload/presets.hh"
+
+namespace ida::workload {
+
+/** The measurements of one (workload, system) run. */
+struct RunResult
+{
+    std::string workload;
+    std::string system;
+
+    double readRespUs = 0.0;     // mean read response time
+    double readP99Us = 0.0;      // approximate p99 read response
+    double writeRespUs = 0.0;    // mean write response time
+    double throughputMBps = 0.0; // measured read throughput
+    std::uint64_t measuredReads = 0;
+    std::uint64_t measuredWrites = 0;
+
+    ftl::FtlStats ftl;       // classification, refresh, GC counters
+    flash::ChipStats chip;   // command counts / busy times
+    ftl::WearSnapshot wear;  // erase distribution at end of run
+    std::uint64_t inUseBlocksEnd = 0;
+    std::uint64_t totalBlocks = 0;
+    std::uint64_t footprintPages = 0;
+    sim::Time simulatedTime = 0;
+    double wallSeconds = 0.0;
+
+    /** this.readRespUs / base.readRespUs (the paper's normalization). */
+    double normalizedReadResp(const RunResult &base) const;
+
+    /** 1 - normalizedReadResp: the paper's "improvement" percentage. */
+    double readImprovement(const RunResult &base) const;
+};
+
+/**
+ * Run @p preset against @p device.
+ *
+ * The runner preloads the footprint, replays the trace with the first
+ * `warmupFraction` unmeasured, drains outstanding I/O, and harvests
+ * statistics. The preset's refresh period overrides the device config's.
+ * The footprint is clamped to 70% of the device's logical capacity (it
+ * only matters for the small MLC/QLC geometries).
+ */
+RunResult runPreset(const ssd::SsdConfig &device,
+                    const WorkloadPreset &preset);
+
+/** Run an arbitrary trace stream (e.g. a real MSR trace). */
+RunResult runTrace(const ssd::SsdConfig &device, TraceStream &trace,
+                   std::uint64_t footprint_pages, sim::Time refresh_period,
+                   double warmup_fraction, const std::string &label);
+
+/**
+ * Closed-loop (saturation) run: the preset's trace supplies request
+ * types/addresses/sizes but arrivals are ignored — @p queue_depth
+ * requests are kept outstanding at all times. This measures *device*
+ * throughput (the paper's Fig. 10), which an open-loop replay cannot
+ * (it is arrival-limited by construction).
+ */
+RunResult runClosedLoop(const ssd::SsdConfig &device,
+                        const WorkloadPreset &preset, int queue_depth);
+
+} // namespace ida::workload

@@ -1,0 +1,121 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/log.hh"
+
+namespace ida::workload {
+
+namespace {
+
+/** Find a multiplier coprime to n, starting from a large odd seed. */
+std::uint64_t
+coprimeMult(std::uint64_t n, std::uint64_t start)
+{
+    std::uint64_t m = start | 1;
+    while (std::gcd(m % n, n) != 1)
+        m += 2;
+    return m % n;
+}
+
+} // namespace
+
+SyntheticTrace::SyntheticTrace(const SyntheticConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      readZipf_(cfg.footprintPages, cfg.readZipf),
+      writeZipf_(std::max<std::uint64_t>(
+                     1, static_cast<std::uint64_t>(
+                            static_cast<double>(cfg.footprintPages) *
+                            cfg.writeRegionFraction)),
+                 cfg.writeZipf)
+{
+    if (cfg_.footprintPages == 0 || cfg_.totalRequests == 0)
+        sim::fatal("SyntheticConfig: footprint and request count must be "
+                   "nonzero");
+    if (cfg_.readRatio < 0.0 || cfg_.readRatio > 1.0)
+        sim::fatal("SyntheticConfig: readRatio must be in [0, 1]");
+    if (cfg_.writeRegionFraction <= 0.0 || cfg_.writeRegionFraction > 1.0)
+        sim::fatal("SyntheticConfig: writeRegionFraction must be in "
+                   "(0, 1]");
+
+    readMult_ = coprimeMult(cfg_.footprintPages, 0x9E3779B97F4A7C15ull);
+    readAdd_ = 0x2545F4914F6CDD1Dull % cfg_.footprintPages;
+    writeMult_ = coprimeMult(cfg_.footprintPages, 0xC2B2AE3D27D4EB4Full);
+    writeAdd_ = 0xD6E8FEB86659FD93ull % cfg_.footprintPages;
+
+    meanGap_ = static_cast<double>(cfg_.duration) /
+               static_cast<double>(cfg_.totalRequests);
+    // Hyperexponential mixture preserving the overall mean:
+    // p_b * short + (1 - p_b) * long = meanGap.
+    shortGapMean_ = meanGap_ * cfg_.burstGapScale;
+    const double pb = cfg_.burstFraction;
+    longGapMean_ = (meanGap_ - pb * shortGapMean_) /
+                   std::max(1.0 - pb, 1e-9);
+}
+
+std::uint64_t
+SyntheticTrace::permute(std::uint64_t rank, std::uint64_t mult,
+                        std::uint64_t add) const
+{
+    // Affine permutation of Z_footprint: bijective since gcd(mult, n)=1.
+    const std::uint64_t n = cfg_.footprintPages;
+    return (static_cast<unsigned __int128>(rank) * mult + add) % n;
+}
+
+std::uint32_t
+SyntheticTrace::sampleSize(double mean)
+{
+    const double v = rng_.lognormalMean(mean, cfg_.sizeSigma);
+    auto pages = static_cast<std::uint32_t>(std::llround(v));
+    pages = std::clamp<std::uint32_t>(pages, 1, cfg_.maxRequestPages);
+    return pages;
+}
+
+bool
+SyntheticTrace::next(IoRequest &out)
+{
+    if (emitted_ >= cfg_.totalRequests)
+        return false;
+    ++emitted_;
+
+    const bool in_burst = rng_.chance(cfg_.burstFraction);
+    const double gap = in_burst ? rng_.exponential(shortGapMean_)
+                                : rng_.exponential(longGapMean_);
+    clock_ += gap;
+    out.arrival = static_cast<sim::Time>(clock_);
+
+    if (cfg_.segregateBursts) {
+        // A long gap starts a new burst, which draws a fresh type; the
+        // whole burst keeps it (batched flushes vs. read runs).
+        if (!in_burst || emitted_ == 1)
+            burstIsRead_ = rng_.chance(cfg_.readRatio);
+        out.isRead = burstIsRead_;
+    } else {
+        out.isRead = rng_.chance(cfg_.readRatio);
+    }
+    const bool read = out.isRead;
+    std::uint64_t page;
+    if (read) {
+        page = permute(readZipf_(rng_), readMult_, readAdd_);
+    } else {
+        // Updates are confined to the tail writeRegionFraction of the
+        // footprint (reads cover everything).
+        const std::uint64_t region = writeZipf_.size();
+        const std::uint64_t base = cfg_.footprintPages - region;
+        page = base +
+               permute(writeZipf_(rng_), writeMult_, writeAdd_) % region;
+    }
+    out.pageCount = sampleSize(read ? cfg_.readSizePagesMean
+                                    : cfg_.writeSizePagesMean);
+    // Keep the request inside the footprint.
+    if (page + out.pageCount > cfg_.footprintPages) {
+        out.startPage = cfg_.footprintPages - out.pageCount;
+    } else {
+        out.startPage = page;
+    }
+    return true;
+}
+
+} // namespace ida::workload

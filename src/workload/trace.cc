@@ -1,0 +1,2 @@
+// trace.hh is header-only; compiled stand-alone by the library build.
+#include "workload/trace.hh"

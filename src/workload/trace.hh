@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Workload abstractions: the I/O request record and the pull-based
+ * trace stream interface shared by the synthetic generator and the MSR
+ * trace parser.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "flash/geometry.hh"
+#include "sim/time.hh"
+
+namespace ida::workload {
+
+/** One host I/O, page-granular. */
+struct IoRequest
+{
+    sim::Time arrival = 0;
+    bool isRead = true;
+    flash::Lpn startPage = 0;
+    std::uint32_t pageCount = 1;
+};
+
+/**
+ * A pull-based request source. Streams must produce non-decreasing
+ * arrival times.
+ */
+class TraceStream
+{
+  public:
+    virtual ~TraceStream() = default;
+
+    /** Produce the next request; false when the trace is exhausted. */
+    virtual bool next(IoRequest &out) = 0;
+};
+
+} // namespace ida::workload

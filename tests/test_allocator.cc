@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for CWDP page allocation.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ftl/allocator.hh"
+
+namespace ida::ftl {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(std::function<void(std::uint64_t)> cb = nullptr)
+        : allocator(geom, chips, mgr, std::move(cb))
+    {
+    }
+
+    sim::EventQueue events;
+    flash::Geometry geom = [] {
+        flash::Geometry g;
+        g.channels = 2;
+        g.chipsPerChannel = 2;
+        g.diesPerChip = 2;
+        g.planesPerDie = 2;
+        g.blocksPerPlane = 4;
+        g.pagesPerBlock = 6;
+        g.bitsPerCell = 3;
+        return g;
+    }();
+    flash::ChipArray chips{geom, flash::FlashTiming{},
+                           flash::CodingScheme::tlc124(), events};
+    BlockManager mgr{geom, chips};
+    PageAllocator allocator;
+
+    flash::Ppn
+    hostWriteOnePage()
+    {
+        const flash::Ppn p = allocator.allocateHostPage();
+        chips.programImmediate(p);
+        return p;
+    }
+};
+
+TEST(Allocator, CwdpStripesChannelFirst)
+{
+    Fixture f;
+    // Successive allocations must walk channels fastest, then chips,
+    // then dies, then planes (CWDP).
+    std::vector<flash::PageAddr> addrs;
+    for (int i = 0; i < 16; ++i)
+        addrs.push_back(f.geom.decode(f.hostWriteOnePage()));
+    EXPECT_EQ(addrs[0].channel, 0u);
+    EXPECT_EQ(addrs[1].channel, 1u);
+    EXPECT_EQ(addrs[0].chip, addrs[1].chip);
+    // After channels wrap, the chip advances.
+    EXPECT_EQ(addrs[2].channel, 0u);
+    EXPECT_EQ(addrs[2].chip, 1u);
+    // After channel x chip wrap, the die advances.
+    EXPECT_EQ(addrs[4].die, 1u);
+    // After channel x chip x die wrap, the plane advances.
+    EXPECT_EQ(addrs[8].plane, 1u);
+    // All 16 allocations land on distinct planes.
+    std::set<std::uint64_t> planes;
+    for (const auto &a : addrs)
+        planes.insert(f.geom.dieOf(a) * f.geom.planesPerDie + a.plane);
+    EXPECT_EQ(planes.size(), 16u);
+}
+
+TEST(Allocator, FillsBlockBeforeOpeningNext)
+{
+    Fixture f;
+    std::set<flash::BlockId> blocks;
+    // 16 planes x 6 pages: the first 96 writes use one block per plane.
+    for (int i = 0; i < 96; ++i)
+        blocks.insert(f.geom.blockOf(f.hostWriteOnePage()));
+    EXPECT_EQ(blocks.size(), 16u);
+    // The 97th opens a second block on plane 0.
+    blocks.insert(f.geom.blockOf(f.hostWriteOnePage()));
+    EXPECT_EQ(blocks.size(), 17u);
+    EXPECT_EQ(f.mgr.inUseBlocks(), 1u); // the filled plane-0 block closed
+}
+
+TEST(Allocator, InternalAllocationsStayOnPlane)
+{
+    Fixture f;
+    for (int plane = 0; plane < 4; ++plane) {
+        const flash::Ppn p = f.allocator.allocateInternalPage(plane);
+        f.chips.programImmediate(p);
+        EXPECT_EQ(f.geom.planeOfBlock(f.geom.blockOf(p)),
+                  static_cast<std::uint64_t>(plane));
+    }
+}
+
+TEST(Allocator, HostAndInternalUseSeparateBlocks)
+{
+    Fixture f;
+    const flash::Ppn h = f.allocator.allocateHostPage();
+    f.chips.programImmediate(h);
+    const std::uint64_t plane = f.geom.planeOfBlock(f.geom.blockOf(h));
+    const flash::Ppn i = f.allocator.allocateInternalPage(plane);
+    f.chips.programImmediate(i);
+    EXPECT_NE(f.geom.blockOf(h), f.geom.blockOf(i));
+    EXPECT_TRUE(f.mgr.meta(f.geom.blockOf(h)).hostActive);
+    EXPECT_TRUE(f.mgr.meta(f.geom.blockOf(i)).internalActive);
+}
+
+TEST(Allocator, LowFreeCallbackFires)
+{
+    std::vector<std::uint64_t> notified;
+    Fixture f([&](std::uint64_t plane) { notified.push_back(plane); });
+    const flash::Ppn p = f.allocator.allocateHostPage();
+    f.chips.programImmediate(p);
+    ASSERT_EQ(notified.size(), 1u); // every newly-opened block notifies
+    EXPECT_EQ(notified[0], f.geom.planeOfBlock(f.geom.blockOf(p)));
+}
+
+TEST(Allocator, CanFillEveryHostPageOfTheDevice)
+{
+    Fixture f;
+    // 16 planes x 4 blocks x 6 pages = 384 pages; all reachable through
+    // the host path (internal blocks are only opened on demand).
+    std::set<flash::Ppn> seen;
+    for (std::uint64_t i = 0; i < f.geom.pages(); ++i)
+        seen.insert(f.hostWriteOnePage());
+    EXPECT_EQ(seen.size(), f.geom.pages());
+    for (std::uint64_t plane = 0; plane < f.geom.planes(); ++plane)
+        EXPECT_EQ(f.mgr.freeCount(plane), 0u);
+}
+
+TEST(Allocator, RefreshedAtStampedWhenBlockOpens)
+{
+    Fixture f;
+    f.events.runUntil(12345);
+    const flash::Ppn p = f.allocator.allocateHostPage();
+    f.chips.programImmediate(p);
+    EXPECT_EQ(f.mgr.meta(f.geom.blockOf(p)).refreshedAt, 12345);
+}
+
+} // namespace
+} // namespace ida::ftl

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for per-block state: programming order, validity, IDA
+ * wordline modes, and the paper's Table I case classification.
+ */
+#include <gtest/gtest.h>
+
+#include "flash/block.hh"
+
+namespace ida::flash {
+namespace {
+
+TEST(Block, StartsErased)
+{
+    Block b(24, 3);
+    EXPECT_TRUE(b.isErased());
+    EXPECT_FALSE(b.isFull());
+    EXPECT_EQ(b.validCount(), 0u);
+    EXPECT_EQ(b.numWordlines(), 8u);
+    for (std::uint32_t p = 0; p < b.numPages(); ++p)
+        EXPECT_EQ(b.pageState(p), PageState::Free);
+}
+
+TEST(Block, ProgramsInOrder)
+{
+    Block b(6, 3);
+    EXPECT_EQ(b.programNext(100), 0u);
+    EXPECT_EQ(b.programNext(101), 1u);
+    EXPECT_EQ(b.writePointer(), 2u);
+    EXPECT_EQ(b.validCount(), 2u);
+    EXPECT_EQ(b.programTime(), 100);
+}
+
+TEST(Block, InvalidateTracksValidCount)
+{
+    Block b(6, 3);
+    b.programNext(0);
+    b.programNext(0);
+    b.invalidate(0);
+    EXPECT_EQ(b.validCount(), 1u);
+    EXPECT_EQ(b.pageState(0), PageState::Invalid);
+    EXPECT_TRUE(b.isValid(1));
+}
+
+TEST(Block, FullLifecycle)
+{
+    Block b(6, 3);
+    for (int i = 0; i < 6; ++i)
+        b.programNext(50);
+    EXPECT_TRUE(b.isFull());
+    b.invalidate(0); // LSB of WL0
+    b.applyIda(0, 0b110);
+    EXPECT_TRUE(b.isIdaBlock());
+    EXPECT_TRUE(b.isIdaWordline(0));
+    EXPECT_FALSE(b.isIdaWordline(1));
+    b.erase();
+    EXPECT_TRUE(b.isErased());
+    EXPECT_EQ(b.eraseCount(), 1u);
+    EXPECT_FALSE(b.isIdaBlock());
+    EXPECT_FALSE(b.isIdaWordline(0));
+    EXPECT_EQ(b.wordlineMask(0), fullMask(3));
+}
+
+TEST(Block, ReadSensingsFollowWordlineMode)
+{
+    const CodingScheme c = CodingScheme::tlc124();
+    Block b(6, 3);
+    for (int i = 0; i < 6; ++i)
+        b.programNext(0);
+    // Conventional: LSB 1, CSB 2, MSB 4.
+    EXPECT_EQ(b.readSensings(0, c), 1);
+    EXPECT_EQ(b.readSensings(1, c), 2);
+    EXPECT_EQ(b.readSensings(2, c), 4);
+    // LSB-invalid IDA on WL0: CSB 1, MSB 2.
+    b.invalidate(0);
+    b.applyIda(0, 0b110);
+    EXPECT_EQ(b.readSensings(1, c), 1);
+    EXPECT_EQ(b.readSensings(2, c), 2);
+    // WL1 untouched.
+    EXPECT_EQ(b.readSensings(5, c), 4);
+}
+
+TEST(Block, IdaMaskCanShrinkMonotonically)
+{
+    Block b(3, 3);
+    for (int i = 0; i < 3; ++i)
+        b.programNext(0);
+    b.invalidate(0);
+    b.applyIda(0, 0b110);
+    // CSB becomes invalid later; tightening to MSB-only is legal.
+    b.invalidate(1);
+    b.applyIda(0, 0b100);
+    EXPECT_EQ(b.wordlineMask(0), 0b100);
+}
+
+TEST(BlockDeath, ApplyIdaRefusesToDestroyValidData)
+{
+    Block b(3, 3);
+    for (int i = 0; i < 3; ++i)
+        b.programNext(0);
+    // LSB still valid; masking it away would destroy data.
+    EXPECT_DEATH(b.applyIda(0, 0b110), "valid page");
+}
+
+TEST(BlockDeath, ApplyIdaRefusesMaskWidening)
+{
+    Block b(3, 3);
+    for (int i = 0; i < 3; ++i)
+        b.programNext(0);
+    b.invalidate(0);
+    b.invalidate(1);
+    b.applyIda(0, 0b100);
+    // Widening back to CSB+MSB would move states downward: illegal.
+    EXPECT_DEATH(b.applyIda(0, 0b110), "monotonically");
+}
+
+TEST(BlockDeath, ProgramBeyondFullPanics)
+{
+    Block b(3, 3);
+    for (int i = 0; i < 3; ++i)
+        b.programNext(0);
+    EXPECT_DEATH(b.programNext(0), "full");
+}
+
+TEST(BlockDeath, DoubleInvalidatePanics)
+{
+    Block b(3, 3);
+    b.programNext(0);
+    b.invalidate(0);
+    EXPECT_DEATH(b.invalidate(0), "not valid");
+}
+
+// ---- Table I classification (TLC). ---------------------------------------
+
+class TableICase : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TableICase, MatchesPaperNumbering)
+{
+    // Case k (1..8): LSB invalid iff k is even; CSB invalid iff
+    // ((k-1)/2) % 2 == 1; MSB invalid iff k >= 5 (paper Table I).
+    const int k = GetParam();
+    Block b(3, 3);
+    for (int i = 0; i < 3; ++i)
+        b.programNext(0);
+    const bool lsbInvalid = (k % 2) == 0;
+    const bool csbInvalid = ((k - 1) / 2) % 2 == 1;
+    const bool msbInvalid = k >= 5;
+    if (lsbInvalid)
+        b.invalidate(0);
+    if (csbInvalid)
+        b.invalidate(1);
+    if (msbInvalid)
+        b.invalidate(2);
+    EXPECT_EQ(b.tableICase(0), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, TableICase, ::testing::Range(1, 9));
+
+TEST(Block, TableICaseZeroWhileNotFullyProgrammed)
+{
+    Block b(3, 3);
+    EXPECT_EQ(b.tableICase(0), 0);
+    b.programNext(0);
+    EXPECT_EQ(b.tableICase(0), 0);
+}
+
+} // namespace
+} // namespace ida::flash

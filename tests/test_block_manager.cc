@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for FTL block pools, GC victim selection, and refresh
+ * candidate enumeration.
+ */
+#include <gtest/gtest.h>
+
+#include "ftl/block_manager.hh"
+
+namespace ida::ftl {
+namespace {
+
+struct Fixture
+{
+    sim::EventQueue events;
+    flash::Geometry geom = [] {
+        flash::Geometry g;
+        g.channels = 1;
+        g.chipsPerChannel = 1;
+        g.diesPerChip = 1;
+        g.planesPerDie = 2;
+        g.blocksPerPlane = 4;
+        g.pagesPerBlock = 6;
+        g.bitsPerCell = 3;
+        return g;
+    }();
+    flash::ChipArray chips{geom, flash::FlashTiming{},
+                           flash::CodingScheme::tlc124(), events};
+    BlockManager mgr{geom, chips};
+
+    void
+    fill(flash::BlockId b)
+    {
+        for (std::uint32_t p = 0; p < geom.pagesPerBlock; ++p)
+            chips.programImmediate(geom.firstPpnOf(b) + p);
+    }
+};
+
+TEST(BlockManager, AllBlocksStartFree)
+{
+    Fixture f;
+    EXPECT_EQ(f.mgr.freeCount(0), 4u);
+    EXPECT_EQ(f.mgr.freeCount(1), 4u);
+    EXPECT_EQ(f.mgr.minFreeCount(), 4u);
+    EXPECT_EQ(f.mgr.inUseBlocks(), 0u);
+}
+
+TEST(BlockManager, TakeCloseReleaseLifecycle)
+{
+    Fixture f;
+    const flash::BlockId b = f.mgr.takeFree(0);
+    EXPECT_EQ(f.mgr.freeCount(0), 3u);
+    EXPECT_FALSE(f.mgr.meta(b).inFreePool);
+
+    f.mgr.meta(b).hostActive = true;
+    f.fill(b);
+    f.mgr.closeActive(b);
+    EXPECT_EQ(f.mgr.inUseBlocks(), 1u);
+
+    f.chips.block(b).erase();
+    f.mgr.release(b);
+    EXPECT_EQ(f.mgr.freeCount(0), 4u);
+    EXPECT_EQ(f.mgr.inUseBlocks(), 0u);
+    EXPECT_TRUE(f.mgr.meta(b).inFreePool);
+}
+
+TEST(BlockManager, TakeFreeComesFromRequestedPlane)
+{
+    Fixture f;
+    const flash::BlockId b0 = f.mgr.takeFree(0);
+    const flash::BlockId b1 = f.mgr.takeFree(1);
+    EXPECT_EQ(f.geom.planeOfBlock(b0), 0u);
+    EXPECT_EQ(f.geom.planeOfBlock(b1), 1u);
+}
+
+TEST(BlockManager, GcVictimIsFewestValidThenLeastWorn)
+{
+    Fixture f;
+    // Close three full blocks on plane 0 with different valid counts.
+    flash::BlockId ids[3];
+    for (int i = 0; i < 3; ++i) {
+        ids[i] = f.mgr.takeFree(0);
+        f.mgr.meta(ids[i]).hostActive = true;
+        f.fill(ids[i]);
+        f.mgr.closeActive(ids[i]);
+    }
+    f.chips.block(ids[0]).invalidate(0);
+    f.chips.block(ids[1]).invalidate(0);
+    f.chips.block(ids[1]).invalidate(1);
+    // ids[1] has the fewest valid pages.
+    flash::BlockId victim;
+    ASSERT_TRUE(f.mgr.pickGcVictim(0, victim));
+    EXPECT_EQ(victim, ids[1]);
+}
+
+TEST(BlockManager, GcVictimSkipsActiveBusyAndPartialBlocks)
+{
+    Fixture f;
+    const flash::BlockId open = f.mgr.takeFree(0);
+    f.mgr.meta(open).hostActive = true;
+    f.fill(open); // full but still marked active
+
+    const flash::BlockId busy = f.mgr.takeFree(0);
+    f.mgr.meta(busy).hostActive = true;
+    f.fill(busy);
+    f.mgr.closeActive(busy);
+    f.mgr.meta(busy).busyWithJob = true;
+
+    const flash::BlockId partial = f.mgr.takeFree(0);
+    f.mgr.meta(partial).hostActive = true;
+    f.chips.programImmediate(f.geom.firstPpnOf(partial));
+    f.mgr.closeActive(partial); // closed but not full (edge case)
+
+    flash::BlockId victim;
+    EXPECT_FALSE(f.mgr.pickGcVictim(0, victim));
+}
+
+TEST(BlockManager, RefreshCandidatesRespectAgeAndValidity)
+{
+    Fixture f;
+    const flash::BlockId young = f.mgr.takeFree(0);
+    f.mgr.meta(young).hostActive = true;
+    f.fill(young);
+    f.mgr.closeActive(young);
+    f.mgr.meta(young).refreshedAt = 900;
+
+    const flash::BlockId old1 = f.mgr.takeFree(0);
+    f.mgr.meta(old1).hostActive = true;
+    f.fill(old1);
+    f.mgr.closeActive(old1);
+    f.mgr.meta(old1).refreshedAt = 0;
+
+    const flash::BlockId empty = f.mgr.takeFree(1);
+    f.mgr.meta(empty).hostActive = true;
+    f.fill(empty);
+    f.mgr.closeActive(empty);
+    f.mgr.meta(empty).refreshedAt = 0;
+    for (std::uint32_t p = 0; p < f.geom.pagesPerBlock; ++p)
+        f.chips.block(empty).invalidate(p); // nothing valid to protect
+
+    const auto cands = f.mgr.refreshCandidates(1000, 500);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], old1);
+}
+
+TEST(BlockManagerDeath, ReleaseUnerasedBlockPanics)
+{
+    Fixture f;
+    const flash::BlockId b = f.mgr.takeFree(0);
+    f.mgr.meta(b).hostActive = true;
+    f.fill(b);
+    f.mgr.closeActive(b);
+    EXPECT_DEATH(f.mgr.release(b), "not erased");
+}
+
+TEST(BlockManagerDeath, ExhaustedPlaneIsFatal)
+{
+    Fixture f;
+    for (int i = 0; i < 4; ++i)
+        f.mgr.takeFree(0);
+    EXPECT_EXIT(f.mgr.takeFree(0), ::testing::ExitedWithCode(1),
+                "out of free blocks");
+}
+
+} // namespace
+} // namespace ida::ftl

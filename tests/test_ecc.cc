@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the ECC disturbance and read-retry models (paper
+ * Sec. V-B and V-F).
+ */
+#include <gtest/gtest.h>
+
+#include "ecc/ecc_model.hh"
+
+namespace ida::ecc {
+namespace {
+
+TEST(RetryModel, EarlyLifeNeverRetries)
+{
+    sim::Rng rng(1);
+    const RetryModel m = RetryModel::earlyLife();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(m.sampleRounds(rng), 0);
+    EXPECT_DOUBLE_EQ(m.meanRounds(), 0.0);
+}
+
+TEST(RetryModel, LateLifeMeanMatchesLadder)
+{
+    const RetryModel m = RetryModel::lateLife();
+    // 0*0.5 + 1*0.25 + 2*0.13 + 3*0.08 + 4*0.04 = 0.91.
+    EXPECT_NEAR(m.meanRounds(), 0.91, 1e-9);
+    EXPECT_EQ(m.maxRounds(), 4);
+}
+
+TEST(RetryModel, SampledMeanConverges)
+{
+    sim::Rng rng(2);
+    const RetryModel m = RetryModel::lateLife();
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += m.sampleRounds(rng);
+    EXPECT_NEAR(sum / n, m.meanRounds(), 0.02);
+}
+
+TEST(RetryModel, LifetimePhaseInterpolates)
+{
+    EXPECT_DOUBLE_EQ(RetryModel::lifetimePhase(0.0).meanRounds(), 0.0);
+    EXPECT_NEAR(RetryModel::lifetimePhase(1.0).meanRounds(), 0.91, 1e-9);
+    EXPECT_NEAR(RetryModel::lifetimePhase(0.5).meanRounds(), 0.455, 1e-9);
+}
+
+TEST(RetryModel, SeverityClamped)
+{
+    EXPECT_DOUBLE_EQ(RetryModel::lifetimePhase(-3.0).meanRounds(), 0.0);
+    EXPECT_NEAR(RetryModel::lifetimePhase(7.0).meanRounds(), 0.91, 1e-9);
+}
+
+TEST(RetryModelDeath, RejectsNonNormalizedLadder)
+{
+    EXPECT_EXIT(RetryModel({0.5, 0.3}), ::testing::ExitedWithCode(1),
+                "sum to 1");
+}
+
+TEST(EccModel, DisturbanceRateZeroAndOne)
+{
+    sim::Rng rng(3);
+    const EccModel never(0.0, RetryModel::earlyLife());
+    const EccModel always(1.0, RetryModel::earlyLife());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(never.adjustDisturbs(rng));
+        EXPECT_TRUE(always.adjustDisturbs(rng));
+    }
+}
+
+TEST(EccModel, DisturbanceRateStatistical)
+{
+    sim::Rng rng(4);
+    const EccModel e20(0.20, RetryModel::earlyLife());
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += e20.adjustDisturbs(rng);
+    EXPECT_NEAR(hits / double(n), 0.20, 0.01);
+}
+
+TEST(EccModel, DefaultIsErrorFreeEarlyLife)
+{
+    const EccModel e;
+    EXPECT_DOUBLE_EQ(e.adjustErrorRate(), 0.0);
+    EXPECT_DOUBLE_EQ(e.retryModel().meanRounds(), 0.0);
+}
+
+} // namespace
+} // namespace ida::ecc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for geometry arithmetic and PPN encode/decode round trips.
+ */
+#include <gtest/gtest.h>
+
+#include "flash/geometry.hh"
+
+namespace ida::flash {
+namespace {
+
+Geometry
+paperShape()
+{
+    Geometry g;
+    g.channels = 4;
+    g.chipsPerChannel = 4;
+    g.diesPerChip = 2;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 128;
+    g.pagesPerBlock = 192;
+    g.pageSizeBytes = 8192;
+    g.bitsPerCell = 3;
+    return g;
+}
+
+TEST(Geometry, Totals)
+{
+    const Geometry g = paperShape();
+    EXPECT_EQ(g.chips(), 16u);
+    EXPECT_EQ(g.dies(), 32u);
+    EXPECT_EQ(g.planes(), 64u);
+    EXPECT_EQ(g.blocks(), 64u * 128u);
+    EXPECT_EQ(g.pages(), 64ull * 128 * 192);
+    EXPECT_EQ(g.wordlinesPerBlock(), 64u);
+}
+
+TEST(Geometry, PaperScaleCapacityIs512GBWith5472Blocks)
+{
+    Geometry g = paperShape();
+    g.blocksPerPlane = 5472; // the unscaled Table II value
+    EXPECT_EQ(g.capacityBytes(), 64ull * 5472 * 192 * 8192);
+    EXPECT_NEAR(static_cast<double>(g.capacityBytes()) / (1ull << 30),
+                512.0, 14.0); // ~513 GiB raw
+}
+
+TEST(Geometry, EncodeDecodeRoundTrip)
+{
+    const Geometry g = paperShape();
+    for (Ppn p : {Ppn{0}, Ppn{1}, Ppn{191}, Ppn{192}, Ppn{999'999},
+                  g.pages() - 1}) {
+        EXPECT_EQ(g.encode(g.decode(p)), p);
+    }
+}
+
+TEST(Geometry, DecodeFieldsInRange)
+{
+    const Geometry g = paperShape();
+    const PageAddr a = g.decode(g.pages() - 1);
+    EXPECT_EQ(a.channel, g.channels - 1);
+    EXPECT_EQ(a.chip, g.chipsPerChannel - 1);
+    EXPECT_EQ(a.die, g.diesPerChip - 1);
+    EXPECT_EQ(a.plane, g.planesPerDie - 1);
+    EXPECT_EQ(a.block, g.blocksPerPlane - 1);
+    EXPECT_EQ(a.page, g.pagesPerBlock - 1);
+}
+
+TEST(Geometry, WordlineLevelMapping)
+{
+    const Geometry g = paperShape();
+    EXPECT_EQ(g.levelOfPage(0), 0u); // LSB
+    EXPECT_EQ(g.levelOfPage(1), 1u); // CSB
+    EXPECT_EQ(g.levelOfPage(2), 2u); // MSB
+    EXPECT_EQ(g.levelOfPage(3), 0u);
+    EXPECT_EQ(g.wordlineOfPage(5), 1u);
+    EXPECT_EQ(g.pageOfWordline(1, 2), 5u);
+    for (std::uint32_t p = 0; p < g.pagesPerBlock; ++p)
+        EXPECT_EQ(g.pageOfWordline(g.wordlineOfPage(p), g.levelOfPage(p)),
+                  p);
+}
+
+TEST(Geometry, BlockAndDieHelpers)
+{
+    const Geometry g = paperShape();
+    const Ppn p = 5 * g.pagesPerBlock + 17;
+    EXPECT_EQ(g.blockOf(p), 5u);
+    EXPECT_EQ(g.firstPpnOf(5), Ppn{5} * g.pagesPerBlock);
+
+    // Block ids are plane-major: block b sits on plane b/blocksPerPlane.
+    const BlockId b = 3 * g.blocksPerPlane + 7; // plane 3
+    EXPECT_EQ(g.planeOfBlock(b), 3u);
+    EXPECT_EQ(g.dieOfBlock(b), 1u); // 2 planes per die
+
+    const PageAddr a = g.decode(g.firstPpnOf(b));
+    EXPECT_EQ(g.dieOf(a), g.dieOfBlock(b));
+}
+
+TEST(Geometry, ChannelOfDie)
+{
+    const Geometry g = paperShape();
+    // 8 dies per channel (4 chips x 2 dies).
+    EXPECT_EQ(g.channelOfDie(0), 0u);
+    EXPECT_EQ(g.channelOfDie(7), 0u);
+    EXPECT_EQ(g.channelOfDie(8), 1u);
+    EXPECT_EQ(g.channelOfDie(g.dies() - 1), g.channels - 1);
+}
+
+TEST(GeometryDeath, ValidateRejectsBadBitDensity)
+{
+    Geometry g = paperShape();
+    g.pagesPerBlock = 193; // not divisible by 3
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1), "divide");
+}
+
+} // namespace
+} // namespace ida::flash

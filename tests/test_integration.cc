@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cross-module integration tests: full-device invariants under mixed
+ * load, and end-to-end IDA behaviour checks that span FTL, chips and
+ * coding.
+ */
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace ida {
+namespace {
+
+/** Drive a tiny SSD with a synthetic stream and return it drained. */
+std::unique_ptr<ssd::Ssd>
+driveDevice(ssd::SsdConfig cfg, std::uint64_t requests,
+            double read_ratio, std::uint64_t seed)
+{
+    cfg.ftl.refreshPeriod = 30 * sim::kSec;
+    cfg.ftl.refreshCheckInterval = sim::kSec;
+    auto dev = std::make_unique<ssd::Ssd>(cfg);
+
+    workload::SyntheticConfig wc;
+    wc.footprintPages = dev->logicalPages() / 2;
+    wc.totalRequests = requests;
+    wc.duration = 120 * sim::kSec;
+    wc.readRatio = read_ratio;
+    wc.readSizePagesMean = 2.0;
+    wc.writeSizePagesMean = 1.5;
+    wc.seed = seed;
+    workload::SyntheticTrace trace(wc);
+
+    dev->preloadSequential(wc.footprintPages);
+    workload::IoRequest r;
+    while (trace.next(r)) {
+        ssd::HostRequest hr;
+        hr.arrival = r.arrival;
+        hr.isRead = r.isRead;
+        hr.startPage = r.startPage % wc.footprintPages;
+        hr.pageCount = r.pageCount;
+        if (hr.startPage + hr.pageCount > wc.footprintPages)
+            hr.startPage = wc.footprintPages - hr.pageCount;
+        dev->submit(hr);
+    }
+    dev->start();
+    dev->events().runUntil(wc.duration);
+    const sim::Time limit = dev->events().now() + 10 * sim::kMin;
+    while (!dev->drained() && dev->events().now() < limit)
+        dev->events().runUntil(dev->events().now() + sim::kSec);
+    EXPECT_TRUE(dev->drained());
+    return dev;
+}
+
+/** Whole-device consistency: mapping <-> block state agree everywhere. */
+void
+checkGlobalInvariants(ssd::Ssd &dev)
+{
+    const auto &geom = dev.config().geometry;
+    const auto &map = dev.ftl().mapping();
+
+    std::uint64_t validPages = 0;
+    for (std::uint64_t b = 0; b < geom.blocks(); ++b) {
+        const auto &blk = dev.chips().block(b);
+        const auto &meta = dev.ftl().blocks().meta(b);
+        if (meta.inFreePool) {
+            EXPECT_TRUE(blk.isErased()) << "free block " << b;
+        }
+        for (std::uint32_t p = 0; p < geom.pagesPerBlock; ++p) {
+            const flash::Ppn ppn = geom.firstPpnOf(b) + p;
+            const flash::Lpn lpn = map.reverse(ppn);
+            switch (blk.pageState(p)) {
+              case flash::PageState::Valid:
+                ++validPages;
+                ASSERT_NE(lpn, flash::kInvalidLpn)
+                    << "valid page without reverse mapping, ppn " << ppn;
+                EXPECT_EQ(map.lookup(lpn), ppn);
+                break;
+              case flash::PageState::Invalid:
+              case flash::PageState::Free:
+                EXPECT_EQ(lpn, flash::kInvalidLpn)
+                    << "stale reverse mapping, ppn " << ppn;
+                break;
+            }
+        }
+        // Wordline IDA masks never cover an invalid level's valid page
+        // (i.e. pages outside the mask must not be Valid).
+        for (std::uint32_t wl = 0; wl < geom.wordlinesPerBlock(); ++wl) {
+            const flash::LevelMask mask = blk.wordlineMask(wl);
+            if (mask == flash::fullMask(static_cast<int>(geom.bitsPerCell)))
+                continue;
+            for (std::uint32_t lvl = 0; lvl < geom.bitsPerCell; ++lvl) {
+                if ((mask >> lvl) & 1)
+                    continue;
+                EXPECT_NE(blk.pageState(geom.pageOfWordline(wl, lvl)),
+                          flash::PageState::Valid)
+                    << "IDA mask hides a valid page";
+            }
+        }
+    }
+    EXPECT_EQ(validPages, map.mappedCount());
+}
+
+TEST(Integration, BaselineDeviceStaysConsistent)
+{
+    auto dev = driveDevice(ssd::SsdConfig::tiny(), 6000, 0.7, 21);
+    checkGlobalInvariants(*dev);
+    EXPECT_GT(dev->stats().readRequests, 0u);
+}
+
+TEST(Integration, IdaDeviceStaysConsistent)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.ftl.enableIda = true;
+    cfg.adjustErrorRate = 0.2;
+    auto dev = driveDevice(cfg, 6000, 0.7, 22);
+    checkGlobalInvariants(*dev);
+    EXPECT_GT(dev->ftl().stats().refresh.idaRefreshes, 0u);
+}
+
+TEST(Integration, IdaDeviceWithFullDisturbanceStaysConsistent)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.ftl.enableIda = true;
+    cfg.adjustErrorRate = 1.0;
+    auto dev = driveDevice(cfg, 5000, 0.6, 23);
+    checkGlobalInvariants(*dev);
+}
+
+TEST(Integration, MoveToLsbAlternativeStaysConsistent)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.ftl.moveToLsbAlternative = true;
+    auto dev = driveDevice(cfg, 4000, 0.8, 24);
+    checkGlobalInvariants(*dev);
+    const auto &st = dev->ftl().stats().refresh;
+    // Fast slots are scarce: some fast-wanting pages were displaced.
+    EXPECT_GT(st.fastSlotHits, 0u);
+    EXPECT_GT(st.displacedFastPages, 0u);
+}
+
+TEST(Integration, MlcDeviceEndToEnd)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.coding = ssd::CodingChoice::Mlc12;
+    cfg.geometry.bitsPerCell = 2;
+    cfg.geometry.pagesPerBlock = 16;
+    cfg.timing = flash::FlashTiming::mlcDefaults();
+    cfg.ftl.enableIda = true;
+    cfg.adjustErrorRate = 0.2;
+    auto dev = driveDevice(cfg, 5000, 0.8, 25);
+    checkGlobalInvariants(*dev);
+    EXPECT_GT(dev->ftl().stats().refresh.idaRefreshes, 0u);
+}
+
+TEST(Integration, QlcDeviceEndToEnd)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.coding = ssd::CodingChoice::Qlc1248;
+    cfg.geometry.bitsPerCell = 4;
+    cfg.geometry.pagesPerBlock = 16;
+    cfg.ftl.enableIda = true;
+    cfg.adjustErrorRate = 0.2;
+    auto dev = driveDevice(cfg, 5000, 0.8, 26);
+    checkGlobalInvariants(*dev);
+}
+
+TEST(Integration, HeavyWriteChurnWithIdaAndGc)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.ftl.enableIda = true;
+    cfg.adjustErrorRate = 0.2;
+    cfg.ftl.gcFreeThreshold = 3;
+    auto dev = driveDevice(cfg, 9000, 0.3, 27); // write heavy
+    checkGlobalInvariants(*dev);
+    EXPECT_GT(dev->ftl().stats().gc.invocations, 0u);
+}
+
+} // namespace
+} // namespace ida

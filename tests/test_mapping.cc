@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the L2P/P2L mapping table.
+ */
+#include <gtest/gtest.h>
+
+#include "ftl/mapping.hh"
+
+namespace ida::ftl {
+namespace {
+
+TEST(Mapping, StartsUnmapped)
+{
+    MappingTable m(100, 200);
+    EXPECT_EQ(m.logicalPages(), 100u);
+    EXPECT_EQ(m.physicalPages(), 200u);
+    EXPECT_EQ(m.mappedCount(), 0u);
+    EXPECT_EQ(m.lookup(0), kInvalidPpn);
+    EXPECT_EQ(m.reverse(0), kInvalidLpn);
+    EXPECT_FALSE(m.isMapped(42));
+}
+
+TEST(Mapping, RemapFirstWrite)
+{
+    MappingTable m(10, 20);
+    EXPECT_EQ(m.remap(3, 7), kInvalidPpn);
+    EXPECT_EQ(m.lookup(3), 7u);
+    EXPECT_EQ(m.reverse(7), 3u);
+    EXPECT_EQ(m.mappedCount(), 1u);
+    EXPECT_TRUE(m.isMapped(3));
+}
+
+TEST(Mapping, RemapUpdateReturnsOldAndClearsReverse)
+{
+    MappingTable m(10, 20);
+    m.remap(3, 7);
+    EXPECT_EQ(m.remap(3, 12), 7u);
+    EXPECT_EQ(m.lookup(3), 12u);
+    EXPECT_EQ(m.reverse(7), kInvalidLpn);
+    EXPECT_EQ(m.reverse(12), 3u);
+    EXPECT_EQ(m.mappedCount(), 1u);
+}
+
+TEST(Mapping, UnmapClearsBothDirections)
+{
+    MappingTable m(10, 20);
+    m.remap(5, 9);
+    EXPECT_EQ(m.unmap(5), 9u);
+    EXPECT_EQ(m.lookup(5), kInvalidPpn);
+    EXPECT_EQ(m.reverse(9), kInvalidLpn);
+    EXPECT_EQ(m.mappedCount(), 0u);
+    EXPECT_EQ(m.unmap(5), kInvalidPpn); // idempotent
+}
+
+TEST(Mapping, InverseStaysConsistentUnderChurn)
+{
+    MappingTable m(64, 256);
+    // Write every LPN twice at shifting physical locations.
+    for (Lpn l = 0; l < 64; ++l)
+        m.remap(l, l);
+    for (Lpn l = 0; l < 64; ++l)
+        m.remap(l, 128 + l);
+    for (Lpn l = 0; l < 64; ++l) {
+        EXPECT_EQ(m.lookup(l), 128 + l);
+        EXPECT_EQ(m.reverse(128 + l), l);
+        EXPECT_EQ(m.reverse(l), kInvalidLpn);
+    }
+    EXPECT_EQ(m.mappedCount(), 64u);
+}
+
+TEST(MappingDeath, RemapOntoOccupiedPhysicalPagePanics)
+{
+    MappingTable m(10, 20);
+    m.remap(1, 4);
+    EXPECT_DEATH(m.remap(2, 4), "already used");
+}
+
+TEST(MappingDeath, PhysicalSmallerThanLogicalIsFatal)
+{
+    EXPECT_EXIT(MappingTable(10, 5), ::testing::ExitedWithCode(1),
+                "cover");
+}
+
+} // namespace
+} // namespace ida::ftl

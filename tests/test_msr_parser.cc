@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the MSR Cambridge trace parser.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/msr_parser.hh"
+
+namespace ida::workload {
+namespace {
+
+TEST(MsrParseLine, ValidReadRecord)
+{
+    IoRequest r;
+    std::uint64_t ts = 0;
+    ASSERT_TRUE(MsrTrace::parseLine(
+        "128166372003061629,hm,1,Read,8192,24576,559", 8192, 1'000'000,
+        r, ts));
+    EXPECT_TRUE(r.isRead);
+    EXPECT_EQ(r.startPage, 1u);
+    EXPECT_EQ(r.pageCount, 3u);
+    EXPECT_EQ(ts, 128166372003061629ull);
+}
+
+TEST(MsrParseLine, ValidWriteRecord)
+{
+    IoRequest r;
+    std::uint64_t ts = 0;
+    ASSERT_TRUE(MsrTrace::parseLine(
+        "128166372003061629,hm,1,Write,0,4096,100", 8192, 1000, r, ts));
+    EXPECT_FALSE(r.isRead);
+    EXPECT_EQ(r.startPage, 0u);
+    EXPECT_EQ(r.pageCount, 1u);
+}
+
+TEST(MsrParseLine, UnalignedRangeCoversTouchedPages)
+{
+    IoRequest r;
+    std::uint64_t ts = 0;
+    // Bytes 5000..13191 touch pages 0 and 1.
+    ASSERT_TRUE(MsrTrace::parseLine("1,h,0,Read,5000,8192,1", 8192, 1000,
+                                    r, ts));
+    EXPECT_EQ(r.startPage, 0u);
+    EXPECT_EQ(r.pageCount, 2u);
+}
+
+TEST(MsrParseLine, RejectsMalformedRecords)
+{
+    IoRequest r;
+    std::uint64_t ts = 0;
+    EXPECT_FALSE(MsrTrace::parseLine("", 8192, 1000, r, ts));
+    EXPECT_FALSE(MsrTrace::parseLine("Timestamp,Host,Disk,Type,Off,Size",
+                                     8192, 1000, r, ts));
+    EXPECT_FALSE(MsrTrace::parseLine("1,h,0,Flush,0,4096,1", 8192, 1000,
+                                     r, ts));
+    EXPECT_FALSE(MsrTrace::parseLine("1,h,0,Read,0,0,1", 8192, 1000, r,
+                                     ts));
+    EXPECT_FALSE(MsrTrace::parseLine("x,h,0,Read,0,4096,1", 8192, 1000,
+                                     r, ts));
+}
+
+TEST(MsrParseLine, OffsetWrapsIntoLogicalSpace)
+{
+    IoRequest r;
+    std::uint64_t ts = 0;
+    ASSERT_TRUE(MsrTrace::parseLine("1,h,0,Read,81920000,8192,1", 8192,
+                                    100, r, ts));
+    EXPECT_LT(r.startPage, 100u);
+    EXPECT_LE(r.startPage + r.pageCount, 100u);
+}
+
+TEST(MsrTrace, StreamsFileWithRebasedTimestamps)
+{
+    const std::string path = ::testing::TempDir() + "/msr_test.csv";
+    {
+        std::ofstream out(path);
+        out << "128166372003061629,hm,1,Read,8192,8192,559\n";
+        out << "garbage line that should be skipped\n";
+        out << "128166372003062629,hm,1,Write,16384,8192,100\n";
+    }
+    MsrTrace t(path, 8192, 1000);
+    IoRequest r;
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.arrival, 0);
+    EXPECT_TRUE(r.isRead);
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.arrival, 100'000); // 1000 ticks of 100ns = 100us
+    EXPECT_FALSE(r.isRead);
+    EXPECT_FALSE(t.next(r));
+    EXPECT_EQ(t.malformedLines(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(MsrTraceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(MsrTrace("/nonexistent/trace.csv", 8192, 1000),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace ida::workload

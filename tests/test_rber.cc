@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the physical RBER/retry model.
+ */
+#include <gtest/gtest.h>
+
+#include "ecc/ecc_model.hh"
+#include "ecc/rber_model.hh"
+
+namespace ida::ecc {
+namespace {
+
+TEST(Rber, FreshDeviceIsBelowDecodeLimit)
+{
+    const RberModel m;
+    EXPECT_LT(m.rber(0, 0), m.config().hardDecisionLimit);
+    EXPECT_EQ(m.roundsNeeded(m.rber(0, 0)), 0);
+}
+
+TEST(Rber, MonotoneInWearAndRetention)
+{
+    const RberModel m;
+    double prev = 0.0;
+    for (std::uint32_t pe : {0u, 1000u, 5000u, 20000u}) {
+        const double r = m.rber(pe, 0);
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+    prev = 0.0;
+    for (sim::Time t : {sim::Time{0}, 10 * sim::kDay, 100 * sim::kDay}) {
+        const double r = m.rber(1000, t);
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Rber, RoundsLadderIsLogarithmic)
+{
+    const RberModel m;
+    const double lim = m.config().hardDecisionLimit;
+    const double g = m.config().perRoundGain;
+    EXPECT_EQ(m.roundsNeeded(lim * 0.99), 0);
+    EXPECT_EQ(m.roundsNeeded(lim * g * 0.99), 1);
+    EXPECT_EQ(m.roundsNeeded(lim * g * g * 0.99), 2);
+    EXPECT_EQ(m.roundsNeeded(lim * 1e9), m.config().maxExtraRounds);
+}
+
+TEST(Rber, SampleRoundsBracketsDeterministicNeed)
+{
+    const RberModel m;
+    sim::Rng rng(3);
+    // A worn, aged page: rounds must be within +/-1 of the deterministic
+    // requirement and never exceed the cap.
+    const double r = m.rber(20'000, 60 * sim::kDay);
+    const int need = m.roundsNeeded(r);
+    ASSERT_GT(need, 0);
+    for (int i = 0; i < 200; ++i) {
+        const int k = m.sampleRounds(20'000, 60 * sim::kDay, rng);
+        EXPECT_GE(k, need - 1);
+        EXPECT_LE(k, std::min(need, m.config().maxExtraRounds));
+    }
+}
+
+TEST(Rber, FreshPagesNeverRetry)
+{
+    const RberModel m;
+    sim::Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(m.sampleRounds(10, sim::kHour, rng), 0);
+}
+
+TEST(Rber, RetryOnsetRetentionIsConsistent)
+{
+    const RberModel m;
+    for (std::uint32_t pe : {0u, 5000u, 10000u}) {
+        const sim::Time onset = m.retryOnsetRetention(pe);
+        if (onset > 0) {
+            EXPECT_LE(m.rber(pe, onset - sim::kSec),
+                      m.config().hardDecisionLimit * 1.0001);
+        }
+        EXPECT_GE(m.rber(pe, onset + sim::kDay),
+                  m.config().hardDecisionLimit * 0.9999);
+    }
+}
+
+TEST(Rber, RefreshWindowCapsRetriesForSaneWear)
+{
+    // The design story: with the paper's refresh periods (3 days..3
+    // months), a mid-life device refreshed on time never enters the
+    // retry regime, while skipping refresh for a year would.
+    const RberModel m;
+    EXPECT_EQ(m.roundsNeeded(m.rber(3000, 90 * sim::kDay)), 0);
+    EXPECT_GT(m.roundsNeeded(m.rber(3000, 365 * 4 * sim::kDay)), 0);
+}
+
+TEST(EccModelRber, UsesBlockWearAndDeviceAge)
+{
+    sim::Rng rng(5);
+    const EccModel young(0.0, RberModel(), 0);
+    const EccModel old(0.0, RberModel(), 20'000);
+    EXPECT_FALSE(young.usesRber() && false);
+    EXPECT_TRUE(old.usesRber());
+    int youngRounds = 0, oldRounds = 0;
+    for (int i = 0; i < 500; ++i) {
+        youngRounds += young.retryRounds(10, sim::kHour, rng);
+        oldRounds += old.retryRounds(10, sim::kHour, rng);
+    }
+    EXPECT_EQ(youngRounds, 0);
+    EXPECT_GT(oldRounds, 0);
+}
+
+TEST(EccModelRber, LadderModeIgnoresPageContext)
+{
+    sim::Rng rng(6);
+    const EccModel ladder(0.0, RetryModel::earlyLife());
+    EXPECT_FALSE(ladder.usesRber());
+    EXPECT_EQ(ladder.retryRounds(50'000, 365 * sim::kDay, rng), 0);
+}
+
+TEST(RberDeath, BadConfigIsFatal)
+{
+    RberConfig bad;
+    bad.perRoundGain = 1.0;
+    EXPECT_EXIT(RberModel{bad}, ::testing::ExitedWithCode(1),
+                "per-round gain");
+}
+
+} // namespace
+} // namespace ida::ecc

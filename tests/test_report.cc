@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the structured report writer and the RunResult bridge.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/report.hh"
+#include "workload/result_report.hh"
+
+namespace ida {
+namespace {
+
+TEST(Report, SectionsAndValues)
+{
+    stats::Report r("t");
+    r.section("a");
+    r.add("x", std::uint64_t{7});
+    r.add("y", 3.14159, 2);
+    r.section("b");
+    r.add("z", "hello");
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.value("x"), "7");
+    EXPECT_EQ(r.value("y"), "3.14");
+    EXPECT_EQ(r.value("z"), "hello");
+    EXPECT_EQ(r.value("missing"), "");
+}
+
+TEST(Report, TextLayout)
+{
+    stats::Report r("my title");
+    r.section("sec");
+    r.add("k", "v");
+    std::ostringstream os;
+    r.printText(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("my title"), std::string::npos);
+    EXPECT_NE(s.find("[sec]"), std::string::npos);
+    EXPECT_NE(s.find("k: v"), std::string::npos);
+}
+
+TEST(Report, CsvLayout)
+{
+    stats::Report r("t");
+    r.section("s");
+    r.add("k", std::uint64_t{1});
+    std::ostringstream os;
+    r.printCsv(os);
+    EXPECT_EQ(os.str(), "section,key,value\ns,k,1\n");
+}
+
+TEST(ResultReport, CoversEverySection)
+{
+    workload::RunResult res;
+    res.workload = "w";
+    res.system = "Baseline";
+    res.readRespUs = 123.4;
+    res.ftl.readClass.byLevel = {1, 2, 3};
+    res.ftl.readClass.byLevelLowerInvalid = {0, 1, 1};
+    res.ftl.refresh.refreshes = 5;
+    res.wear.maxErase = 9;
+    const auto rep = workload::makeReport(res);
+    EXPECT_EQ(rep.value("read_mean_us"), "123.4");
+    EXPECT_EQ(rep.value("reads_level2"), "3");
+    EXPECT_EQ(rep.value("refreshes"), "5");
+    EXPECT_EQ(rep.value("max_erase"), "9");
+    EXPECT_GT(rep.size(), 25u);
+}
+
+TEST(ResultReport, RealRunRoundTrips)
+{
+    const auto preset =
+        workload::scaled(workload::presetByName("hm_1"), 0.03);
+    const auto r = workload::runPreset(ssd::SsdConfig::paperTlc(), preset);
+    const auto rep = workload::makeReport(r);
+    std::ostringstream text, csv;
+    rep.printText(text);
+    rep.printCsv(csv);
+    EXPECT_GT(text.str().size(), 400u);
+    EXPECT_GT(csv.str().size(), 400u);
+    EXPECT_NE(text.str().find("hm_1"), std::string::npos);
+}
+
+} // namespace
+} // namespace ida

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the experiment runner on shortened presets.
+ */
+#include <gtest/gtest.h>
+
+#include "workload/runner.hh"
+
+namespace ida::workload {
+namespace {
+
+WorkloadPreset
+quickPreset()
+{
+    WorkloadPreset p = scaled(presetByName("hm_1"), 0.1);
+    p.synth.footprintPages = 20'000;
+    return p;
+}
+
+TEST(Runner, BaselineRunProducesSaneNumbers)
+{
+    const auto r = runPreset(ssd::SsdConfig::paperTlc(), quickPreset());
+    EXPECT_EQ(r.system, "Baseline");
+    EXPECT_EQ(r.workload, "hm_1");
+    EXPECT_GT(r.measuredReads, 1000u);
+    // Response must be at least the fastest possible page read.
+    EXPECT_GT(r.readRespUs, 50.0 + 48.0 + 20.0);
+    EXPECT_LT(r.readRespUs, 10'000.0);
+    EXPECT_GE(r.readP99Us, r.readRespUs);
+    EXPECT_GT(r.throughputMBps, 0.0);
+    EXPECT_EQ(r.ftl.readClass.idaServed, 0u);
+    EXPECT_GT(r.ftl.refresh.refreshes, 0u);
+    EXPECT_EQ(r.ftl.refresh.idaRefreshes, 0u);
+}
+
+TEST(Runner, IdaRunServesIdaReadsAndImproves)
+{
+    const auto preset = quickPreset();
+    const auto base = runPreset(ssd::SsdConfig::paperTlc(), preset);
+    ssd::SsdConfig ida = ssd::SsdConfig::paperTlc();
+    ida.ftl.enableIda = true;
+    ida.adjustErrorRate = 0.20;
+    const auto r = runPreset(ida, preset);
+    EXPECT_EQ(r.system, "IDA-E20");
+    EXPECT_GT(r.ftl.readClass.idaServed, 0u);
+    EXPECT_GT(r.ftl.refresh.idaRefreshes, 0u);
+    EXPECT_GT(r.ftl.refresh.adjustedWordlines, 0u);
+    EXPECT_LT(r.readRespUs, base.readRespUs);
+    EXPECT_GT(r.readImprovement(base), 0.01);
+    EXPECT_LT(r.readImprovement(base), 0.60);
+}
+
+TEST(Runner, SameSeedSameBaselineResult)
+{
+    const auto a = runPreset(ssd::SsdConfig::paperTlc(), quickPreset());
+    const auto b = runPreset(ssd::SsdConfig::paperTlc(), quickPreset());
+    EXPECT_DOUBLE_EQ(a.readRespUs, b.readRespUs);
+    EXPECT_EQ(a.measuredReads, b.measuredReads);
+    EXPECT_EQ(a.ftl.refresh.refreshes, b.ftl.refresh.refreshes);
+}
+
+TEST(Runner, RefreshOverheadCountersConsistent)
+{
+    ssd::SsdConfig ida = ssd::SsdConfig::paperTlc();
+    ida.ftl.enableIda = true;
+    ida.adjustErrorRate = 0.20;
+    const auto r = runPreset(ida, quickPreset());
+    const auto &st = r.ftl.refresh;
+    ASSERT_GT(st.refreshes, 0u);
+    // Extra reads == verification reads of kept pages (at most the
+    // target count; some may be invalidated in flight).
+    EXPECT_LE(st.extraReads, st.targetPages);
+    EXPECT_GE(st.extraReads, st.targetPages * 9 / 10);
+    // E20: roughly a fifth of verified pages get written back.
+    const double ratio = double(st.extraWrites) / double(st.extraReads);
+    EXPECT_NEAR(ratio, 0.20, 0.05);
+    // Targets can never exceed valid pages.
+    EXPECT_LE(st.targetPages, st.validPages);
+}
+
+TEST(Runner, RunTraceAcceptsCustomStream)
+{
+    SyntheticConfig cfg;
+    cfg.footprintPages = 5000;
+    cfg.totalRequests = 3000;
+    cfg.duration = 60 * sim::kSec;
+    cfg.seed = 3;
+    SyntheticTrace trace(cfg);
+    const auto r = runTrace(ssd::SsdConfig::paperTlc(), trace, 5000,
+                            10 * sim::kMin, 0.2, "custom");
+    EXPECT_EQ(r.workload, "custom");
+    EXPECT_GT(r.measuredReads, 0u);
+}
+
+} // namespace
+} // namespace ida::workload

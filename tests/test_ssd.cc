@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Device-level tests: request dispatch, response accounting, warm-up
+ * windows, and configuration validation.
+ */
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hh"
+
+namespace ida::ssd {
+namespace {
+
+TEST(SsdConfig, PresetLabels)
+{
+    SsdConfig cfg = SsdConfig::paperTlc();
+    EXPECT_EQ(cfg.systemLabel(), "Baseline");
+    cfg.ftl.enableIda = true;
+    cfg.adjustErrorRate = 0.2;
+    EXPECT_EQ(cfg.systemLabel(), "IDA-E20");
+    cfg.adjustErrorRate = 0.0;
+    EXPECT_EQ(cfg.systemLabel(), "IDA-E0");
+    cfg.ftl.enableIda = false;
+    cfg.ftl.moveToLsbAlternative = true;
+    EXPECT_EQ(cfg.systemLabel(), "Move-to-LSB");
+}
+
+TEST(SsdConfig, PresetsValidate)
+{
+    SsdConfig::paperTlc().validate();
+    SsdConfig::paperMlc().validate();
+    SsdConfig::qlcDevice().validate();
+    SsdConfig::tiny().validate();
+}
+
+TEST(SsdConfigDeath, CodingMustMatchGeometry)
+{
+    SsdConfig cfg = SsdConfig::paperTlc();
+    cfg.coding = CodingChoice::Mlc12; // geometry still 3 bits/cell
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "bit density");
+}
+
+TEST(Ssd, PreloadAndSingleRead)
+{
+    Ssd ssd(SsdConfig::tiny());
+    ssd.preloadSequential(100);
+    HostRequest r;
+    r.arrival = 0;
+    r.isRead = true;
+    r.startPage = 10;
+    r.pageCount = 1;
+    ssd.submit(r);
+    ssd.events().run();
+    EXPECT_EQ(ssd.stats().readRequests, 1u);
+    EXPECT_GT(ssd.stats().readResponseUs.mean(), 0.0);
+    EXPECT_TRUE(ssd.drained());
+}
+
+TEST(Ssd, MultiPageRequestCompletesOnce)
+{
+    Ssd ssd(SsdConfig::tiny());
+    ssd.preloadSequential(100);
+    HostRequest r;
+    r.isRead = true;
+    r.startPage = 0;
+    r.pageCount = 8;
+    ssd.submit(r);
+    ssd.events().run();
+    EXPECT_EQ(ssd.stats().readRequests, 1u);
+    EXPECT_EQ(ssd.stats().bytesRead,
+              8ull * ssd.config().geometry.pageSizeBytes);
+}
+
+TEST(Ssd, ResponseIsMaxOverPages)
+{
+    // A request touching an MSB page cannot complete before the MSB
+    // read does: response >= tMSB + transfer + ECC.
+    Ssd ssd(SsdConfig::tiny());
+    ssd.preloadSequential(100);
+    HostRequest r;
+    r.isRead = true;
+    r.startPage = 0;
+    r.pageCount = 12; // covers LSB+CSB+MSB pages on some plane
+    ssd.submit(r);
+    ssd.events().run();
+    EXPECT_GE(ssd.stats().readResponseUs.mean(), 150.0 + 48.0 + 20.0);
+}
+
+TEST(Ssd, WarmupRequestsAreExcluded)
+{
+    Ssd ssd(SsdConfig::tiny());
+    ssd.preloadSequential(100);
+    ssd.setMeasureStart(1 * sim::kSec);
+    HostRequest warm;
+    warm.arrival = 0;
+    warm.isRead = true;
+    warm.startPage = 1;
+    warm.pageCount = 1;
+    HostRequest measured = warm;
+    measured.arrival = 2 * sim::kSec;
+    ssd.submit(warm);
+    ssd.submit(measured);
+    ssd.events().run();
+    EXPECT_EQ(ssd.stats().readRequests, 1u);
+}
+
+TEST(Ssd, WritesAccountedSeparately)
+{
+    Ssd ssd(SsdConfig::tiny());
+    ssd.preloadSequential(100);
+    HostRequest w;
+    w.isRead = false;
+    w.startPage = 5;
+    w.pageCount = 2;
+    ssd.submit(w);
+    ssd.events().run();
+    EXPECT_EQ(ssd.stats().writeRequests, 1u);
+    EXPECT_EQ(ssd.stats().readRequests, 0u);
+    // A write response includes a 2.3 ms program.
+    EXPECT_GE(ssd.stats().writeResponseUs.mean(), 2300.0);
+}
+
+TEST(Ssd, ThroughputComputedOverMeasuredWindow)
+{
+    Ssd ssd(SsdConfig::tiny());
+    ssd.preloadSequential(100);
+    HostRequest r;
+    r.isRead = true;
+    r.startPage = 0;
+    r.pageCount = 4;
+    ssd.submit(r);
+    ssd.events().run();
+    EXPECT_GT(ssd.stats().readThroughputMBps(), 0.0);
+}
+
+TEST(SsdDeath, RequestBeyondCapacityIsFatal)
+{
+    Ssd ssd(SsdConfig::tiny());
+    HostRequest r;
+    r.startPage = ssd.logicalPages();
+    r.pageCount = 1;
+    EXPECT_EXIT(ssd.submit(r), ::testing::ExitedWithCode(1), "beyond");
+}
+
+TEST(SsdDeath, OversizedPreloadIsFatal)
+{
+    Ssd ssd(SsdConfig::tiny());
+    EXPECT_EXIT(ssd.preloadSequential(ssd.logicalPages() + 1),
+                ::testing::ExitedWithCode(1), "exceeds");
+}
+
+} // namespace
+} // namespace ida::ssd

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for statistics primitives and the table printer.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/histogram.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace ida::stats {
+namespace {
+
+TEST(Summary, Accumulates)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(10.0);
+    s.add(20.0);
+    s.add(30.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(s.min(), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(Summary, MergeAndReset)
+{
+    Summary a, b;
+    a.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, MeanIsExact)
+{
+    Histogram h(1.0, 1.5, 32);
+    for (double v : {5.0, 10.0, 15.0})
+        h.add(v);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(Histogram, QuantileApproximatesWithinBucketResolution)
+{
+    Histogram h(1.0, 1.25, 64);
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<double>(i));
+    const double p50 = h.quantile(0.50);
+    const double p99 = h.quantile(0.99);
+    // Geometric buckets: the estimate may overshoot by one growth step.
+    EXPECT_GE(p50, 500.0 / 1.25);
+    EXPECT_LE(p50, 500.0 * 1.6);
+    EXPECT_GE(p99, 990.0 / 1.25);
+    EXPECT_LE(p99, 1000.0 * 1.6);
+    EXPECT_GE(p99, p50);
+}
+
+TEST(Histogram, NegativeValuesClampToZeroBucket)
+{
+    Histogram h;
+    h.add(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, OverflowBucketCatchesHugeValues)
+{
+    Histogram h(1.0, 2.0, 4);
+    h.add(1e12);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.add(3.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.285, 1), "28.5%");
+}
+
+TEST(TableDeath, RowWidthMismatchIsFatal)
+{
+    Table t({"a", "b"});
+    EXPECT_EXIT(t.addRow({"only-one"}), ::testing::ExitedWithCode(1),
+                "row width");
+}
+
+} // namespace
+} // namespace ida::stats

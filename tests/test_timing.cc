@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the flash timing model (paper Table II, Fig. 9).
+ */
+#include <gtest/gtest.h>
+
+#include "flash/timing.hh"
+
+namespace ida::flash {
+namespace {
+
+TEST(Timing, DefaultTlcReadLatenciesMatchTableII)
+{
+    const FlashTiming t;
+    const CodingScheme c = CodingScheme::tlc124();
+    EXPECT_EQ(t.conventionalReadLatency(c, 0), 50 * sim::kUsec);
+    EXPECT_EQ(t.conventionalReadLatency(c, 1), 100 * sim::kUsec);
+    EXPECT_EQ(t.conventionalReadLatency(c, 2), 150 * sim::kUsec);
+}
+
+TEST(Timing, IdaMergedSensingsReadAtLowerTiers)
+{
+    const FlashTiming t;
+    const CodingScheme c = CodingScheme::tlc124();
+    // After an LSB-invalid merge: CSB needs 1 sensing -> LSB latency,
+    // MSB needs 2 -> CSB latency (paper Sec. III-B).
+    EXPECT_EQ(t.readLatency(c, 1), 50 * sim::kUsec);
+    EXPECT_EQ(t.readLatency(c, 2), 100 * sim::kUsec);
+}
+
+TEST(Timing, DeltaTrParameterization)
+{
+    const CodingScheme c = CodingScheme::tlc124();
+    for (const sim::Time dtr :
+         {30 * sim::kUsec, 50 * sim::kUsec, 70 * sim::kUsec}) {
+        const FlashTiming t = FlashTiming::tlcWithDeltaTr(dtr);
+        EXPECT_EQ(t.conventionalReadLatency(c, 0), 50 * sim::kUsec);
+        EXPECT_EQ(t.conventionalReadLatency(c, 1), 50 * sim::kUsec + dtr);
+        EXPECT_EQ(t.conventionalReadLatency(c, 2),
+                  50 * sim::kUsec + 2 * dtr);
+    }
+}
+
+TEST(Timing, MlcDefaultsMatchSecVG)
+{
+    const FlashTiming t = FlashTiming::mlcDefaults();
+    const CodingScheme c = CodingScheme::mlc12();
+    EXPECT_EQ(t.conventionalReadLatency(c, 0), 65 * sim::kUsec);
+    EXPECT_EQ(t.conventionalReadLatency(c, 1), 115 * sim::kUsec);
+}
+
+TEST(Timing, QlcLadderExtendsToFourTiers)
+{
+    const FlashTiming t;
+    const CodingScheme c = CodingScheme::qlc1248();
+    EXPECT_EQ(t.conventionalReadLatency(c, 3), 200 * sim::kUsec);
+    // The Fig. 6 merge: bit 4 at 2 sensings reads at tier 1.
+    EXPECT_EQ(t.readLatency(c, 2), 100 * sim::kUsec);
+}
+
+TEST(Timing, OtherDefaultsMatchTableII)
+{
+    const FlashTiming t;
+    EXPECT_EQ(t.pageProgram, sim::Time(2.3 * sim::kMsec));
+    EXPECT_EQ(t.blockErase, 3 * sim::kMsec);
+    EXPECT_EQ(t.pageTransfer, 48 * sim::kUsec);
+    EXPECT_EQ(t.eccDecode, 20 * sim::kUsec);
+    // Voltage adjustment is conservatively one MSB program (Sec. III-B).
+    EXPECT_EQ(t.voltageAdjust, t.pageProgram);
+}
+
+} // namespace
+} // namespace ida::flash

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for wear/endurance accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftl/wear.hh"
+
+namespace ida::ftl {
+namespace {
+
+struct Fixture
+{
+    sim::EventQueue events;
+    flash::Geometry geom = [] {
+        flash::Geometry g;
+        g.channels = 1;
+        g.chipsPerChannel = 1;
+        g.diesPerChip = 1;
+        g.planesPerDie = 1;
+        g.blocksPerPlane = 4;
+        g.pagesPerBlock = 6;
+        g.bitsPerCell = 3;
+        return g;
+    }();
+    flash::ChipArray chips{geom, flash::FlashTiming{},
+                           flash::CodingScheme::tlc124(), events};
+
+    void
+    eraseTimes(flash::BlockId b, int times)
+    {
+        for (int i = 0; i < times; ++i) {
+            chips.eraseBlock(b, nullptr);
+            events.run();
+        }
+    }
+};
+
+TEST(Wear, FreshDeviceIsUnworn)
+{
+    Fixture f;
+    const WearSnapshot w = captureWear(f.chips);
+    EXPECT_EQ(w.totalErases, 0u);
+    EXPECT_EQ(w.minErase, 0u);
+    EXPECT_EQ(w.maxErase, 0u);
+    EXPECT_DOUBLE_EQ(w.meanErase, 0.0);
+    EXPECT_DOUBLE_EQ(w.lifetimeUsed(3000), 0.0);
+}
+
+TEST(Wear, DistributionStatistics)
+{
+    Fixture f;
+    f.eraseTimes(0, 4);
+    f.eraseTimes(1, 2);
+    f.eraseTimes(2, 1);
+    f.eraseTimes(3, 1);
+    const WearSnapshot w = captureWear(f.chips);
+    EXPECT_EQ(w.totalErases, 8u);
+    EXPECT_EQ(w.minErase, 1u);
+    EXPECT_EQ(w.maxErase, 4u);
+    EXPECT_DOUBLE_EQ(w.meanErase, 2.0);
+    EXPECT_DOUBLE_EQ(w.skew, 2.0);
+    EXPECT_NEAR(w.stddevErase, std::sqrt(1.5), 1e-9);
+}
+
+TEST(Wear, LifetimeProjection)
+{
+    Fixture f;
+    f.eraseTimes(0, 30);
+    const WearSnapshot w = captureWear(f.chips);
+    EXPECT_NEAR(w.lifetimeUsed(3000), 0.01, 1e-9);
+    EXPECT_DOUBLE_EQ(w.lifetimeUsed(0), 1.0);
+}
+
+TEST(Wear, WriteAmplification)
+{
+    Fixture f;
+    for (std::uint32_t p = 0; p < 6; ++p) {
+        f.chips.programPage(p, nullptr);
+        f.events.run();
+    }
+    const WearSnapshot w = captureWear(f.chips);
+    EXPECT_DOUBLE_EQ(w.writeAmplification(4), 1.5);
+    EXPECT_DOUBLE_EQ(w.writeAmplification(0), 0.0);
+}
+
+} // namespace
+} // namespace ida::ftl
