@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blocks_gc.dir/ablation_blocks_gc.cc.o"
+  "CMakeFiles/ablation_blocks_gc.dir/ablation_blocks_gc.cc.o.d"
+  "ablation_blocks_gc"
+  "ablation_blocks_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blocks_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_case_policy.dir/ablation_case_policy.cc.o"
+  "CMakeFiles/ablation_case_policy.dir/ablation_case_policy.cc.o.d"
+  "ablation_case_policy"
+  "ablation_case_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_case_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_channel_model.dir/ablation_channel_model.cc.o"
+  "CMakeFiles/ablation_channel_model.dir/ablation_channel_model.cc.o.d"
+  "ablation_channel_model"
+  "ablation_channel_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coding_schemes.dir/ablation_coding_schemes.cc.o"
+  "CMakeFiles/ablation_coding_schemes.dir/ablation_coding_schemes.cc.o.d"
+  "ablation_coding_schemes"
+  "ablation_coding_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coding_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_move_to_lsb.dir/ablation_move_to_lsb.cc.o"
+  "CMakeFiles/ablation_move_to_lsb.dir/ablation_move_to_lsb.cc.o.d"
+  "ablation_move_to_lsb"
+  "ablation_move_to_lsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_move_to_lsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

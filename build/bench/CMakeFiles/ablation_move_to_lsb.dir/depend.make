@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_move_to_lsb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refresh_period.dir/ablation_refresh_period.cc.o"
+  "CMakeFiles/ablation_refresh_period.dir/ablation_refresh_period.cc.o.d"
+  "ablation_refresh_period"
+  "ablation_refresh_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refresh_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

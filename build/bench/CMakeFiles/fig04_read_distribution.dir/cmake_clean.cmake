@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_read_distribution.dir/fig04_read_distribution.cc.o"
+  "CMakeFiles/fig04_read_distribution.dir/fig04_read_distribution.cc.o.d"
+  "fig04_read_distribution"
+  "fig04_read_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_read_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_qlc_extension.dir/fig06_qlc_extension.cc.o"
+  "CMakeFiles/fig06_qlc_extension.dir/fig06_qlc_extension.cc.o.d"
+  "fig06_qlc_extension"
+  "fig06_qlc_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_qlc_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_response_time_error_rates.dir/fig08_response_time_error_rates.cc.o"
+  "CMakeFiles/fig08_response_time_error_rates.dir/fig08_response_time_error_rates.cc.o.d"
+  "fig08_response_time_error_rates"
+  "fig08_response_time_error_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_response_time_error_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

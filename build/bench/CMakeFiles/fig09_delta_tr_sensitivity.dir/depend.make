@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_delta_tr_sensitivity.
+# This may be replaced when dependencies are built.

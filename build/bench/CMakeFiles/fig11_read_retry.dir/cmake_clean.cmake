@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_read_retry.dir/fig11_read_retry.cc.o"
+  "CMakeFiles/fig11_read_retry.dir/fig11_read_retry.cc.o.d"
+  "fig11_read_retry"
+  "fig11_read_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_read_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

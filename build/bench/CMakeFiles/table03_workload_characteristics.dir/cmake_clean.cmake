@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_workload_characteristics.dir/table03_workload_characteristics.cc.o"
+  "CMakeFiles/table03_workload_characteristics.dir/table03_workload_characteristics.cc.o.d"
+  "table03_workload_characteristics"
+  "table03_workload_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_workload_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_refresh_overhead.dir/table04_refresh_overhead.cc.o"
+  "CMakeFiles/table04_refresh_overhead.dir/table04_refresh_overhead.cc.o.d"
+  "table04_refresh_overhead"
+  "table04_refresh_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_refresh_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_mlc.dir/table05_mlc.cc.o"
+  "CMakeFiles/table05_mlc.dir/table05_mlc.cc.o.d"
+  "table05_mlc"
+  "table05_mlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_mlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

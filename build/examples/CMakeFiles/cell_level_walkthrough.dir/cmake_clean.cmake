@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_level_walkthrough.dir/cell_level_walkthrough.cc.o"
+  "CMakeFiles/cell_level_walkthrough.dir/cell_level_walkthrough.cc.o.d"
+  "cell_level_walkthrough"
+  "cell_level_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_level_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

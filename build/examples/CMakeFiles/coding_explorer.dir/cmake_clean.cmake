@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_explorer.dir/coding_explorer.cc.o"
+  "CMakeFiles/coding_explorer.dir/coding_explorer.cc.o.d"
+  "coding_explorer"
+  "coding_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_inspector.dir/refresh_inspector.cc.o"
+  "CMakeFiles/refresh_inspector.dir/refresh_inspector.cc.o.d"
+  "refresh_inspector"
+  "refresh_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/ecc_model.cc" "src/CMakeFiles/idaflash.dir/ecc/ecc_model.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ecc/ecc_model.cc.o.d"
+  "/root/repo/src/ecc/rber_model.cc" "src/CMakeFiles/idaflash.dir/ecc/rber_model.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ecc/rber_model.cc.o.d"
+  "/root/repo/src/ecc/retry_model.cc" "src/CMakeFiles/idaflash.dir/ecc/retry_model.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ecc/retry_model.cc.o.d"
+  "/root/repo/src/flash/block.cc" "src/CMakeFiles/idaflash.dir/flash/block.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/flash/block.cc.o.d"
+  "/root/repo/src/flash/cell_array.cc" "src/CMakeFiles/idaflash.dir/flash/cell_array.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/flash/cell_array.cc.o.d"
+  "/root/repo/src/flash/chip.cc" "src/CMakeFiles/idaflash.dir/flash/chip.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/flash/chip.cc.o.d"
+  "/root/repo/src/flash/coding.cc" "src/CMakeFiles/idaflash.dir/flash/coding.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/flash/coding.cc.o.d"
+  "/root/repo/src/flash/geometry.cc" "src/CMakeFiles/idaflash.dir/flash/geometry.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/flash/geometry.cc.o.d"
+  "/root/repo/src/flash/timing.cc" "src/CMakeFiles/idaflash.dir/flash/timing.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/flash/timing.cc.o.d"
+  "/root/repo/src/ftl/allocator.cc" "src/CMakeFiles/idaflash.dir/ftl/allocator.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/allocator.cc.o.d"
+  "/root/repo/src/ftl/block_manager.cc" "src/CMakeFiles/idaflash.dir/ftl/block_manager.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/block_manager.cc.o.d"
+  "/root/repo/src/ftl/ftl.cc" "src/CMakeFiles/idaflash.dir/ftl/ftl.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/ftl.cc.o.d"
+  "/root/repo/src/ftl/gc.cc" "src/CMakeFiles/idaflash.dir/ftl/gc.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/gc.cc.o.d"
+  "/root/repo/src/ftl/mapping.cc" "src/CMakeFiles/idaflash.dir/ftl/mapping.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/mapping.cc.o.d"
+  "/root/repo/src/ftl/refresh.cc" "src/CMakeFiles/idaflash.dir/ftl/refresh.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/refresh.cc.o.d"
+  "/root/repo/src/ftl/wear.cc" "src/CMakeFiles/idaflash.dir/ftl/wear.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/wear.cc.o.d"
+  "/root/repo/src/ftl/write_buffer.cc" "src/CMakeFiles/idaflash.dir/ftl/write_buffer.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ftl/write_buffer.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/idaflash.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/idaflash.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/sim/rng.cc.o.d"
+  "/root/repo/src/ssd/config.cc" "src/CMakeFiles/idaflash.dir/ssd/config.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ssd/config.cc.o.d"
+  "/root/repo/src/ssd/ssd.cc" "src/CMakeFiles/idaflash.dir/ssd/ssd.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/ssd/ssd.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/idaflash.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/report.cc" "src/CMakeFiles/idaflash.dir/stats/report.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/stats/report.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/idaflash.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/stats/stats.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/idaflash.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/stats/table.cc.o.d"
+  "/root/repo/src/workload/msr_parser.cc" "src/CMakeFiles/idaflash.dir/workload/msr_parser.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/workload/msr_parser.cc.o.d"
+  "/root/repo/src/workload/msr_writer.cc" "src/CMakeFiles/idaflash.dir/workload/msr_writer.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/workload/msr_writer.cc.o.d"
+  "/root/repo/src/workload/presets.cc" "src/CMakeFiles/idaflash.dir/workload/presets.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/workload/presets.cc.o.d"
+  "/root/repo/src/workload/result_report.cc" "src/CMakeFiles/idaflash.dir/workload/result_report.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/workload/result_report.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/idaflash.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/workload/runner.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/idaflash.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/idaflash.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/idaflash.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

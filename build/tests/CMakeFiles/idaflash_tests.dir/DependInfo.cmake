@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cc" "tests/CMakeFiles/idaflash_tests.dir/test_allocator.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_allocator.cc.o.d"
+  "/root/repo/tests/test_block.cc" "tests/CMakeFiles/idaflash_tests.dir/test_block.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_block.cc.o.d"
+  "/root/repo/tests/test_block_manager.cc" "tests/CMakeFiles/idaflash_tests.dir/test_block_manager.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_block_manager.cc.o.d"
+  "/root/repo/tests/test_cell_array.cc" "tests/CMakeFiles/idaflash_tests.dir/test_cell_array.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_cell_array.cc.o.d"
+  "/root/repo/tests/test_chip.cc" "tests/CMakeFiles/idaflash_tests.dir/test_chip.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_chip.cc.o.d"
+  "/root/repo/tests/test_closed_loop.cc" "tests/CMakeFiles/idaflash_tests.dir/test_closed_loop.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_closed_loop.cc.o.d"
+  "/root/repo/tests/test_coding.cc" "tests/CMakeFiles/idaflash_tests.dir/test_coding.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_coding.cc.o.d"
+  "/root/repo/tests/test_ecc.cc" "tests/CMakeFiles/idaflash_tests.dir/test_ecc.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_ecc.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/idaflash_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_ftl.cc" "tests/CMakeFiles/idaflash_tests.dir/test_ftl.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_ftl.cc.o.d"
+  "/root/repo/tests/test_gc.cc" "tests/CMakeFiles/idaflash_tests.dir/test_gc.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_gc.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/idaflash_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/idaflash_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mapping.cc" "tests/CMakeFiles/idaflash_tests.dir/test_mapping.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_mapping.cc.o.d"
+  "/root/repo/tests/test_migration_buffer.cc" "tests/CMakeFiles/idaflash_tests.dir/test_migration_buffer.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_migration_buffer.cc.o.d"
+  "/root/repo/tests/test_msr_parser.cc" "tests/CMakeFiles/idaflash_tests.dir/test_msr_parser.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_msr_parser.cc.o.d"
+  "/root/repo/tests/test_msr_writer.cc" "tests/CMakeFiles/idaflash_tests.dir/test_msr_writer.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_msr_writer.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/idaflash_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rber.cc" "tests/CMakeFiles/idaflash_tests.dir/test_rber.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_rber.cc.o.d"
+  "/root/repo/tests/test_refresh.cc" "tests/CMakeFiles/idaflash_tests.dir/test_refresh.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_refresh.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/idaflash_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/idaflash_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/idaflash_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_ssd.cc" "tests/CMakeFiles/idaflash_tests.dir/test_ssd.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_ssd.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/idaflash_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_suspension.cc" "tests/CMakeFiles/idaflash_tests.dir/test_suspension.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_suspension.cc.o.d"
+  "/root/repo/tests/test_system_properties.cc" "tests/CMakeFiles/idaflash_tests.dir/test_system_properties.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_system_properties.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/idaflash_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_wear.cc" "tests/CMakeFiles/idaflash_tests.dir/test_wear.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_wear.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/idaflash_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/idaflash_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/idaflash_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/idaflash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
