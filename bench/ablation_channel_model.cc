@@ -1,7 +1,7 @@
 /**
  * @file
  * Ablation of the channel model — the one systematic modelling choice
- * separating our absolute numbers from the paper's (see EXPERIMENTS.md).
+ * separating our absolute numbers from the paper's (see docs/ARTIFACTS.md).
  *
  * With `channelContention = true` every page transfer serializes on the
  * shared per-channel bus (16 dies per channel at 48us/page), so bursty

@@ -8,41 +8,57 @@
  * the alternative vendor 2-3-2 coding, whose read variation is smaller
  * (2/3/2 sensings => 50/100/50us under the tier model), leaving IDA
  * less to reclaim — the same reasoning the paper applies to MLC.
+ *
+ * The 11 x 4 (workload x system) matrix runs through
+ * workload::runMatrix; pass --jobs N to parallelize.
  */
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ida;
     bench::banner("Ablation - IDA on 1-2-4 vs 2-3-2 TLC codings",
                   "IDA helps both; less on 2-3-2 (smaller read "
                   "variation, like MLC in Table V)");
 
+    ssd::SsdConfig base232 = bench::tlcSystem(false);
+    base232.coding = ssd::CodingChoice::Tlc232;
+    ssd::SsdConfig ida232 = bench::tlcSystem(true, 0.20);
+    ida232.coding = ssd::CodingChoice::Tlc232;
+
+    const auto &presets = workload::paperWorkloads();
+    std::vector<workload::RunSpec> specs;
+    for (const auto &preset : presets) {
+        specs.push_back(bench::spec(bench::tlcSystem(false), preset,
+                                    preset.name + "/124-Baseline"));
+        specs.push_back(bench::spec(bench::tlcSystem(true, 0.20), preset,
+                                    preset.name + "/124-IDA-E20"));
+        specs.push_back(bench::spec(base232, preset,
+                                    preset.name + "/232-Baseline"));
+        specs.push_back(bench::spec(ida232, preset,
+                                    preset.name + "/232-IDA-E20"));
+    }
+    const auto out =
+        bench::runMatrixOrDie(specs, bench::batchOptions(argc, argv));
+
     stats::Table table({"workload", "imp (tlc 1-2-4)", "imp (tlc 2-3-2)"});
     std::vector<double> a, b;
-    for (const auto &preset : workload::paperWorkloads()) {
-        const auto rb124 = bench::run(bench::tlcSystem(false), preset);
-        const auto ri124 = bench::run(bench::tlcSystem(true, 0.20),
-                                      preset);
-
-        ssd::SsdConfig base232 = bench::tlcSystem(false);
-        base232.coding = ssd::CodingChoice::Tlc232;
-        ssd::SsdConfig ida232 = bench::tlcSystem(true, 0.20);
-        ida232.coding = ssd::CodingChoice::Tlc232;
-        const auto rb232 = bench::run(base232, preset);
-        const auto ri232 = bench::run(ida232, preset);
-
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const auto &rb124 = out.results[4 * i];
+        const auto &ri124 = out.results[4 * i + 1];
+        const auto &rb232 = out.results[4 * i + 2];
+        const auto &ri232 = out.results[4 * i + 3];
         a.push_back(ri124.readImprovement(rb124));
         b.push_back(ri232.readImprovement(rb232));
-        table.addRow({preset.name, stats::Table::pct(a.back(), 1),
+        table.addRow({presets[i].name, stats::Table::pct(a.back(), 1),
                       stats::Table::pct(b.back(), 1)});
-        std::fflush(stdout);
     }
     table.addRow({"average", stats::Table::pct(bench::mean(a), 1),
                   stats::Table::pct(bench::mean(b), 1)});
     table.print(std::cout);
     std::printf("\nexpected shape: both positive; 1-2-4 gains more than "
                 "2-3-2.\n");
+    bench::exportJson("ablation_coding_schemes", specs, out);
     return 0;
 }

@@ -9,11 +9,14 @@
  * sweeps the period as a multiple of the trace duration to show that
  * IDA does not depend on an artificially shortened refresh period — the
  * paper's critical point in Sec. III-C.
+ *
+ * The 3 x 5 x 2 (workload x period x system) matrix runs through
+ * workload::runMatrix; pass --jobs N to parallelize.
  */
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ida;
     bench::banner("Design sweep - refresh period vs IDA benefit",
@@ -21,28 +24,43 @@ main()
                   "not rely on shortening them");
 
     const std::vector<double> multiples = {0.25, 0.5, 1.0, 2.0, 4.0};
+    // Three representative workloads keep the sweep fast.
+    const std::vector<std::string> names = {"proj_1", "hm_1", "usr_2"};
+
+    std::vector<workload::RunSpec> specs;
+    for (const auto &name : names) {
+        for (double m : multiples) {
+            workload::WorkloadPreset p = workload::presetByName(name);
+            p.refreshPeriod = static_cast<sim::Time>(
+                m * static_cast<double>(p.synth.duration));
+            const std::string suffix =
+                "/p" + stats::Table::num(m, 2) + "x";
+            specs.push_back(bench::spec(bench::tlcSystem(false), p,
+                                        name + suffix + "/Baseline"));
+            specs.push_back(bench::spec(bench::tlcSystem(true, 0.20), p,
+                                        name + suffix + "/IDA-E20"));
+        }
+    }
+    const auto out =
+        bench::runMatrixOrDie(specs, bench::batchOptions(argc, argv));
+
     std::vector<std::string> header = {"workload"};
     for (double m : multiples)
         header.push_back("period=" + stats::Table::num(m, 2) + "x");
     stats::Table table(header);
 
     std::vector<std::vector<double>> imps(multiples.size());
-    // Three representative workloads keep the sweep fast.
-    for (const char *name : {"proj_1", "hm_1", "usr_2"}) {
-        const auto &base_preset = workload::presetByName(name);
+    std::size_t idx = 0;
+    for (const auto &name : names) {
         std::vector<std::string> row = {name};
         for (std::size_t i = 0; i < multiples.size(); ++i) {
-            workload::WorkloadPreset p = base_preset;
-            p.refreshPeriod = static_cast<sim::Time>(
-                multiples[i] * static_cast<double>(p.synth.duration));
-            const auto rb = bench::run(bench::tlcSystem(false), p);
-            const auto ri = bench::run(bench::tlcSystem(true, 0.20), p);
+            const auto &rb = out.results[idx++];
+            const auto &ri = out.results[idx++];
             const double imp = ri.readImprovement(rb);
             imps[i].push_back(imp);
             row.push_back(stats::Table::pct(imp, 1));
         }
         table.addRow(std::move(row));
-        std::fflush(stdout);
     }
     std::vector<std::string> avg = {"average"};
     for (std::size_t i = 0; i < multiples.size(); ++i)
@@ -52,5 +70,6 @@ main()
     std::printf("\nexpected shape: the benefit holds across periods "
                 "(longer periods keep IDA blocks resident; shorter ones "
                 "re-code more often but pay more refresh overhead).\n");
+    bench::exportJson("ablation_refresh_period", specs, out);
     return 0;
 }

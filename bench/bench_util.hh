@@ -9,8 +9,15 @@
  * Run length is controlled by the IDA_BENCH_SCALE environment variable
  * (default 0.35): 1.0 replays each preset's full 400k-request trace,
  * smaller values shrink request count, duration and refresh period
- * together. Shapes are stable down to ~0.2; EXPERIMENTS.md numbers were
- * produced at the default.
+ * together. Shapes are stable down to ~0.2; docs/ARTIFACTS.md numbers
+ * were produced at the default.
+ *
+ * Matrix-shaped harnesses execute through workload::runMatrix: pass
+ * `--jobs N` (or set IDA_JOBS) to run the independent simulations on N
+ * threads; the tables and JSON exports are byte-identical at any N (see
+ * src/workload/batch.hh for the determinism contract). Each harness
+ * also archives its full measurement set as
+ * `$IDA_RESULTS_DIR/<harness>.json` (default `results/`).
  */
 #pragma once
 
@@ -22,6 +29,7 @@
 
 #include "ssd/config.hh"
 #include "stats/table.hh"
+#include "workload/batch.hh"
 #include "workload/presets.hh"
 #include "workload/runner.hh"
 
@@ -54,6 +62,79 @@ inline workload::RunResult
 run(const ssd::SsdConfig &cfg, const workload::WorkloadPreset &preset)
 {
     return workload::runPreset(cfg, workload::scaled(preset, benchScale()));
+}
+
+/** Build one open-loop matrix cell at the bench scale. */
+inline workload::RunSpec
+spec(const ssd::SsdConfig &cfg, const workload::WorkloadPreset &preset,
+     const std::string &tag)
+{
+    workload::RunSpec s;
+    s.device = cfg;
+    s.preset = workload::scaled(preset, benchScale());
+    s.tag = tag;
+    return s;
+}
+
+/** Build one closed-loop (saturation) matrix cell at the bench scale. */
+inline workload::RunSpec
+closedLoopSpec(const ssd::SsdConfig &cfg,
+               const workload::WorkloadPreset &preset,
+               const std::string &tag, int queue_depth)
+{
+    workload::RunSpec s = spec(cfg, preset, tag);
+    s.kind = workload::RunKind::ClosedLoop;
+    s.queueDepth = queue_depth;
+    return s;
+}
+
+/** Batch options from the harness command line (--jobs N / IDA_JOBS). */
+inline workload::BatchOptions
+batchOptions(int argc, char **argv)
+{
+    workload::BatchOptions opts;
+    opts.jobs = workload::jobsFromArgs(argc, argv);
+    return opts;
+}
+
+/**
+ * Execute a harness's matrix: runMatrix + failure gate. Any failed run
+ * is a harness bug (the specs are static); report and exit non-zero
+ * rather than print a table with holes.
+ */
+inline workload::BatchOutcome
+runMatrixOrDie(const std::vector<workload::RunSpec> &specs,
+               const workload::BatchOptions &opts)
+{
+    workload::BatchOutcome out = workload::runMatrix(specs, opts);
+    if (!out.ok()) {
+        for (std::size_t i = 0; i < out.errors.size(); ++i) {
+            if (!out.errors[i].empty())
+                std::fprintf(stderr, "run '%s' failed: %s\n",
+                             specs[i].tag.c_str(), out.errors[i].c_str());
+        }
+        std::exit(1);
+    }
+    return out;
+}
+
+/**
+ * Archive a harness's matrix as $IDA_RESULTS_DIR/<harness>.json and
+ * print the path (the path does not depend on --jobs, so stdout stays
+ * byte-identical across parallelism levels).
+ */
+inline void
+exportJson(const std::string &harness,
+           const std::vector<workload::RunSpec> &specs,
+           const workload::BatchOutcome &outcome)
+{
+    const std::string path = workload::resultsDir() + "/" + harness +
+                             ".json";
+    char scale[32];
+    std::snprintf(scale, sizeof(scale), "%.2f", benchScale());
+    if (workload::exportResults(path, harness, {{"scale", scale}}, specs,
+                                outcome))
+        std::printf("\njson: %s\n", path.c_str());
 }
 
 /** Print a header naming the figure/table being regenerated. */

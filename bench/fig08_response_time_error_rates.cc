@@ -6,11 +6,14 @@
  *
  * Paper shape: IDA-E0 ~31% average improvement, IDA-E20 ~28%, benefits
  * decay monotonically with the error rate, IDA-E50 ~20%, IDA-E80 <7%.
+ *
+ * The 11 x 7 (workload x system) matrix runs through
+ * workload::runMatrix; pass --jobs N to parallelize.
  */
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ida;
     bench::banner("Fig. 8 - normalized read response time vs. "
@@ -19,26 +22,41 @@ main()
                   "monotone decay in E");
 
     const std::vector<double> rates = {0.0, 0.2, 0.4, 0.5, 0.6, 0.8};
+    const auto &presets = workload::paperWorkloads();
+    const std::size_t stride = 1 + rates.size(); // baseline + E-sweep
+
+    std::vector<workload::RunSpec> specs;
+    for (const auto &preset : presets) {
+        specs.push_back(bench::spec(bench::tlcSystem(false), preset,
+                                    preset.name + "/Baseline"));
+        for (double e : rates) {
+            const int pct = int(e * 100 + 0.5);
+            specs.push_back(bench::spec(
+                bench::tlcSystem(true, e), preset,
+                preset.name + "/IDA-E" + std::to_string(pct)));
+        }
+    }
+    const auto out =
+        bench::runMatrixOrDie(specs, bench::batchOptions(argc, argv));
+
     std::vector<std::string> header = {"workload", "baseline(us)"};
     for (double e : rates)
         header.push_back("E" + std::to_string(int(e * 100 + 0.5)));
     stats::Table table(header);
 
     std::vector<std::vector<double>> normalized(rates.size());
-    for (const auto &preset : workload::paperWorkloads()) {
-        const auto base = bench::run(bench::tlcSystem(false), preset);
-        std::vector<std::string> row = {preset.name,
+    for (std::size_t p = 0; p < presets.size(); ++p) {
+        const auto &base = out.results[p * stride];
+        std::vector<std::string> row = {presets[p].name,
                                         stats::Table::num(base.readRespUs,
                                                           1)};
         for (std::size_t i = 0; i < rates.size(); ++i) {
-            const auto r =
-                bench::run(bench::tlcSystem(true, rates[i]), preset);
+            const auto &r = out.results[p * stride + 1 + i];
             const double n = r.normalizedReadResp(base);
             normalized[i].push_back(n);
             row.push_back(stats::Table::num(n, 3));
         }
         table.addRow(std::move(row));
-        std::fflush(stdout);
     }
 
     std::vector<std::string> avg = {"average", ""};
@@ -52,5 +70,6 @@ main()
         std::printf("  IDA-E%-3d %5.1f%%\n", int(rates[i] * 100 + 0.5),
                     100.0 * (1.0 - bench::mean(normalized[i])));
     }
+    bench::exportJson("fig08_response_time_error_rates", specs, out);
     return 0;
 }

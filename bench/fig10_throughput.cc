@@ -7,40 +7,53 @@
  * trace replay is arrival-limited and cannot show device throughput
  * changes. Paper shape: every workload gains, ~10% on average — the
  * reduced read latencies outweigh the added refresh work.
+ *
+ * The 11 x 2 (workload x system) matrix runs through
+ * workload::runMatrix; pass --jobs N to parallelize.
  */
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ida;
     bench::banner("Fig. 10 - device read throughput, IDA-E20 vs baseline",
                   "all workloads gain; +10% average");
 
     constexpr int kQueueDepth = 16;
+    const auto &presets = workload::paperWorkloads();
+
+    std::vector<workload::RunSpec> specs;
+    for (const auto &preset : presets) {
+        specs.push_back(bench::closedLoopSpec(
+            bench::tlcSystem(false), preset, preset.name + "/Baseline",
+            kQueueDepth));
+        specs.push_back(bench::closedLoopSpec(
+            bench::tlcSystem(true, 0.20), preset,
+            preset.name + "/IDA-E20", kQueueDepth));
+    }
+    const auto out =
+        bench::runMatrixOrDie(specs, bench::batchOptions(argc, argv));
+
     stats::Table table({"workload", "baseline MB/s", "IDA-E20 MB/s",
                         "normalized"});
     std::vector<double> normalized;
-    for (const auto &preset : workload::paperWorkloads()) {
-        const auto scaledPreset =
-            workload::scaled(preset, bench::benchScale());
-        const auto base = workload::runClosedLoop(
-            bench::tlcSystem(false), scaledPreset, kQueueDepth);
-        const auto idar = workload::runClosedLoop(
-            bench::tlcSystem(true, 0.20), scaledPreset, kQueueDepth);
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const auto &base = out.results[2 * i];
+        const auto &idar = out.results[2 * i + 1];
         const double n = base.throughputMBps > 0
             ? idar.throughputMBps / base.throughputMBps : 0.0;
         normalized.push_back(n);
-        table.addRow({preset.name,
+        table.addRow({presets[i].name,
                       stats::Table::num(base.throughputMBps, 1),
                       stats::Table::num(idar.throughputMBps, 1),
                       stats::Table::num(n, 3)});
-        std::fflush(stdout);
     }
     table.addRow({"average", "", "",
                   stats::Table::num(bench::mean(normalized), 3)});
     table.print(std::cout);
     std::printf("\naverage throughput improvement: %.1f%%\n",
                 100.0 * (bench::mean(normalized) - 1.0));
+    bench::exportJson("fig10_throughput", specs, out);
     return 0;
 }

@@ -5,11 +5,14 @@
  *
  * Paper shape: positive everywhere, ~14.9% average — lower than TLC
  * because MLC has a smaller latency spread to reclaim.
+ *
+ * The 11 x 2 (workload x system) matrix runs through
+ * workload::runMatrix; pass --jobs N to parallelize.
  */
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ida;
     bench::banner("Table V - IDA-E20 on an MLC device",
@@ -29,26 +32,37 @@ main()
     mlcIda.ftl.enableIda = true;
     mlcIda.adjustErrorRate = 0.20;
 
+    const auto &presets = workload::paperWorkloads();
+    std::vector<workload::RunSpec> specs;
+    for (const auto &preset : presets) {
+        specs.push_back(
+            bench::spec(mlcBase, preset, preset.name + "/MLC-Baseline"));
+        specs.push_back(
+            bench::spec(mlcIda, preset, preset.name + "/MLC-IDA-E20"));
+    }
+    const auto out =
+        bench::runMatrixOrDie(specs, bench::batchOptions(argc, argv));
+
     stats::Table table({"workload", "improvement", "paper"});
     std::vector<double> imps;
-    for (const auto &preset : workload::paperWorkloads()) {
-        const auto rb = bench::run(mlcBase, preset);
-        const auto ri = bench::run(mlcIda, preset);
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const auto &rb = out.results[2 * i];
+        const auto &ri = out.results[2 * i + 1];
         const double imp = ri.readImprovement(rb);
         imps.push_back(imp);
         double paper = 0.0;
         for (const auto &[n, v] : refs) {
-            if (preset.name == n)
+            if (presets[i].name == n)
                 paper = v;
         }
-        table.addRow({preset.name, stats::Table::pct(imp, 1),
+        table.addRow({presets[i].name, stats::Table::pct(imp, 1),
                       stats::Table::num(paper, 1) + "%"});
-        std::fflush(stdout);
     }
     table.addRow({"average", stats::Table::pct(bench::mean(imps), 1),
                   "14.9%"});
     table.print(std::cout);
     std::printf("\nexpected shape: positive everywhere, average below "
                 "the TLC result (fig08).\n");
+    bench::exportJson("table05_mlc", specs, out);
     return 0;
 }

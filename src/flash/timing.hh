@@ -52,7 +52,7 @@ struct FlashTiming
      * contention-free bandwidth (false; the transfer latency still
      * applies per page). The paper's DiskSim-based results are only
      * reachable when reads are sensing-bound rather than channel-bound,
-     * i.e. with this off; bench/ablation (EXPERIMENTS.md) quantifies
+     * i.e. with this off; bench/ablation (docs/ARTIFACTS.md) quantifies
      * the difference.
      */
     bool channelContention = false;

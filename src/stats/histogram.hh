@@ -1,7 +1,7 @@
 /**
  * @file
  * Log-bucketed histogram for latency distributions with percentile
- * queries (used for response-time tails in EXPERIMENTS.md and tests).
+ * queries (used for response-time tails in docs/ARTIFACTS.md and tests).
  */
 #pragma once
 

@@ -1,0 +1,266 @@
+#include "stats/json_writer.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ida::stats {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        const char e = s[++i];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (i + 4 < s.size()) {
+                const unsigned long cp =
+                    std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16);
+                i += 4;
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else {
+                    // Outside what jsonEscape emits; keep escaped.
+                    out += "\\u" + s.substr(i - 3, 4);
+                }
+            } else {
+                out += "\\u";
+            }
+            break;
+          default:
+            out += '\\';
+            out += e;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no Inf/NaN
+    char buf[64];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        return "0";
+    std::string s(buf, end);
+    // `1e+05`-style output is valid JSON, as is `5`; but bare integers
+    // that came from doubles keep a trailing ".0" nowhere — to_chars
+    // already emits the shortest round-trip form, which is fine.
+    return s;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+void
+JsonWriter::fail(const char *what) const
+{
+    std::fprintf(stderr, "panic: JsonWriter misuse: %s\n", what);
+    std::abort();
+}
+
+void
+JsonWriter::newline()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < depth_.size() * indent_; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (depth_.empty()) {
+        if (rootWritten_)
+            fail("second root value");
+        return;
+    }
+    if (depth_.back() == Ctx::Object && !keyPending_)
+        fail("value inside object without a key");
+    if (depth_.back() == Ctx::Array) {
+        if (hasEntries_.back())
+            os_ << ',';
+        newline();
+    }
+    keyPending_ = false;
+    hasEntries_.back() = true;
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    if (depth_.empty() || depth_.back() != Ctx::Object)
+        fail("key outside an object");
+    if (keyPending_)
+        fail("two keys in a row");
+    if (hasEntries_.back())
+        os_ << ',';
+    newline();
+    os_ << '"' << jsonEscape(k) << "\": ";
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    depth_.push_back(Ctx::Object);
+    hasEntries_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    if (depth_.empty() || depth_.back() != Ctx::Object || keyPending_)
+        fail("endObject");
+    const bool had = hasEntries_.back();
+    depth_.pop_back();
+    hasEntries_.pop_back();
+    if (had)
+        newline();
+    os_ << '}';
+    if (depth_.empty()) {
+        rootWritten_ = true;
+        os_ << '\n';
+    } else {
+        hasEntries_.back() = true;
+    }
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    depth_.push_back(Ctx::Array);
+    hasEntries_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    if (depth_.empty() || depth_.back() != Ctx::Array)
+        fail("endArray");
+    const bool had = hasEntries_.back();
+    depth_.pop_back();
+    hasEntries_.pop_back();
+    if (had)
+        newline();
+    os_ << ']';
+    if (depth_.empty()) {
+        rootWritten_ = true;
+        os_ << '\n';
+    } else {
+        hasEntries_.back() = true;
+    }
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    os_ << '"' << jsonEscape(v) << '"';
+    if (depth_.empty())
+        rootWritten_ = true;
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    os_ << jsonNumber(v);
+    if (depth_.empty())
+        rootWritten_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    if (depth_.empty())
+        rootWritten_ = true;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    if (depth_.empty())
+        rootWritten_ = true;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    if (depth_.empty())
+        rootWritten_ = true;
+}
+
+void
+JsonWriter::valueNull()
+{
+    beforeValue();
+    os_ << "null";
+    if (depth_.empty())
+        rootWritten_ = true;
+}
+
+} // namespace ida::stats

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter for experiment results.
+ *
+ * The harnesses archive every run as `results/<harness>.json` next to
+ * their text tables. The writer produces deterministic output: keys are
+ * emitted in call order, doubles use the shortest round-trippable form
+ * (std::to_chars), and strings are escaped per RFC 8259 — so two runs
+ * that measure identical values produce byte-identical files, which is
+ * what makes JSON outputs diffable across `--jobs` levels and machines.
+ *
+ * No parsing, no DOM: the library only ever *writes* JSON. The inverse
+ * escape transform (jsonUnescape) exists so tests can verify the
+ * round-trip property without a JSON parser dependency.
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ida::stats {
+
+/** Escape @p s as the contents of a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Inverse of jsonEscape: decode backslash escapes (including \uXXXX for
+ * code points below 0x80; larger ones are passed through escaped during
+ * encoding only when below 0x20, so this covers everything jsonEscape
+ * emits). Invalid escapes are kept verbatim rather than rejected.
+ */
+std::string jsonUnescape(const std::string &s);
+
+/** Format @p v as a JSON number: shortest form that round-trips. */
+std::string jsonNumber(double v);
+
+/**
+ * Structured JSON writer with automatic comma/indent management.
+ *
+ * Usage:
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.field("name", "proj_1");
+ *   w.key("results"); w.beginArray(); ... w.endArray();
+ *   w.endObject();
+ *
+ * Mismatched begin/end or a value without a key inside an object are
+ * programming errors and abort (sim::panic semantics, kept local to
+ * avoid the dependency).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next value (objects only). */
+    void key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(bool v);
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** True once the root value is complete. */
+    bool done() const { return depth_.empty() && rootWritten_; }
+
+  private:
+    enum class Ctx { Object, Array };
+
+    void beforeValue();
+    void newline();
+    void fail(const char *what) const;
+
+    std::ostream &os_;
+    int indent_;
+    std::vector<Ctx> depth_;
+    std::vector<bool> hasEntries_; // per open container
+    bool keyPending_ = false;
+    bool rootWritten_ = false;
+};
+
+} // namespace ida::stats

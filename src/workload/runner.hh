@@ -13,6 +13,10 @@
 #include "ssd/ssd.hh"
 #include "workload/presets.hh"
 
+namespace ida::stats {
+class JsonWriter;
+}
+
 namespace ida::workload {
 
 /** The measurements of one (workload, system) run. */
@@ -42,6 +46,19 @@ struct RunResult
 
     /** 1 - normalizedReadResp: the paper's "improvement" percentage. */
     double readImprovement(const RunResult &base) const;
+
+    /**
+     * Serialize every measurement as one JSON object through @p w.
+     *
+     * With @p include_volatile false, wall-clock fields (wallSeconds)
+     * are omitted so that two runs measuring identical values emit
+     * byte-identical JSON — the form the bench harnesses archive, and
+     * what makes `--jobs 1` and `--jobs N` exports diffable.
+     */
+    void writeJson(stats::JsonWriter &w, bool include_volatile) const;
+
+    /** writeJson to a string (convenience; volatile fields included). */
+    std::string toJson(bool include_volatile = true) const;
 };
 
 /**

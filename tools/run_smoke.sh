@@ -1,0 +1,40 @@
+#!/bin/sh
+# Tier-1 smoke gate: configure, build the batch layer, and run one tiny
+# experiment matrix through workload::runMatrix at two parallelism
+# levels, requiring byte-identical output (the determinism contract of
+# src/workload/batch.hh).
+#
+# Usage: tools/run_smoke.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR"
+cmake --build "$BUILD_DIR" --parallel --target batch_demo
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+# Separate results dirs so the two runs cannot clobber each other's JSON.
+IDA_RESULTS_DIR="$OUT_DIR/j1" "$BUILD_DIR/examples/batch_demo" --jobs 1 \
+    > "$OUT_DIR/stdout_j1" 2> /dev/null
+IDA_RESULTS_DIR="$OUT_DIR/j2" "$BUILD_DIR/examples/batch_demo" --jobs 2 \
+    > "$OUT_DIR/stdout_j2" 2> /dev/null
+
+# Normalize the one path difference we introduced ourselves.
+sed "s|$OUT_DIR/j1|RESULTS|" "$OUT_DIR/stdout_j1" > "$OUT_DIR/n1"
+sed "s|$OUT_DIR/j2|RESULTS|" "$OUT_DIR/stdout_j2" > "$OUT_DIR/n2"
+
+if ! cmp -s "$OUT_DIR/n1" "$OUT_DIR/n2"; then
+    echo "smoke: FAIL - batch_demo output differs between -j1 and -j2" >&2
+    diff "$OUT_DIR/n1" "$OUT_DIR/n2" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$OUT_DIR/j1/batch_demo.json" "$OUT_DIR/j2/batch_demo.json"; then
+    echo "smoke: FAIL - JSON export differs between -j1 and -j2" >&2
+    exit 1
+fi
+
+echo "smoke: OK (matrix deterministic across -j1/-j2)"
+cat "$OUT_DIR/stdout_j1"
