@@ -15,9 +15,11 @@
  * Matrix-shaped harnesses execute through workload::runMatrix: pass
  * `--jobs N` (or set IDA_JOBS) to run the independent simulations on N
  * threads; the tables and JSON exports are byte-identical at any N (see
- * src/workload/batch.hh for the determinism contract). Each harness
- * also archives its full measurement set as
- * `$IDA_RESULTS_DIR/<harness>.json` (default `results/`).
+ * src/workload/batch.hh for the determinism contract). Per-run wall
+ * times are printed to stderr — the one nondeterministic measurement,
+ * kept off the byte-compared stdout. Each harness also archives its
+ * full measurement set as `$IDA_RESULTS_DIR/<harness>.json` (default
+ * `results/`).
  */
 #pragma once
 
@@ -101,6 +103,12 @@ batchOptions(int argc, char **argv)
  * Execute a harness's matrix: runMatrix + failure gate. Any failed run
  * is a harness bug (the specs are static); report and exit non-zero
  * rather than print a table with holes.
+ *
+ * Per-run wall times are reported as a small table on *stderr*: humans
+ * get ad-hoc perf observations without digging through the JSON
+ * archive, while stdout stays byte-identical across --jobs levels (the
+ * determinism contract run_smoke.sh checks — wall clock is the one
+ * legitimately nondeterministic measurement).
  */
 inline workload::BatchOutcome
 runMatrixOrDie(const std::vector<workload::RunSpec> &specs,
@@ -115,6 +123,15 @@ runMatrixOrDie(const std::vector<workload::RunSpec> &specs,
         }
         std::exit(1);
     }
+    std::fprintf(stderr, "%-32s %10s\n", "run", "wall_s");
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+        std::fprintf(stderr, "%-32s %10.3f\n", specs[i].tag.c_str(),
+                     out.results[i].wallSeconds);
+        total += out.results[i].wallSeconds;
+    }
+    std::fprintf(stderr, "%-32s %10.3f  (%d jobs)\n", "total cpu",
+                 total, out.jobs);
     return out;
 }
 

@@ -8,7 +8,8 @@ Block::Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell)
     : bits_(bits_per_cell),
       pages_(pages_per_block, PageState::Free),
       wlMask_(pages_per_block / bits_per_cell,
-              fullMask(static_cast<int>(bits_per_cell)))
+              fullMask(static_cast<int>(bits_per_cell))),
+      wlInvalid_(pages_per_block / bits_per_cell, 0)
 {
     if (pages_per_block % bits_per_cell != 0)
         sim::panic("Block: pagesPerBlock must divide by bitsPerCell");
@@ -46,6 +47,8 @@ Block::invalidate(std::uint32_t page)
     if (pages_[page] != PageState::Valid)
         sim::panic("Block::invalidate: page is not valid");
     pages_[page] = PageState::Invalid;
+    wlInvalid_[page / bits_] |=
+        static_cast<LevelMask>(1u << (page % bits_));
     --validCount_;
 }
 
@@ -78,6 +81,7 @@ Block::erase()
     std::fill(pages_.begin(), pages_.end(), PageState::Free);
     std::fill(wlMask_.begin(), wlMask_.end(),
               fullMask(static_cast<int>(bits_)));
+    std::fill(wlInvalid_.begin(), wlInvalid_.end(), LevelMask{0});
     writePtr_ = 0;
     validCount_ = 0;
     ++eraseCount_;

@@ -83,6 +83,17 @@ class Block
     }
 
     /**
+     * Bitmask of @p wl's page levels currently in PageState::Invalid
+     * (bit L set <=> the level-L page is Invalid). Maintained
+     * incrementally on invalidate()/erase(), so the FTL's per-host-read
+     * "is any lower level invalid?" classification is one AND instead
+     * of a loop over the wordline (ftl/ftl.cc classifyHostRead).
+     */
+    LevelMask invalidLevelMask(std::uint32_t wl) const {
+        return wlInvalid_[wl];
+    }
+
+    /**
      * Sensings needed to read in-block page @p page under @p scheme,
      * honoring the wordline's coding mode.
      */
@@ -121,6 +132,7 @@ class Block
     std::uint32_t bits_;
     std::vector<PageState> pages_;
     std::vector<LevelMask> wlMask_;
+    std::vector<LevelMask> wlInvalid_; // cache: Invalid levels per wordline
     std::uint32_t writePtr_ = 0;
     std::uint32_t validCount_ = 0;
     std::uint32_t eraseCount_ = 0;

@@ -104,6 +104,39 @@ ChipArray::adjustWordline(BlockId b, std::uint32_t wl, LevelMask mask,
     ++stats_.adjusts;
 }
 
+std::uint32_t
+ChipArray::acquireReadSlot(DoneCallback done, sim::Time completion)
+{
+    std::uint32_t slot;
+    if (freeReadSlot_ != kNilSlot) {
+        slot = freeReadSlot_;
+        freeReadSlot_ = pendingReads_[slot].nextFree;
+    } else {
+        slot = static_cast<std::uint32_t>(pendingReads_.size());
+        pendingReads_.emplace_back();
+    }
+    PendingRead &pr = pendingReads_[slot];
+    pr.done = std::move(done);
+    pr.completion = completion;
+    return slot;
+}
+
+void
+ChipArray::finishRead(std::uint32_t slot)
+{
+    // Move everything out and recycle the slot before running the
+    // callback: it may issue another read and reuse this very slot.
+    PendingRead &pr = pendingReads_[slot];
+    DoneCallback done = std::move(pr.done);
+    const sim::Time completion = pr.completion;
+    pr.done = nullptr;
+    pr.nextFree = freeReadSlot_;
+    freeReadSlot_ = slot;
+    --inflight_;
+    if (done)
+        done(completion);
+}
+
 void
 ChipArray::enqueue(DieId die, Command cmd)
 {
@@ -227,14 +260,13 @@ ChipArray::tryStart(DieId die)
         stats_.dieBusy += sense_done - now;
 
         // The read itself completes after transfer + ECC, independent
-        // of the die becoming free at sense completion.
+        // of the die becoming free at sense completion. The callback is
+        // parked in the pending-read slab; the event carries only the
+        // slot index.
         const sim::Time completion = ch_end + cmd.postLatency;
-        events_.schedule(completion,
-                         [this, done = std::move(cmd.done), completion] {
-                             --inflight_;
-                             if (done)
-                                 done(completion);
-                         });
+        const std::uint32_t slot =
+            acquireReadSlot(std::move(cmd.done), completion);
+        events_.schedule(completion, [this, slot] { finishRead(slot); });
         occupyDie(die, sense_done, false, nullptr);
         break;
       }

@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,11 +33,21 @@
 #include "flash/geometry.hh"
 #include "flash/timing.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_callback.hh"
 
 namespace ida::flash {
 
-/** Completion callback: receives the command's finish time. */
-using DoneCallback = std::function<void(sim::Time)>;
+/**
+ * Completion callback: receives the command's finish time.
+ *
+ * 48 bytes of inline storage, allocation-free and move-only (see
+ * sim/inline_callback.hh). Budgeted for the deepest capture set layered
+ * on top: the FTL wraps a DoneCallback together with a `this` pointer
+ * into one 64-byte EventQueue::Callback (ftl/ftl.cc write-buffer and
+ * migration-prune paths), so 48 + 8 (vtable) + 8 (this) must stay
+ * within EventQueue::Callback::capacity.
+ */
+using DoneCallback = sim::InlineCallback<void(sim::Time), 48>;
 
 /** Aggregate chip-array activity counters. */
 struct ChipStats
@@ -151,6 +160,23 @@ class ChipArray
         DoneCallback suspendedDone;
     };
 
+    /**
+     * A read past its die stage, waiting for its transfer + ECC
+     * completion event. Slab-pooled (free list through `nextFree`) so
+     * the completion event only captures {this, slot} — 16 bytes —
+     * instead of hauling the 56-byte DoneCallback through the event
+     * queue, and so the per-read bookkeeping allocates nothing in the
+     * steady state.
+     */
+    struct PendingRead
+    {
+        DoneCallback done;
+        sim::Time completion = 0;
+        std::uint32_t nextFree = kNilSlot;
+    };
+
+    static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
+
     void enqueue(DieId die, Command cmd);
     void trySuspend(DieId die);
     void tryStart(DieId die);
@@ -158,6 +184,8 @@ class ChipArray
                    DoneCallback done);
     void onDieOpEnd(DieId die, std::uint64_t gen);
     void resumeSuspended(DieId die);
+    std::uint32_t acquireReadSlot(DoneCallback done, sim::Time completion);
+    void finishRead(std::uint32_t slot);
 
     const Geometry geom_;
     const FlashTiming timing_;
@@ -167,6 +195,8 @@ class ChipArray
     std::vector<Block> blocks_;
     std::vector<Die> dies_;
     std::vector<sim::Time> channelFree_;
+    std::vector<PendingRead> pendingReads_;
+    std::uint32_t freeReadSlot_ = kNilSlot;
     ChipStats stats_;
     std::uint64_t inflight_ = 0;
 };

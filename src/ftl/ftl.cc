@@ -78,15 +78,11 @@ Ftl::classifyHostRead(Ppn ppn)
 
     auto &rc = stats_.readClass;
     ++rc.byLevel[level];
-    bool lowerInvalid = false;
-    for (std::uint32_t l = 0; l < level; ++l) {
-        if (blk.pageState(geom_.pageOfWordline(wl, l)) ==
-            flash::PageState::Invalid) {
-            lowerInvalid = true;
-            break;
-        }
-    }
-    if (lowerInvalid)
+    // One mask probe instead of a loop over the lower page levels: the
+    // block caches which levels of each wordline are Invalid (updated
+    // on invalidate/erase; see flash/block.hh).
+    const auto below = static_cast<flash::LevelMask>((1u << level) - 1);
+    if ((blk.invalidLevelMask(wl) & below) != 0)
         ++rc.byLevelLowerInvalid[level];
 }
 
@@ -95,21 +91,20 @@ Ftl::hostRead(Lpn lpn, PageDone done)
 {
     ++stats_.hostReads;
     if (wbuf_.contains(lpn)) {
-        // The freshest copy is still in controller DRAM.
+        // The freshest copy is still in controller DRAM. The completion
+        // time is known now, so the event captures {done, t} instead of
+        // dragging a `this` along just to re-read the clock.
         wbuf_.noteReadHit();
-        events_.scheduleAfter(wbuf_.config().dramLatency,
-                              [done = std::move(done), this] {
-                                  done(events_.now());
-                              });
+        const sim::Time t = events_.now() + wbuf_.config().dramLatency;
+        events_.schedule(t, [done = std::move(done), t] { done(t); });
         return;
     }
     const Ppn src = mapping_.lookup(lpn);
     if (src == kInvalidPpn) {
         // Never-written data: served without touching the flash array.
         ++stats_.hostReadsUnmapped;
-        events_.scheduleAfter(0, [done = std::move(done), this] {
-            done(events_.now());
-        });
+        const sim::Time t = events_.now();
+        events_.schedule(t, [done = std::move(done), t] { done(t); });
         return;
     }
 
@@ -140,11 +135,11 @@ Ftl::hostWrite(Lpn lpn, PageDone done)
     ++stats_.hostWrites;
     if (wbuf_.enabled() && wbuf_.insert(lpn)) {
         // Absorbed in controller DRAM; destaged in the background.
-        events_.scheduleAfter(wbuf_.config().dramLatency,
-                              [done = std::move(done), this] {
-                                  if (done)
-                                      done(events_.now());
-                              });
+        const sim::Time t = events_.now() + wbuf_.config().dramLatency;
+        events_.schedule(t, [done = std::move(done), t] {
+            if (done)
+                done(t);
+        });
         maybeFlushWriteBuffer();
         return;
     }
@@ -258,10 +253,9 @@ Ftl::flushMigrations(std::uint64_t plane)
         while (!q.empty() &&
                mapping_.reverse(q.front().src) == kInvalidLpn) {
             if (q.front().done) {
-                events_.scheduleAfter(
-                    0, [done = std::move(q.front().done), this] {
-                        done(events_.now());
-                    });
+                const sim::Time t = events_.now();
+                events_.schedule(
+                    t, [done = std::move(q.front().done), t] { done(t); });
             }
             q.pop_front();
         }
@@ -305,7 +299,7 @@ Ftl::flushMigrations(std::uint64_t plane)
 }
 
 void
-Ftl::eraseAndRelease(BlockId b, std::function<void()> done)
+Ftl::eraseAndRelease(BlockId b, ReleaseDone done)
 {
     ++stats_.gc.erases;
     chips_.eraseBlock(b, [this, b, done = std::move(done)](sim::Time) {

@@ -135,8 +135,22 @@ struct FtlStats
     std::uint64_t maxInUseBlocks = 0;
 };
 
-/** Page-level host-operation completion callback. */
-using PageDone = std::function<void(sim::Time)>;
+/**
+ * Page-level host-operation completion callback. Aliased to the flash
+ * layer's DoneCallback so the FTL hands host continuations straight
+ * down to ChipArray without re-wrapping them in another capturing
+ * lambda (the callback-chain shortening that keeps capture sets inside
+ * the inline budgets).
+ */
+using PageDone = flash::DoneCallback;
+
+/**
+ * Block-release continuation for eraseAndRelease. Deliberately tiny
+ * (24-byte storage): GC captures {this, plane}, refresh captures
+ * {this}, and the whole thing still has to nest inside the erase
+ * command's DoneCallback together with a `this` and a BlockId.
+ */
+using ReleaseDone = sim::InlineCallback<void(), 24>;
 
 /**
  * The flash translation layer.
@@ -229,7 +243,7 @@ class Ftl
     void flushMigrations(std::uint64_t plane);
 
     /** Erase @p b and return it to the free pool when done. */
-    void eraseAndRelease(BlockId b, std::function<void()> done);
+    void eraseAndRelease(BlockId b, ReleaseDone done);
 
     void onGcFinished(std::uint64_t plane);
     void onRefreshFinished(BlockId block);

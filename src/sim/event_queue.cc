@@ -1,41 +1,143 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
+
+#include "sim/log.hh"
 
 namespace ida::sim {
 
-void
-EventQueue::schedule(Time when, Callback cb)
+namespace {
+
+/** 4-ary heap index arithmetic: children of i are [4i+1, 4i+4]. */
+constexpr std::size_t
+parentOf(std::size_t i)
 {
-    if (when < now_)
-        when = now_;
-    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    return (i - 1) / 4;
+}
+
+constexpr std::size_t
+firstChildOf(std::size_t i)
+{
+    return 4 * i + 1;
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::growPool()
+{
+    if (pool_.size() > Entry::kNodeMask)
+        fatal("EventQueue: more than 2^20 events pending");
+    const auto idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+    return idx;
+}
+
+void
+EventQueue::notePastSchedule()
+{
+    ++pastSchedules_;
+#ifndef NDEBUG
+    warn("EventQueue::schedule: past-time event clamped to now()");
+#endif
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    const Entry e = heap_[i];
+    while (i > 0) {
+        const std::size_t p = parentOf(i);
+        if (!earlier(e, heap_[p]))
+            break;
+        heap_[i] = heap_[p];
+        i = p;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t size = heap_.size();
+    Entry *const h = heap_.data();
+    const Entry e = h[i];
+    for (;;) {
+        const std::size_t first = firstChildOf(i);
+        if (first + 3 < size) {
+            // Full four-child node (every node above the heap's ragged
+            // edge). Keys are random relative to each other, so a
+            // compare-and-branch scan would mispredict roughly every
+            // other compare; the ternaries below compile to conditional
+            // moves, leaving only the descend-or-stop branch — which is
+            // "descend" nearly every level of a pop. Keys are unique
+            // (seq component), so tie order cannot matter.
+            const std::size_t a =
+                h[first + 1].key < h[first].key ? first + 1 : first;
+            const std::size_t b =
+                h[first + 3].key < h[first + 2].key ? first + 3 : first + 2;
+            const std::size_t best = h[b].key < h[a].key ? b : a;
+            if (!earlier(h[best], e))
+                break;
+            h[i] = h[best];
+            i = best;
+        } else if (first < size) {
+            // Ragged edge: 1-3 children, at most once per sift.
+            std::size_t best = first;
+            for (std::size_t c = first + 1; c < size; ++c) {
+                if (earlier(h[c], h[best]))
+                    best = c;
+            }
+            if (!earlier(h[best], e))
+                break;
+            h[i] = h[best];
+            i = best;
+        } else {
+            break;
+        }
+    }
+    h[i] = e;
+}
+
+void
+EventQueue::popTop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+}
+
+void
+EventQueue::dispatchTop()
+{
+    const Entry top = heap_.front();
+    popTop();
+    now_ = top.when();
+    ++executed_;
+    // Move the callback out and recycle its slot *before* invoking:
+    // the callback may schedule new events, and the common
+    // one-event-schedules-the-next chain then reuses this very slot.
+    const std::uint32_t node = top.node();
+    Callback cb = std::move(pool_[node].cb);
+    releaseSlot(node);
+    cb();
 }
 
 Time
 EventQueue::run()
 {
-    while (!heap_.empty()) {
-        // The callback may schedule new events, so pop before invoking.
-        Event ev = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
-        now_ = ev.when;
-        ++executed_;
-        ev.cb();
-    }
+    while (!heap_.empty())
+        dispatchTop();
     return now_;
 }
 
 Time
 EventQueue::runUntil(Time limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        Event ev = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
-        now_ = ev.when;
-        ++executed_;
-        ev.cb();
-    }
+    while (!heap_.empty() && heap_.front().when() <= limit)
+        dispatchTop();
     if (now_ < limit)
         now_ = limit;
     return now_;

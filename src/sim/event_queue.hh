@@ -6,14 +6,41 @@
  * refresh scans, and host request arrivals are all events. Events scheduled
  * for the same tick fire in FIFO order (a monotonically increasing sequence
  * number breaks ties), which keeps runs bit-for-bit reproducible.
+ *
+ * # Hot-path design (see docs/ARCHITECTURE.md, "Simulation kernel
+ * internals")
+ *
+ * Every simulated flash command costs a handful of kernel round trips, so
+ * the schedule/pop/dispatch cycle is the floor under every benchmark
+ * harness. Three choices keep it allocation-free and cache-friendly:
+ *
+ *  - Callbacks are sim::InlineCallback (fixed 64-byte inline storage,
+ *    compile-time rejection of oversized captures), not std::function:
+ *    zero heap traffic per event, guaranteed statically.
+ *  - The priority queue is a hand-rolled 4-ary heap of 16-byte entries
+ *    (when, seq and node index packed into one 128-bit key). Sift
+ *    compares never touch the callbacks; a 4-ary layout halves the
+ *    tree height of a binary heap, and the four children of a node fit
+ *    in a single cache line.
+ *  - Callback payloads live in a slab pool recycled through a free list.
+ *    A popped node is released *before* its callback runs, so the
+ *    schedule-one-more chain that dominates simulation traffic reuses
+ *    the same slot over and over; in the steady state neither the heap
+ *    nor the pool ever grows.
+ *
+ * The observable contract is unchanged from the std::priority_queue
+ * kernel: (when, seq) ordering, past-time scheduling clamps to now()
+ * (counted, and warned about in debug builds), callbacks may freely
+ * schedule new events. tests/test_event_order.cc pins the dispatch
+ * order byte-for-byte against the old semantics.
  */
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/time.hh"
 
 namespace ida::sim {
@@ -27,7 +54,13 @@ namespace ida::sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Scheduled-event callback. 64 bytes of inline storage: sized for
+     * the deepest kernel capture chain (a flash::DoneCallback plus a
+     * `this` pointer, see flash/chip.hh), statically enforced — a
+     * capture set that would allocate does not compile.
+     */
+    using Callback = InlineCallback<void(), 64>;
 
     EventQueue() = default;
 
@@ -38,13 +71,34 @@ class EventQueue
      * Schedule @p cb to run at absolute time @p when.
      *
      * Scheduling in the past is a programming error and fires immediately
-     * at the current time instead (never rewinds the clock).
+     * at the current time instead (never rewinds the clock). Each
+     * occurrence increments pastSchedules() and, in debug builds, emits
+     * a sim::warn so the offending flow is visible.
+     *
+     * Templated so a lambda is constructed directly inside its pooled
+     * slot (one placement-new) instead of materializing a Callback and
+     * relocating it in; a ready-made Callback moves in the same way.
      */
-    void schedule(Time when, Callback cb);
+    template <typename F>
+    void
+    schedule(Time when, F &&cb)
+    {
+        if (when < now_) {
+            notePastSchedule();
+            when = now_;
+        }
+        const std::uint32_t idx = acquireSlot();
+        pool_[idx].cb = std::forward<F>(cb);
+        heap_.push_back(Entry::make(when, nextSeq_++, idx));
+        siftUp(heap_.size() - 1);
+    }
 
     /** Schedule @p cb to run @p delay ticks from now. */
-    void scheduleAfter(Time delay, Callback cb) {
-        schedule(now_ + delay, std::move(cb));
+    template <typename F>
+    void
+    scheduleAfter(Time delay, F &&cb)
+    {
+        schedule(now_ + delay, std::forward<F>(cb));
     }
 
     /** Run every pending event; returns the final simulated time. */
@@ -67,29 +121,110 @@ class EventQueue
     /** Total events executed since construction (for microbenchmarks). */
     std::uint64_t executed() const { return executed_; }
 
-  private:
-    struct Event
-    {
-        Time when;
-        std::uint64_t seq;
-        Callback cb;
-    };
+    /** Times schedule() was handed a past timestamp (clamped to now). */
+    std::uint64_t pastSchedules() const { return pastSchedules_; }
 
-    struct Later
+    /** Pool slots currently allocated (high-water mark diagnostics). */
+    std::size_t poolSize() const { return pool_.size(); }
+
+  private:
+    /**
+     * Heap entry: exactly 16 bytes — one unsigned 128-bit key laid out
+     * as (when << 64) | (seq << 20) | node. Ordering needs only
+     * (when, seq) lexicographic; seqs are unique, so the node bits in
+     * the lowest 20 never decide a comparison and ride along for free.
+     * Each sift comparison is then a single sub/sbb instead of two
+     * data-dependent branches, and the four children of a 4-ary heap
+     * level span a single cache line. Valid because event times are
+     * never negative (schedule clamps to now() >= 0).
+     *
+     * Field widths: when 64 bits, seq 44 bits (~17e12 events before
+     * wrap; debug-asserted), node 20 bits (1M simultaneously pending
+     * events; growPool checks the cap).
+     */
+    struct Entry
     {
-        bool
-        operator()(const Event &a, const Event &b) const
+        unsigned __int128 key;
+
+        static constexpr unsigned kNodeBits = 20;
+        static constexpr std::uint64_t kNodeMask =
+            (std::uint64_t{1} << kNodeBits) - 1;
+
+        static Entry
+        make(Time when, std::uint64_t seq, std::uint32_t node)
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            assert(seq < (std::uint64_t{1} << (64 - kNodeBits)));
+            return Entry{(static_cast<unsigned __int128>(
+                              static_cast<std::uint64_t>(when))
+                          << 64) |
+                         (seq << kNodeBits) | node};
+        }
+
+        Time when() const {
+            return static_cast<Time>(
+                static_cast<std::uint64_t>(key >> 64));
+        }
+
+        std::uint32_t node() const {
+            return static_cast<std::uint32_t>(
+                static_cast<std::uint64_t>(key) & kNodeMask);
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Pooled payload; `nextFree` threads the free list when idle. */
+    struct Node
+    {
+        Callback cb;
+        std::uint32_t nextFree = kNil;
+    };
+
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    static bool
+    earlier(const Entry &a, const Entry &b)
+    {
+        // (when, seq) lexicographic — FIFO within a tick — via the
+        // packed key.
+        return a.key < b.key;
+    }
+
+    /** Grab a pool slot: free-list head, else grow the slab. */
+    std::uint32_t
+    acquireSlot()
+    {
+        if (freeHead_ != kNil) {
+            const std::uint32_t idx = freeHead_;
+            freeHead_ = pool_[idx].nextFree;
+            return idx;
+        }
+        return growPool();
+    }
+
+    /** Slow path: append a pool slot, enforcing the node-index width. */
+    std::uint32_t growPool();
+
+    void
+    releaseSlot(std::uint32_t idx)
+    {
+        pool_[idx].nextFree = freeHead_;
+        freeHead_ = idx;
+    }
+
+    void notePastSchedule();
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    /** Remove the root entry (heap must be non-empty). */
+    void popTop();
+    /** Pop the root, release its node, and run its callback at when. */
+    void dispatchTop();
+
+    std::vector<Entry> heap_;
+    std::vector<Node> pool_;
+    std::uint32_t freeHead_ = kNil;
     Time now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t pastSchedules_ = 0;
 };
 
 } // namespace ida::sim

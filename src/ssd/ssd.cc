@@ -60,7 +60,28 @@ Ssd::submit(const HostRequest &req)
     if (req.startPage + req.pageCount > logicalPages())
         sim::fatal("Ssd::submit: request beyond logical capacity");
     ++inflightRequests_;
-    events_.schedule(req.arrival, [this, req] { dispatch(req); });
+    std::uint32_t slot;
+    if (freeSubmit_ != kNilSlot) {
+        slot = freeSubmit_;
+        freeSubmit_ = pendingSubmits_[slot].nextFree;
+        pendingSubmits_[slot].req = req;
+    } else {
+        slot = static_cast<std::uint32_t>(pendingSubmits_.size());
+        pendingSubmits_.push_back(PendingSubmit{req, kNilSlot});
+    }
+    events_.schedule(req.arrival, [this, slot] { dispatchPending(slot); });
+}
+
+void
+Ssd::dispatchPending(std::uint32_t slot)
+{
+    // Move the request out and recycle the slot first: dispatch() may
+    // complete synchronously-chained completions that submit again.
+    const HostRequest req = std::move(pendingSubmits_[slot].req);
+    pendingSubmits_[slot].req = HostRequest{};
+    pendingSubmits_[slot].nextFree = freeSubmit_;
+    freeSubmit_ = slot;
+    dispatch(req);
 }
 
 void

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "ecc/ecc_model.hh"
 #include "flash/chip.hh"
@@ -96,7 +98,23 @@ class Ssd
     bool drained() const;
 
   private:
+    /**
+     * A submitted request waiting for its arrival tick. Slab-pooled so
+     * the arrival event captures {this, slot} (16 bytes) instead of a
+     * full HostRequest, which would not fit the event queue's inline
+     * callback budget — and so submissions allocate nothing in the
+     * steady state.
+     */
+    struct PendingSubmit
+    {
+        HostRequest req;
+        std::uint32_t nextFree = kNilSlot;
+    };
+
+    static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
+
     void dispatch(const HostRequest &req);
+    void dispatchPending(std::uint32_t slot);
 
     SsdConfig cfg_;
     flash::CodingScheme coding_;
@@ -105,6 +123,8 @@ class Ssd
     std::unique_ptr<flash::ChipArray> chips_;
     std::unique_ptr<ftl::Ftl> ftl_;
     SsdStats stats_;
+    std::vector<PendingSubmit> pendingSubmits_;
+    std::uint32_t freeSubmit_ = kNilSlot;
     std::uint64_t inflightRequests_ = 0;
 };
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Golden dispatch-order test for the event kernel.
+ *
+ * The pooled 4-ary-heap EventQueue replaced a std::priority_queue
+ * kernel whose observable contract was (when, seq) lexicographic
+ * dispatch — strict time order, FIFO within a tick, past-time schedules
+ * clamped to now(). Simulation results are bit-for-bit downstream of
+ * this order, so it must survive kernel rewrites exactly.
+ *
+ * The test replays a pseudorandom, self-expanding event storm through
+ * the real EventQueue and through a deliberately naive reference model
+ * (linear scan for the (when, seq) minimum — the old semantics spelled
+ * out), logging every dispatch as text. The two logs must match
+ * byte for byte.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace ida::sim {
+namespace {
+
+/** Deterministic per-event behavior, shared by both sides. */
+struct StormRules
+{
+    std::uint32_t cap;
+
+    static std::uint32_t
+    mix(std::uint32_t x)
+    {
+        x ^= x >> 16;
+        x *= 0x7feb352du;
+        x ^= x >> 15;
+        x *= 0x846ca68bu;
+        x ^= x >> 16;
+        return x;
+    }
+
+    /**
+     * Child delays spawned by event @p id. Deliberately nasty: same-tick
+     * children (delay 0), past-time children (delay -3), and ties from
+     * unrelated events colliding on the same tick.
+     */
+    std::vector<Time>
+    childDelays(std::uint32_t id) const
+    {
+        const std::uint32_t r = mix(id + 1);
+        std::vector<Time> out;
+        // 1-2 children: supercritical, so the storm always reaches the
+        // id cap instead of fizzling out early.
+        const std::uint32_t n = 1 + (r & 1);
+        for (std::uint32_t k = 0; k < n; ++k) {
+            const std::uint32_t d = (r >> (8 + 6 * k)) % 9;
+            out.push_back(static_cast<Time>(d) - 3); // -3..5
+        }
+        return out;
+    }
+};
+
+/** One dispatched event, as a log line: "<id>@<when>\n". */
+void
+logLine(std::string &log, std::uint32_t id, Time when)
+{
+    log += std::to_string(id);
+    log += '@';
+    log += std::to_string(when);
+    log += '\n';
+}
+
+/**
+ * Reference model: the old kernel's semantics with no data structure at
+ * all — events in a flat vector, dispatch = linear scan for the
+ * smallest (when, seq), past-time schedule = clamp to now.
+ */
+std::string
+referenceStorm(const StormRules &rules)
+{
+    struct Ev
+    {
+        Time when;
+        std::uint64_t seq;
+        std::uint32_t id;
+    };
+    std::string log;
+    std::vector<Ev> pending;
+    std::uint64_t nextSeq = 0;
+    std::uint32_t nextId = 0;
+    Time now = 0;
+
+    for (std::uint32_t i = 0; i < 8; ++i)
+        pending.push_back(Ev{static_cast<Time>(i % 3), nextSeq++, nextId++});
+
+    while (!pending.empty()) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < pending.size(); ++j) {
+            const Ev &a = pending[j];
+            const Ev &b = pending[best];
+            if (a.when < b.when || (a.when == b.when && a.seq < b.seq))
+                best = j;
+        }
+        const Ev ev = pending[best];
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+        now = ev.when;
+        logLine(log, ev.id, now);
+        for (const Time d : rules.childDelays(ev.id)) {
+            if (nextId >= rules.cap)
+                break;
+            Time when = now + d;
+            if (when < now)
+                when = now; // the past-time clamp
+            pending.push_back(Ev{when, nextSeq++, nextId++});
+        }
+    }
+    return log;
+}
+
+/** The same storm through the real kernel. */
+class KernelStorm
+{
+  public:
+    explicit KernelStorm(const StormRules &rules) : rules_(rules) {}
+
+    std::string
+    run()
+    {
+        for (std::uint32_t i = 0; i < 8; ++i)
+            spawn(static_cast<Time>(i % 3));
+        q_.run();
+        return std::move(log_);
+    }
+
+    /** Like run(), but dragged through runUntil in small steps. */
+    std::string
+    runStepped(Time step)
+    {
+        for (std::uint32_t i = 0; i < 8; ++i)
+            spawn(static_cast<Time>(i % 3));
+        Time limit = 0;
+        while (!q_.empty()) {
+            limit += step;
+            q_.runUntil(limit);
+        }
+        return std::move(log_);
+    }
+
+    std::uint64_t pastSchedules() const { return q_.pastSchedules(); }
+
+  private:
+    void
+    spawn(Time when)
+    {
+        const std::uint32_t id = nextId_++;
+        q_.schedule(when, [this, id] { fire(id); });
+    }
+
+    void
+    fire(std::uint32_t id)
+    {
+        logLine(log_, id, q_.now());
+        for (const Time d : rules_.childDelays(id)) {
+            if (nextId_ >= rules_.cap)
+                break;
+            // Negative delays exercise the past-time clamp in the real
+            // kernel; the reference model clamps arithmetically.
+            spawn(q_.now() + d);
+        }
+    }
+
+    StormRules rules_;
+    EventQueue q_;
+    std::string log_;
+    std::uint32_t nextId_ = 0;
+};
+
+TEST(EventOrderGolden, MatchesReferenceByteForByte)
+{
+    const StormRules rules{5000};
+    const std::string expected = referenceStorm(rules);
+    const std::string actual = KernelStorm(rules).run();
+    // Sanity: the storm is big enough to mean something and contains
+    // same-tick ties (distinct ids dispatched at one timestamp).
+    EXPECT_GT(expected.size(), 20'000u);
+    ASSERT_EQ(actual, expected);
+}
+
+TEST(EventOrderGolden, RunUntilSteppingDoesNotReorder)
+{
+    const StormRules rules{2000};
+    const std::string expected = referenceStorm(rules);
+    EXPECT_EQ(KernelStorm(rules).runStepped(1), expected);
+    EXPECT_EQ(KernelStorm(rules).runStepped(7), expected);
+}
+
+TEST(EventOrderGolden, PastSchedulesAreCountedAndClamped)
+{
+    const StormRules rules{5000};
+    KernelStorm storm(rules);
+    const std::string log = storm.run();
+    // The rules spawn negative delays regularly; every one must have
+    // been clamped (order already checked against the reference) and
+    // counted.
+    EXPECT_GT(storm.pastSchedules(), 0u);
+
+    EventQueue q;
+    EXPECT_EQ(q.pastSchedules(), 0u);
+    q.schedule(100, [&q] {
+        q.schedule(10, [] {}); // in the past once now == 100
+    });
+    q.run();
+    EXPECT_EQ(q.pastSchedules(), 1u);
+    EXPECT_EQ(q.now(), 100);
+}
+
+} // namespace
+} // namespace ida::sim

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Validate a BENCH_*.json perf record against the documented schema
+# (docs/PERF.md): an object with exactly the fields
+#   bench (string), commit (string),
+#   events_per_sec, ios_per_sec, wall_ms (positive numbers).
+# Grep-based on purpose: runs anywhere the tier-1 gate runs, no jq.
+#
+# Usage: tools/check_bench_json.sh <file.json>
+set -eu
+
+FILE="${1:?usage: check_bench_json.sh <file.json>}"
+
+fail() {
+    echo "check_bench_json: FAIL - $1 ($FILE)" >&2
+    exit 1
+}
+
+[ -f "$FILE" ] || fail "file missing"
+
+for key in bench commit; do
+    grep -Eq "\"$key\": \"[^\"]+\"" "$FILE" || \
+        fail "missing string field '$key'"
+done
+
+# Numeric fields must be present and positive (a zero rate means the
+# benchmark's timer or counter is broken).
+for key in events_per_sec ios_per_sec wall_ms; do
+    grep -Eq "\"$key\": [0-9]*\.?[0-9]+" "$FILE" || \
+        fail "missing numeric field '$key'"
+    grep -Eq "\"$key\": 0(\.0*)?[,}\n ]*\$" "$FILE" && \
+        fail "field '$key' is zero" || true
+done
+
+echo "check_bench_json: OK ($FILE)"

@@ -2,7 +2,8 @@
 # Tier-1 smoke gate: configure, build the batch layer, and run one tiny
 # experiment matrix through workload::runMatrix at two parallelism
 # levels, requiring byte-identical output (the determinism contract of
-# src/workload/batch.hh).
+# src/workload/batch.hh). Then run the perf harness at smoke scale
+# (bench_smoke target: perf_kernel + BENCH_kernel.json schema check).
 #
 # Usage: tools/run_smoke.sh [build-dir]   (default: build)
 set -eu
@@ -38,3 +39,5 @@ fi
 
 echo "smoke: OK (matrix deterministic across -j1/-j2)"
 cat "$OUT_DIR/stdout_j1"
+
+cmake --build "$BUILD_DIR" --parallel --target bench_smoke
