@@ -1,0 +1,477 @@
+#include "audit/auditor.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ssd/ssd.hh"
+
+namespace ida::audit {
+
+namespace {
+
+/** Keep a corrupt run's report readable; totalViolations() is exact. */
+constexpr std::size_t kMaxStoredViolations = 100;
+
+template <typename... Ts>
+std::string
+cat(Ts &&...parts)
+{
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+}
+
+} // namespace
+
+Auditor::Auditor(ssd::Ssd &ssd) : ssd_(ssd)
+{
+    registerCheck("mapping-block",
+                  [](Auditor &a) { a.checkMappingBlock(); });
+    registerCheck("wordline-cache",
+                  [](Auditor &a) { a.checkWordlineCache(); });
+    registerCheck("ida-coding", [](Auditor &a) { a.checkIdaCoding(); });
+    registerCheck("event-queue", [](Auditor &a) { a.checkEventQueue(); });
+    registerCheck("block-accounting",
+                  [](Auditor &a) { a.checkBlockAccounting(); });
+    registerCheck("conservation",
+                  [](Auditor &a) { a.checkConservation(); });
+    base_ = captureBaseline();
+}
+
+void
+Auditor::registerCheck(std::string name, CheckFn fn)
+{
+    checks_.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+Auditor::fail(std::string detail)
+{
+    ++totalViolations_;
+    if (violations_.size() < kMaxStoredViolations) {
+        violations_.push_back(Violation{
+            currentCheck_ ? *currentCheck_ : std::string("manual"),
+            std::move(detail)});
+    }
+}
+
+std::size_t
+Auditor::runAll()
+{
+    const std::uint64_t before = totalViolations_;
+    for (auto &[name, fn] : checks_) {
+        currentCheck_ = &name;
+        fn(*this);
+    }
+    currentCheck_ = nullptr;
+    ++runs_;
+    lastAuditExecuted_ = ssd_.events().executed();
+    return static_cast<std::size_t>(totalViolations_ - before);
+}
+
+bool
+Auditor::maybeRun(std::uint64_t every_events)
+{
+    if (every_events == 0)
+        return false;
+    if (ssd_.events().executed() - lastAuditExecuted_ < every_events)
+        return false;
+    runAll();
+    return true;
+}
+
+void
+Auditor::arm(std::uint64_t every_events)
+{
+#ifdef IDA_AUDIT
+    ssd_.events().setAuditHook(every_events, [this] { runAll(); });
+#else
+    (void)every_events;
+#endif
+}
+
+void
+Auditor::rebase()
+{
+    base_ = captureBaseline();
+}
+
+std::string
+Auditor::summary() const
+{
+    std::ostringstream os;
+    os << "audit: " << runs_ << " run(s), " << totalViolations_
+       << " violation(s)";
+    const std::size_t show = std::min<std::size_t>(violations_.size(), 5);
+    for (std::size_t i = 0; i < show; ++i)
+        os << "\n  [" << violations_[i].check << "] "
+           << violations_[i].detail;
+    if (totalViolations_ > show)
+        os << "\n  ... " << (totalViolations_ - show) << " more";
+    return os.str();
+}
+
+Auditor::Baseline
+Auditor::captureBaseline() const
+{
+    const auto &fs = ssd_.ftl().stats();
+    const auto &ws = ssd_.ftl().writeBufferStats();
+    const auto &cs = ssd_.chips().stats();
+    Baseline b;
+    b.chipPrograms = cs.programs;
+    b.chipErases = cs.erases;
+    b.hostWrites = fs.hostWrites;
+    b.hostTrims = fs.hostTrims;
+    b.preloadWrites = fs.preloadWrites;
+    b.gcMigrated = fs.gc.migratedPages;
+    b.gcErases = fs.gc.erases;
+    b.refreshMigrated = fs.refresh.migratedPages;
+    b.refreshExtraWrites = fs.refresh.extraWrites;
+    b.wbBuffered = ws.bufferedWrites;
+    b.wbCoalesced = ws.coalescedWrites;
+    b.wbFlushes = ws.flushes;
+    b.wbTrimmed = ws.trimmed;
+    b.wbSize = ssd_.ftl().writeBuffer().size();
+    return b;
+}
+
+void
+Auditor::checkMappingBlock()
+{
+    const auto &ftl = ssd_.ftl();
+    const auto &map = ftl.mapping();
+    const auto &chips = ssd_.chips();
+    const auto &geom = chips.geometry();
+    const std::uint32_t ppb = geom.pagesPerBlock;
+
+    // Forward pass: every live L2P entry points into range, at a Valid
+    // page, and the P2L inverse points back.
+    std::uint64_t forwardMapped = 0;
+    for (flash::Lpn lpn = 0; lpn < map.logicalPages(); ++lpn) {
+        const flash::Ppn ppn = map.lookup(lpn);
+        if (ppn == flash::kInvalidPpn)
+            continue;
+        ++forwardMapped;
+        if (ppn >= map.physicalPages()) {
+            fail(cat("lpn ", lpn, " maps to out-of-range ppn ", ppn));
+            continue;
+        }
+        if (map.reverse(ppn) != lpn)
+            fail(cat("l2p/p2l disagree: lpn ", lpn, " -> ppn ", ppn,
+                     " -> lpn ", map.reverse(ppn)));
+        const auto &blk = chips.block(geom.blockOf(ppn));
+        if (!blk.isValid(static_cast<std::uint32_t>(ppn % ppb)))
+            fail(cat("lpn ", lpn, " maps to ppn ", ppn,
+                     " whose page state is not Valid"));
+    }
+    if (forwardMapped != map.mappedCount())
+        fail(cat("mappedCount ", map.mappedCount(), " != ",
+                 forwardMapped, " live l2p entries"));
+
+    // Block sweep: P2L inverse agreement, write-pointer discipline
+    // (in-order programming: Free exactly at and above the pointer),
+    // the incrementally maintained validCount, and the device-wide
+    // valid-page total.
+    std::uint64_t reverseMapped = 0;
+    std::uint64_t totalValid = 0;
+    for (flash::BlockId b = 0; b < geom.blocks(); ++b) {
+        const auto &blk = chips.block(b);
+        std::uint32_t validHere = 0;
+        for (std::uint32_t p = 0; p < ppb; ++p) {
+            const flash::Ppn ppn = geom.firstPpnOf(b) + p;
+            const bool valid = blk.isValid(p);
+            const flash::Lpn lpn = map.reverse(ppn);
+            if (valid)
+                ++validHere;
+            if (lpn != flash::kInvalidLpn) {
+                ++reverseMapped;
+                if (lpn >= map.logicalPages())
+                    fail(cat("ppn ", ppn, " reverse-maps to out-of-range "
+                             "lpn ", lpn));
+                else if (map.lookup(lpn) != ppn)
+                    fail(cat("p2l/l2p disagree: ppn ", ppn, " -> lpn ",
+                             lpn, " -> ppn ", map.lookup(lpn)));
+                if (!valid)
+                    fail(cat("block ", b, " page ", p,
+                             ": mapped but not Valid"));
+            } else if (valid) {
+                fail(cat("block ", b, " page ", p,
+                         ": Valid page with no reverse mapping"));
+            }
+            if (p < blk.writePointer()) {
+                if (blk.isFree(p))
+                    fail(cat("block ", b, " page ", p,
+                             ": Free below the write pointer"));
+            } else if (!blk.isFree(p)) {
+                fail(cat("block ", b, " page ", p,
+                         ": programmed at/above the write pointer"));
+            }
+        }
+        if (validHere != blk.validCount())
+            fail(cat("block ", b, ": validCount ", blk.validCount(),
+                     " != recount ", validHere));
+        totalValid += validHere;
+    }
+    if (reverseMapped != forwardMapped)
+        fail(cat("p2l live entries ", reverseMapped,
+                 " != l2p live entries ", forwardMapped));
+    if (totalValid != map.mappedCount())
+        fail(cat("total Valid pages ", totalValid, " != mappedCount ",
+                 map.mappedCount()));
+}
+
+void
+Auditor::checkWordlineCache()
+{
+    const auto &chips = ssd_.chips();
+    const auto &geom = chips.geometry();
+    for (flash::BlockId b = 0; b < geom.blocks(); ++b) {
+        const auto &blk = chips.block(b);
+        for (std::uint32_t wl = 0; wl < blk.numWordlines(); ++wl) {
+            const flash::LevelMask cached = blk.invalidLevelMask(wl);
+            const flash::LevelMask truth = blk.recomputeInvalidMask(wl);
+            if (cached != truth)
+                fail(cat("block ", b, " wl ", wl,
+                         ": cached invalid mask ", int(cached),
+                         " != recomputed ", int(truth)));
+        }
+    }
+}
+
+void
+Auditor::checkIdaCoding()
+{
+    const auto &chips = ssd_.chips();
+    const auto &geom = chips.geometry();
+    const auto &scheme = chips.coding();
+    const flash::LevelMask full = flash::fullMask(scheme.bits());
+    const int numStates = scheme.numStates();
+
+    for (flash::BlockId b = 0; b < geom.blocks(); ++b) {
+        const auto &blk = chips.block(b);
+        bool anyIda = false;
+        for (std::uint32_t wl = 0; wl < blk.numWordlines(); ++wl) {
+            const flash::LevelMask mask = blk.wordlineMask(wl);
+            if (mask == 0 || (mask & ~full) != 0) {
+                fail(cat("block ", b, " wl ", wl,
+                         ": wordline mask ", int(mask),
+                         " outside (0, full]"));
+                continue;
+            }
+            if (mask == full)
+                continue;
+            anyIda = true;
+
+            // IDA only applies to fully programmed wordlines and never
+            // drops a level whose page is still live.
+            for (int level = 0; level < scheme.bits(); ++level) {
+                const auto page = static_cast<std::uint32_t>(
+                    wl * static_cast<std::uint32_t>(scheme.bits()) +
+                    static_cast<std::uint32_t>(level));
+                const flash::PageState st = blk.pageState(page);
+                if (st == flash::PageState::Free)
+                    fail(cat("block ", b, " wl ", wl, " level ", level,
+                             ": IDA wordline has a Free page"));
+                else if (((mask >> level) & 1u) == 0 &&
+                         st == flash::PageState::Valid)
+                    fail(cat("block ", b, " wl ", wl, " level ", level,
+                             ": dropped level still holds Valid data"));
+            }
+
+            // The memoized merge the reads of this wordline will use.
+            const flash::IdaMerge &m = scheme.idaMerge(mask);
+            if (m.validMask != mask) {
+                fail(cat("idaMerge(", int(mask), ") cached for mask ",
+                         int(m.validMask)));
+                continue;
+            }
+            if (static_cast<int>(m.stateMap.size()) != numStates) {
+                fail(cat("idaMerge(", int(mask), "): stateMap size ",
+                         m.stateMap.size(), " != ", numStates));
+                continue;
+            }
+            std::vector<bool> isSurvivor(
+                static_cast<std::size_t>(numStates), false);
+            for (std::size_t i = 0; i < m.survivors.size(); ++i) {
+                const int s = m.survivors[i];
+                if (s < 0 || s >= numStates) {
+                    fail(cat("idaMerge(", int(mask),
+                             "): survivor out of range: ", s));
+                    continue;
+                }
+                if (i > 0 && m.survivors[i - 1] >= s)
+                    fail(cat("idaMerge(", int(mask),
+                             "): survivors not strictly ascending"));
+                isSurvivor[static_cast<std::size_t>(s)] = true;
+            }
+            for (int s = 0; s < numStates; ++s) {
+                const int t = m.stateMap[static_cast<std::size_t>(s)];
+                if (t < s || t >= numStates) {
+                    // ISPP can only add charge: states move up, never
+                    // down (paper Sec. III-B).
+                    fail(cat("idaMerge(", int(mask), "): state ", s,
+                             " maps down/out of range to ", t));
+                    continue;
+                }
+                if (!isSurvivor[static_cast<std::size_t>(t)])
+                    fail(cat("idaMerge(", int(mask), "): state ", s,
+                             " maps to non-survivor ", t));
+                if (m.stateMap[static_cast<std::size_t>(t)] != t)
+                    fail(cat("idaMerge(", int(mask), "): target ", t,
+                             " is not a fixed point"));
+            }
+            for (int level = 0; level < scheme.bits(); ++level) {
+                const int n =
+                    m.sensingCounts[static_cast<std::size_t>(level)];
+                const auto nv = static_cast<int>(
+                    m.readVoltages[static_cast<std::size_t>(level)]
+                        .size());
+                if (((mask >> level) & 1u) != 0) {
+                    if (n < 1 || n > scheme.sensingCount(level))
+                        fail(cat("idaMerge(", int(mask), "): level ",
+                                 level, " sensing count ", n,
+                                 " outside [1, conventional ",
+                                 scheme.sensingCount(level), "]"));
+                    if (nv != n)
+                        fail(cat("idaMerge(", int(mask), "): level ",
+                                 level, " has ", nv,
+                                 " read voltages for ", n, " sensings"));
+                } else if (n != 0 || nv != 0) {
+                    fail(cat("idaMerge(", int(mask),
+                             "): invalid level ", level,
+                             " still has sensings/voltages"));
+                }
+            }
+        }
+        if (blk.isIdaBlock() != anyIda)
+            fail(cat("block ", b, ": isIdaBlock ", blk.isIdaBlock(),
+                     " but ", anyIda ? "has" : "has no",
+                     " IDA wordlines"));
+    }
+}
+
+void
+Auditor::checkEventQueue()
+{
+    std::string why;
+    if (!ssd_.events().validateHeap(&why))
+        fail(std::move(why));
+}
+
+void
+Auditor::checkBlockAccounting()
+{
+    const auto &ftl = ssd_.ftl();
+    const auto &bm = ftl.blocks();
+    const auto &chips = ssd_.chips();
+    const auto &geom = chips.geometry();
+    const sim::Time now = ssd_.events().now();
+    // finalizePreload may legitimately post-date refreshedAt by up to
+    // (preloadAgeSpread - refreshPeriod) when the spread is the larger.
+    const sim::Time refreshSlack = std::max<sim::Time>(
+        0, ftl.config().preloadAgeSpread - ftl.config().refreshPeriod);
+
+    std::vector<std::uint64_t> freeByPlane(geom.planes(), 0);
+    std::uint64_t closed = 0;
+    for (flash::BlockId b = 0; b < geom.blocks(); ++b) {
+        const auto &m = bm.meta(b);
+        const auto &blk = chips.block(b);
+        if (m.hostActive && m.internalActive)
+            fail(cat("block ", b, ": both host- and internal-active"));
+        if (m.inFreePool) {
+            ++freeByPlane[geom.planeOfBlock(b)];
+            if (m.hostActive || m.internalActive)
+                fail(cat("block ", b, ": pooled but active"));
+            if (m.busyWithJob)
+                fail(cat("block ", b, ": pooled but busy with a job"));
+            if (!blk.isErased())
+                fail(cat("block ", b, ": pooled but not erased"));
+        } else if (!m.hostActive && !m.internalActive) {
+            ++closed;
+        }
+        if (m.refreshedAt > now + refreshSlack)
+            fail(cat("block ", b, ": refreshedAt ", m.refreshedAt,
+                     " is in the future (now ", now, ")"));
+        if (blk.programTime() > now)
+            fail(cat("block ", b, ": programTime ", blk.programTime(),
+                     " is in the future (now ", now, ")"));
+    }
+    for (std::uint64_t plane = 0; plane < geom.planes(); ++plane) {
+        if (bm.freeCount(plane) != freeByPlane[plane])
+            fail(cat("plane ", plane, ": freeCount ",
+                     bm.freeCount(plane), " != ", freeByPlane[plane],
+                     " blocks flagged inFreePool"));
+    }
+    if (bm.inUseBlocks() != closed)
+        fail(cat("inUseBlocks ", bm.inUseBlocks(), " != recount ",
+                 closed));
+}
+
+void
+Auditor::checkConservation()
+{
+    const auto &ftl = ssd_.ftl();
+    const auto &fs = ftl.stats();
+    if (fs.hostWrites < base_.hostWrites) {
+        // An external counter reset (Ftl::resetReadClassification zeroes
+        // hostWrites when the measurement window opens): re-anchor the
+        // deltas instead of reporting phantom violations.
+        rebase();
+        return;
+    }
+    const auto &ws = ftl.writeBufferStats();
+    const auto &cs = ssd_.chips().stats();
+    const auto &wb = ftl.writeBuffer();
+
+    const std::uint64_t dWrites = fs.hostWrites - base_.hostWrites;
+    const std::uint64_t dBuffered = ws.bufferedWrites - base_.wbBuffered;
+    const std::uint64_t dCoalesced =
+        ws.coalescedWrites - base_.wbCoalesced;
+    const std::uint64_t dFlushes = ws.flushes - base_.wbFlushes;
+    const std::uint64_t dTrimmed = ws.trimmed - base_.wbTrimmed;
+    const std::uint64_t dPrograms = cs.programs - base_.chipPrograms;
+    const std::uint64_t dGcMig = fs.gc.migratedPages - base_.gcMigrated;
+    const std::uint64_t dRefMig =
+        fs.refresh.migratedPages - base_.refreshMigrated;
+    const std::uint64_t dRefExtra =
+        fs.refresh.extraWrites - base_.refreshExtraWrites;
+
+    // Every timed program is a write-through host write, a buffer
+    // destage, a GC migration, or a refresh migration/write-back
+    // (preloads use programImmediate, which is not a timed program).
+    const std::uint64_t expected = (dWrites - dBuffered - dCoalesced) +
+                                   dFlushes + dGcMig + dRefMig +
+                                   dRefExtra;
+    if (ftl.config().moveToLsbAlternative) {
+        // queueMigration counts the page before flushMigrations may
+        // prune it (source invalidated while buffered), so the counter
+        // can only overstate the programs actually issued.
+        if (dPrograms > expected)
+            fail(cat("programs ", dPrograms,
+                     " exceed accounted writes ", expected,
+                     " (move-to-LSB mode)"));
+    } else if (dPrograms != expected) {
+        fail(cat("programs ", dPrograms, " != accounted writes ",
+                 expected, " (host ", dWrites, " - buffered ",
+                 dBuffered, " - coalesced ", dCoalesced, " + flushes ",
+                 dFlushes, " + gc ", dGcMig, " + refresh ", dRefMig,
+                 " + writeback ", dRefExtra, ")"));
+    }
+
+    const std::uint64_t dChipErases = cs.erases - base_.chipErases;
+    const std::uint64_t dFtlErases = fs.gc.erases - base_.gcErases;
+    if (dChipErases != dFtlErases)
+        fail(cat("chip erases ", dChipErases,
+                 " != FTL-issued erases ", dFtlErases));
+
+    const std::uint64_t expectSize =
+        base_.wbSize + dBuffered - dFlushes - dTrimmed;
+    if (wb.size() != expectSize)
+        fail(cat("write buffer holds ", wb.size(), " dirty pages, "
+                 "counters say ", expectSize));
+    if (wb.enabled() && wb.size() > wb.config().capacityPages)
+        fail(cat("write buffer occupancy ", wb.size(),
+                 " exceeds capacity ", wb.config().capacityPages));
+}
+
+} // namespace ida::audit

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Cross-layer invariant auditor.
+ *
+ * The simulator's result tables are only as credible as the agreement
+ * between its layers: the FTL mapping, the per-block valid bitmaps, the
+ * per-wordline IDA coding state, the event kernel's packed heap, and
+ * the conservation counters that tie host traffic to flash commands.
+ * Each layer maintains its own view incrementally for speed; nothing on
+ * the hot path re-derives another layer's state. The Auditor closes
+ * that gap: it walks every layer from the outside and checks that the
+ * cached views agree with ground-truth recomputation.
+ *
+ * Usage: attach an Auditor to a live Ssd, then either call runAll() at
+ * points of interest (e.g. after drain), maybeRun(every) from a harness
+ * drive loop, or — in IDA_AUDIT builds — arm(every) to have the event
+ * kernel invoke it automatically every N executed events. The default
+ * check catalog is registered by the constructor; registerCheck() adds
+ * custom checks. Violations accumulate and are never cleared by
+ * running; a clean system reports zero forever.
+ *
+ * The auditor is deliberately O(pages) per run and touches no simulator
+ * state; it is a debug tool, compiled into the library always but never
+ * invoked from any hot path. The *periodic* wiring inside the event
+ * kernel exists only under -DIDA_AUDIT=ON (see CMakeLists), so default
+ * builds carry zero cost.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ida::ssd {
+class Ssd;
+}
+
+namespace ida::audit {
+
+/** One recorded invariant violation. */
+struct Violation
+{
+    std::string check;  ///< name of the check that fired
+    std::string detail; ///< what disagreed, with indices
+};
+
+/**
+ * Walks a live Ssd and verifies cross-layer invariants.
+ *
+ * Checks registered by default (the catalog; docs/ARCHITECTURE.md):
+ *  - mapping-block:    L2P/P2L inverse agreement, every live mapping
+ *                      points at a Valid flash page, per-block
+ *                      validCount matches both the page-state popcount
+ *                      and the number of mapped pages in the block.
+ *  - wordline-cache:   flash::Block's incrementally maintained
+ *                      invalid-level masks match recomputation from the
+ *                      page states.
+ *  - ida-coding:       every IDA wordline's mask is a proper subset
+ *                      with all dropped levels Invalid; the memoized
+ *                      IdaMerge moves states only upward (ISPP), its
+ *                      survivors are consistent, and surviving levels
+ *                      never sense more than the conventional coding.
+ *  - event-queue:      packed 4-ary heap order, timestamps never behind
+ *                      now(), exact slab-pool slot accounting
+ *                      (EventQueue::validateHeap).
+ *  - block-accounting: BlockManager free pools / active flags / in-use
+ *                      counter agree with per-block recount; no clock
+ *                      field is ahead of the event clock.
+ *  - conservation:     host writes + preload + GC/refresh migration +
+ *                      write-buffer destages account exactly for every
+ *                      flash program; erases and write-buffer occupancy
+ *                      balance the same way; total valid pages equal
+ *                      the mapping's mappedCount.
+ */
+class Auditor
+{
+  public:
+    using CheckFn = std::function<void(Auditor &)>;
+
+    /**
+     * Attach to @p ssd, register the default catalog, and snapshot the
+     * conservation baselines (so attaching mid-run is valid).
+     */
+    explicit Auditor(ssd::Ssd &ssd);
+
+    /** Add a custom check; it runs after the defaults, in add order. */
+    void registerCheck(std::string name, CheckFn fn);
+
+    /**
+     * Run every registered check against the current state; returns
+     * the number of violations found by this run.
+     */
+    std::size_t runAll();
+
+    /**
+     * Run the catalog when at least @p every_events events have
+     * executed since the last audit; returns true when it ran. The
+     * cheap polling form for harness drive loops — works in every
+     * build, unlike arm().
+     */
+    bool maybeRun(std::uint64_t every_events);
+
+    /**
+     * IDA_AUDIT builds: install this auditor as the event kernel's
+     * audit hook, auto-running every @p every_events executed events.
+     * A no-op in default builds (the kernel has no hook point).
+     */
+    void arm(std::uint64_t every_events);
+
+    /**
+     * Re-snapshot the conservation baselines. Call after an external
+     * counter reset (Ftl::resetReadClassification); the state checks
+     * are unaffected either way.
+     */
+    void rebase();
+
+    /** Record a violation against the currently running check. */
+    void fail(std::string detail);
+
+    /**
+     * Stored violations, capped at 100 entries to keep a badly corrupt
+     * run readable; totalViolations() keeps the true count.
+     */
+    const std::vector<Violation> &violations() const {
+        return violations_;
+    }
+
+    std::uint64_t totalViolations() const { return totalViolations_; }
+
+    /** Number of completed runAll() passes. */
+    std::uint64_t runs() const { return runs_; }
+
+    /** One-line status plus the first few violations, for loggers. */
+    std::string summary() const;
+
+    ssd::Ssd &ssd() { return ssd_; }
+
+  private:
+    struct Baseline
+    {
+        std::uint64_t chipPrograms = 0;
+        std::uint64_t chipErases = 0;
+        std::uint64_t hostWrites = 0;
+        std::uint64_t hostTrims = 0;
+        std::uint64_t preloadWrites = 0;
+        std::uint64_t gcMigrated = 0;
+        std::uint64_t gcErases = 0;
+        std::uint64_t refreshMigrated = 0;
+        std::uint64_t refreshExtraWrites = 0;
+        std::uint64_t wbBuffered = 0;
+        std::uint64_t wbCoalesced = 0;
+        std::uint64_t wbFlushes = 0;
+        std::uint64_t wbTrimmed = 0;
+        std::uint64_t wbSize = 0;
+    };
+
+    // The default catalog.
+    void checkMappingBlock();
+    void checkWordlineCache();
+    void checkIdaCoding();
+    void checkEventQueue();
+    void checkBlockAccounting();
+    void checkConservation();
+
+    Baseline captureBaseline() const;
+
+    ssd::Ssd &ssd_;
+    std::vector<std::pair<std::string, CheckFn>> checks_;
+    std::vector<Violation> violations_;
+    std::uint64_t totalViolations_ = 0;
+    std::uint64_t runs_ = 0;
+    std::uint64_t lastAuditExecuted_ = 0;
+    Baseline base_;
+    const std::string *currentCheck_ = nullptr;
+};
+
+} // namespace ida::audit

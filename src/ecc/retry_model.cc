@@ -21,7 +21,9 @@ RetryModel::RetryModel(std::vector<double> round_probs)
     }
     if (std::abs(sum - 1.0) > 1e-6)
         sim::fatal("RetryModel: probabilities must sum to 1");
-    cdf_.back() = 1.0;
+    // Deliberately no cdf_.back() = 1.0 rewrite here: snapping the tail
+    // would mask accumulation drift the fatal check above exists to
+    // catch. sampleRounds clamps instead.
 }
 
 int
@@ -30,7 +32,15 @@ RetryModel::sampleRounds(sim::Rng &rng) const
     if (cdf_.size() == 1)
         return 0;
     const double u = rng.uniform01();
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    // upper_bound: a draw exactly equal to a CDF entry belongs to the
+    // *next* round. With lower_bound, u == cdf_[k] (reachable for
+    // exactly-representable entries like lateLife's 0.50) was assigned
+    // to round k, biasing the boundary rounds low.
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    // Tail drift within the 1e-6 tolerance can leave cdf_.back()
+    // fractionally below a u drawn near 1; clamp to the last round.
+    if (it == cdf_.end())
+        --it;
     return static_cast<int>(it - cdf_.begin());
 }
 

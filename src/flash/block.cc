@@ -52,6 +52,17 @@ Block::invalidate(std::uint32_t page)
     --validCount_;
 }
 
+LevelMask
+Block::recomputeInvalidMask(std::uint32_t wl) const
+{
+    LevelMask mask = 0;
+    for (std::uint32_t level = 0; level < bits_; ++level) {
+        if (pages_[wl * bits_ + level] == PageState::Invalid)
+            mask |= static_cast<LevelMask>(1u << level);
+    }
+    return mask;
+}
+
 void
 Block::applyIda(std::uint32_t wl, LevelMask validMask)
 {

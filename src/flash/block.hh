@@ -19,6 +19,10 @@
 #include "flash/geometry.hh"
 #include "sim/time.hh"
 
+namespace ida::audit::testing {
+struct BlockPeer;
+}
+
 namespace ida::flash {
 
 /** Lifecycle of one physical page. */
@@ -94,6 +98,13 @@ class Block
     }
 
     /**
+     * Recompute @p wl's Invalid-level mask from the page states, the
+     * ground truth the incrementally maintained invalidLevelMask cache
+     * must agree with (checked by the audit layer).
+     */
+    LevelMask recomputeInvalidMask(std::uint32_t wl) const;
+
+    /**
      * Sensings needed to read in-block page @p page under @p scheme,
      * honoring the wordline's coding mode.
      */
@@ -129,6 +140,9 @@ class Block
     int tableICase(std::uint32_t wl) const;
 
   private:
+    // Fault injection for the auditor's negative tests only.
+    friend struct ida::audit::testing::BlockPeer;
+
     std::uint32_t bits_;
     std::vector<PageState> pages_;
     std::vector<LevelMask> wlMask_;

@@ -147,6 +147,19 @@ Ftl::hostWrite(Lpn lpn, PageDone done)
 }
 
 void
+Ftl::hostTrim(Lpn lpn)
+{
+    ++stats_.hostTrims;
+    wbuf_.remove(lpn);
+    const Ppn old = mapping_.unmap(lpn);
+    if (old != kInvalidPpn) {
+        chips_.block(geom_.blockOf(old))
+            .invalidate(static_cast<std::uint32_t>(
+                old % geom_.pagesPerBlock));
+    }
+}
+
+void
 Ftl::programHostData(Lpn lpn, PageDone done)
 {
     const Ppn dst = allocator_.allocateHostPage();
@@ -181,6 +194,7 @@ Ftl::maybeFlushWriteBuffer()
 void
 Ftl::preloadWrite(Lpn lpn)
 {
+    ++stats_.preloadWrites;
     preloading_ = true;
     const Ppn dst = allocator_.allocateHostPage();
     const Ppn old = mapping_.remap(lpn, dst);

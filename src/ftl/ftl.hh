@@ -132,6 +132,9 @@ struct FtlStats
     std::uint64_t hostReads = 0;
     std::uint64_t hostWrites = 0;
     std::uint64_t hostReadsUnmapped = 0;
+    std::uint64_t hostTrims = 0;
+    /** Pages installed through the zero-time preload path. */
+    std::uint64_t preloadWrites = 0;
     std::uint64_t maxInUseBlocks = 0;
 };
 
@@ -182,6 +185,15 @@ class Ftl
     void hostWrite(Lpn lpn, PageDone done);
 
     /**
+     * Host TRIM: drop the mapping of @p lpn and invalidate its flash
+     * copy (and any dirty write-buffer copy, so the dead data is never
+     * destaged). A pure metadata operation — completes synchronously
+     * with no simulated flash command, like real deallocate commands
+     * that are absorbed by the mapping layer.
+     */
+    void hostTrim(Lpn lpn);
+
+    /**
      * Instant (zero-time) preload of one logical page, used to install
      * the initial footprint without simulating hours of programming.
      */
@@ -211,6 +223,8 @@ class Ftl
     const BlockManager &blocks() const { return blocks_; }
     BlockManager &blocks() { return blocks_; }
     flash::ChipArray &chips() { return chips_; }
+    const flash::ChipArray &chips() const { return chips_; }
+    const WriteBuffer &writeBuffer() const { return wbuf_; }
     sim::EventQueue &events() { return events_; }
     sim::Rng &rng() { return rng_; }
     const ecc::EccModel &ecc() const { return ecc_; }

@@ -30,6 +30,15 @@ WriteBuffer::insert(flash::Lpn lpn)
 }
 
 bool
+WriteBuffer::remove(flash::Lpn lpn)
+{
+    if (dirty_.erase(lpn) == 0)
+        return false;
+    ++stats_.trimmed;
+    return true;
+}
+
+bool
 WriteBuffer::needsFlush() const
 {
     if (!enabled())

@@ -47,6 +47,7 @@ struct WriteBufferStats
     std::uint64_t bypasses = 0; // buffer full: wrote through
     std::uint64_t readHits = 0;
     std::uint64_t flushes = 0;  // pages destaged to flash
+    std::uint64_t trimmed = 0;  // dirty pages dropped by TRIM
 };
 
 /**
@@ -79,6 +80,13 @@ class WriteBuffer
 
     /** Record a read served from the buffer. */
     void noteReadHit() { ++stats_.readHits; }
+
+    /**
+     * Drop @p lpn's dirty copy (TRIM); returns true when one existed.
+     * Its FIFO slot is left behind and skipped by popFlushCandidate,
+     * exactly like a coalesced entry's stale slot.
+     */
+    bool remove(flash::Lpn lpn);
 
     /** Occupancy is above the flush watermark. */
     bool needsFlush() const;

@@ -39,7 +39,14 @@ EventQueue::notePastSchedule()
 {
     ++pastSchedules_;
 #ifndef NDEBUG
-    warn("EventQueue::schedule: past-time event clamped to now()");
+    // Warn once per queue: a flow that schedules into the past usually
+    // does so on every event it emits, and per-occurrence warnings
+    // drown out everything else in audit-replay logs. The total stays
+    // available through pastSchedules().
+    if (pastSchedules_ == 1) {
+        warn("EventQueue::schedule: past-time event clamped to now() "
+             "(warning once; see pastSchedules() for the total)");
+    }
 #endif
 }
 
@@ -123,6 +130,67 @@ EventQueue::dispatchTop()
     Callback cb = std::move(pool_[node].cb);
     releaseSlot(node);
     cb();
+#ifdef IDA_AUDIT
+    if (auditEvery_ != 0 && executed_ >= nextAuditAt_) {
+        nextAuditAt_ = executed_ + auditEvery_;
+        if (auditHook_)
+            auditHook_();
+    }
+#endif
+}
+
+bool
+EventQueue::validateHeap(std::string *why) const
+{
+    const auto fail = [why](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // Heap order and per-entry field sanity.
+    std::vector<char> referenced(pool_.size(), 0);
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const Entry &e = heap_[i];
+        if (i > 0 && !earlier(heap_[parentOf(i)], e))
+            return fail("heap order violated at index " +
+                        std::to_string(i));
+        if (e.when() < now_)
+            return fail("pending event at index " + std::to_string(i) +
+                        " is behind now()");
+        const std::uint64_t seq =
+            (static_cast<std::uint64_t>(e.key) >> Entry::kNodeBits);
+        if (seq >= nextSeq_)
+            return fail("entry sequence beyond allocation cursor at "
+                        "index " + std::to_string(i));
+        const std::uint32_t node = e.node();
+        if (node >= pool_.size())
+            return fail("entry node index out of pool range at index " +
+                        std::to_string(i));
+        if (referenced[node])
+            return fail("pool slot " + std::to_string(node) +
+                        " referenced by two heap entries");
+        referenced[node] = 1;
+    }
+
+    // Free-list accounting: together with the heap references, every
+    // pool slot must be claimed exactly once.
+    std::size_t freeLen = 0;
+    for (std::uint32_t n = freeHead_; n != kNil; n = pool_[n].nextFree) {
+        if (n >= pool_.size())
+            return fail("free-list link out of pool range");
+        if (referenced[n])
+            return fail("pool slot " + std::to_string(n) +
+                        " on the free list and in the heap");
+        referenced[n] = 1;
+        if (++freeLen > pool_.size())
+            return fail("free list is cyclic");
+    }
+    if (heap_.size() + freeLen != pool_.size())
+        return fail("pool slot leak: " + std::to_string(heap_.size()) +
+                    " in heap + " + std::to_string(freeLen) +
+                    " free != " + std::to_string(pool_.size()));
+    return true;
 }
 
 Time

@@ -38,10 +38,19 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#ifdef IDA_AUDIT
+#include <functional>
+#endif
 
 #include "sim/inline_callback.hh"
 #include "sim/time.hh"
+
+namespace ida::audit::testing {
+struct EventQueuePeer;
+}
 
 namespace ida::sim {
 
@@ -127,7 +136,38 @@ class EventQueue
     /** Pool slots currently allocated (high-water mark diagnostics). */
     std::size_t poolSize() const { return pool_.size(); }
 
+    /**
+     * Full structural verification of the packed-heap representation,
+     * used by the cross-layer auditor (src/audit): 4-ary heap order on
+     * the packed keys, no pending timestamp behind now(), sequence
+     * numbers below the allocation cursor, and exact node-slot
+     * accounting (every pool slot is referenced by exactly one heap
+     * entry or one free-list link). O(pending + pool); never called on
+     * the dispatch path.
+     *
+     * Returns true when every invariant holds; otherwise false, with a
+     * description of the first failure in @p why (when non-null).
+     */
+    bool validateHeap(std::string *why = nullptr) const;
+
+#ifdef IDA_AUDIT
+    /**
+     * Audit builds only: invoke @p hook every @p every_events executed
+     * events (0 disables). The hook runs after the event's callback
+     * returns, so it observes a settled state. Compiled out entirely
+     * without IDA_AUDIT — the dispatch loop carries no check.
+     */
+    void
+    setAuditHook(std::uint64_t every_events, std::function<void()> hook)
+    {
+        auditEvery_ = every_events;
+        auditHook_ = std::move(hook);
+        nextAuditAt_ = executed_ + (every_events ? every_events : 0);
+    }
+#endif
+
   private:
+    friend struct ida::audit::testing::EventQueuePeer;
     /**
      * Heap entry: exactly 16 bytes — one unsigned 128-bit key laid out
      * as (when << 64) | (seq << 20) | node. Ordering needs only
@@ -225,6 +265,11 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t pastSchedules_ = 0;
+#ifdef IDA_AUDIT
+    std::function<void()> auditHook_;
+    std::uint64_t auditEvery_ = 0;
+    std::uint64_t nextAuditAt_ = 0;
+#endif
 };
 
 } // namespace ida::sim

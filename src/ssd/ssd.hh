@@ -68,7 +68,9 @@ class Ssd
 
     const SsdConfig &config() const { return cfg_; }
     sim::EventQueue &events() { return events_; }
+    const sim::EventQueue &events() const { return events_; }
     flash::ChipArray &chips() { return *chips_; }
+    const flash::ChipArray &chips() const { return *chips_; }
     ftl::Ftl &ftl() { return *ftl_; }
     const ftl::Ftl &ftl() const { return *ftl_; }
     const flash::CodingScheme &coding() const { return coding_; }
@@ -96,6 +98,9 @@ class Ssd
 
     /** True when no host or internal flash operation is outstanding. */
     bool drained() const;
+
+    /** Host requests submitted but not yet fully completed. */
+    std::uint64_t inflightRequests() const { return inflightRequests_; }
 
   private:
     /**

@@ -33,6 +33,9 @@ class Histogram
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
 
+    /** Samples that arrived NaN or infinite (excluded from sum/mean). */
+    std::uint64_t nonFiniteCount() const { return nonFinite_; }
+
     /** Approximate quantile (0 < q <= 1), e.g. 0.99 for p99. */
     double quantile(double q) const;
 
@@ -51,6 +54,7 @@ class Histogram
     std::vector<std::uint64_t> counts_; // last entry = overflow
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    std::uint64_t nonFinite_ = 0;
 };
 
 } // namespace ida::stats

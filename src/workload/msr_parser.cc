@@ -103,8 +103,16 @@ MsrTrace::next(IoRequest &out)
         // Windows filetime ticks are 100 ns.
         const std::uint64_t rel =
             raw_ts >= baseTimestamp_ ? raw_ts - baseTimestamp_ : 0;
-        out.arrival = std::max<sim::Time>(
-            static_cast<sim::Time>(rel * 100), lastArrival_);
+        const auto arrival = static_cast<sim::Time>(rel * 100);
+        if (arrival < lastArrival_) {
+            // Some MSR volumes carry mis-sorted records. The stream
+            // contract requires non-decreasing arrivals, so clamp — but
+            // account for it instead of silently flattening the trace.
+            ++outOfOrder_;
+            out.arrival = lastArrival_;
+        } else {
+            out.arrival = arrival;
+        }
         lastArrival_ = out.arrival;
         return true;
     }

@@ -38,7 +38,13 @@ class MsrTrace : public TraceStream
     bool next(IoRequest &out) override;
 
     /** Lines skipped because they failed to parse. */
-    std::uint64_t malformedLines() const { return malformed_; }
+    std::uint64_t malformedLines() const override { return malformed_; }
+
+    /**
+     * Records whose timestamp regressed and were clamped to the previous
+     * arrival (the trace is replayed as if they arrived back to back).
+     */
+    std::uint64_t outOfOrderLines() const override { return outOfOrder_; }
 
     /**
      * Parse one CSV line; returns false when @p line is not a valid
@@ -53,6 +59,7 @@ class MsrTrace : public TraceStream
     std::uint32_t pageSize_;
     std::uint64_t logicalPages_;
     std::uint64_t malformed_ = 0;
+    std::uint64_t outOfOrder_ = 0;
     bool haveBase_ = false;
     std::uint64_t baseTimestamp_ = 0;
     sim::Time lastArrival_ = 0;

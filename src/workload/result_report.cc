@@ -92,6 +92,12 @@ RunResult::writeJson(stats::JsonWriter &w, bool include_volatile) const
     w.field("footprintPages", footprintPages);
     w.endObject();
 
+    w.key("trace");
+    w.beginObject();
+    w.field("malformedLines", traceMalformedLines);
+    w.field("outOfOrderLines", traceOutOfOrderLines);
+    w.endObject();
+
     w.field("simulatedSec", sim::toSec(simulatedTime));
     if (include_volatile)
         w.field("wallSeconds", wallSeconds);
@@ -169,6 +175,8 @@ makeReport(const RunResult &r)
     rep.add("max_in_use_blocks", r.ftl.maxInUseBlocks);
 
     rep.section("meta");
+    rep.add("trace_malformed_lines", r.traceMalformedLines);
+    rep.add("trace_out_of_order_lines", r.traceOutOfOrderLines);
     rep.add("simulated_s", sim::toSec(r.simulatedTime), 1);
     rep.add("wall_s", r.wallSeconds, 2);
     return rep;

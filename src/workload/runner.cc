@@ -107,6 +107,8 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
 
     RunResult r;
     r.workload = label;
+    r.traceMalformedLines = trace.malformedLines();
+    r.traceOutOfOrderLines = trace.outOfOrderLines();
     r.system = cfg.systemLabel();
     const ssd::SsdStats &st = ssd.stats();
     r.readRespUs = st.readResponseUs.mean();

@@ -38,6 +38,9 @@ struct RunResult
     std::uint64_t inUseBlocksEnd = 0;
     std::uint64_t totalBlocks = 0;
     std::uint64_t footprintPages = 0;
+    /** Trace-input hygiene (nonzero only for file-backed streams). */
+    std::uint64_t traceMalformedLines = 0;
+    std::uint64_t traceOutOfOrderLines = 0;
     sim::Time simulatedTime = 0;
     double wallSeconds = 0.0;
 

@@ -33,6 +33,12 @@ class TraceStream
 
     /** Produce the next request; false when the trace is exhausted. */
     virtual bool next(IoRequest &out) = 0;
+
+    /** Input records dropped as unparseable (file-backed streams). */
+    virtual std::uint64_t malformedLines() const { return 0; }
+
+    /** Input records whose timestamp regressed and was clamped. */
+    virtual std::uint64_t outOfOrderLines() const { return 0; }
 };
 
 } // namespace ida::workload

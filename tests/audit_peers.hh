@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-injection peers for the auditor's negative tests.
+ *
+ * The auditor is only trustworthy if it *fires* on corrupt state, so
+ * these tests need to corrupt state that the production API (correctly)
+ * refuses to corrupt. The peer structs are befriended by the hot-path
+ * classes (see the forward declarations in sim/event_queue.hh and
+ * flash/block.hh) and live in the test tree: nothing outside tests/ can
+ * reach the private members through them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "flash/block.hh"
+#include "sim/event_queue.hh"
+
+namespace ida::audit::testing {
+
+/** Reaches into EventQueue's packed heap and slab pool. */
+struct EventQueuePeer
+{
+    static std::size_t
+    heapSize(const sim::EventQueue &q)
+    {
+        return q.heap_.size();
+    }
+
+    /** Break heap order by swapping two entries in place. */
+    static void
+    swapEntries(sim::EventQueue &q, std::size_t a, std::size_t b)
+    {
+        std::swap(q.heap_[a], q.heap_[b]);
+    }
+
+    /** Rewrite entry @p i's timestamp, keeping its seq and node. */
+    static void
+    setEntryWhen(sim::EventQueue &q, std::size_t i, sim::Time when)
+    {
+        auto &e = q.heap_[i];
+        const auto low = static_cast<std::uint64_t>(e.key);
+        e.key = (static_cast<unsigned __int128>(
+                     static_cast<std::uint64_t>(when))
+                 << 64) |
+                low;
+    }
+
+    /** Point entry @p i at pool node @p node (duplicate/range faults). */
+    static void
+    setEntryNode(sim::EventQueue &q, std::size_t i, std::uint32_t node)
+    {
+        auto &e = q.heap_[i];
+        e.key = (e.key & ~static_cast<unsigned __int128>(
+                             sim::EventQueue::Entry::kNodeMask)) |
+                node;
+    }
+
+    /** Drop the free list, leaking every idle pool slot. */
+    static void
+    cutFreeList(sim::EventQueue &q)
+    {
+        q.freeHead_ = sim::EventQueue::kNil;
+    }
+};
+
+/** Reaches into flash::Block's cached/incremental state. */
+struct BlockPeer
+{
+    static void
+    setInvalidMask(flash::Block &b, std::uint32_t wl, flash::LevelMask m)
+    {
+        b.wlInvalid_[wl] = m;
+    }
+
+    static void
+    setWordlineMask(flash::Block &b, std::uint32_t wl, flash::LevelMask m)
+    {
+        b.wlMask_[wl] = m;
+    }
+
+    static void
+    setIdaFlag(flash::Block &b, bool v)
+    {
+        b.idaBlock_ = v;
+    }
+
+    static void
+    setPageState(flash::Block &b, std::uint32_t page, flash::PageState st)
+    {
+        b.pages_[page] = st;
+    }
+
+    static void
+    bumpValidCount(flash::Block &b, std::int32_t delta)
+    {
+        b.validCount_ = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(b.validCount_) + delta);
+    }
+
+    static void
+    setProgramTime(flash::Block &b, sim::Time t)
+    {
+        b.programTime_ = t;
+    }
+};
+
+} // namespace ida::audit::testing

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Cross-layer invariant auditor: positive tests (a clean simulation
+ * stays clean under every check) and negative tests (each check fires
+ * when its layer's state is corrupted through the fault-injection
+ * peers; a checker that never fires verifies nothing).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "audit/auditor.hh"
+#include "audit_peers.hh"
+#include "ssd/ssd.hh"
+
+namespace ida::audit {
+namespace {
+
+using testing_peers_block = ida::audit::testing::BlockPeer;
+using testing_peers_queue = ida::audit::testing::EventQueuePeer;
+
+bool
+fired(const Auditor &a, const std::string &check)
+{
+    return std::any_of(a.violations().begin(), a.violations().end(),
+                       [&](const Violation &v) { return v.check == check; });
+}
+
+/** Tiny device with a warm footprint and some host traffic executed. */
+struct WarmSsd
+{
+    ssd::Ssd ssd;
+
+    explicit WarmSsd(ssd::SsdConfig cfg = ssd::SsdConfig::tiny(),
+                     std::uint64_t preload = 600, int writes = 64)
+        : ssd(cfg)
+    {
+        ssd.preloadSequential(preload);
+        for (int i = 0; i < writes; ++i) {
+            ssd::HostRequest w;
+            w.arrival = i * sim::kMsec;
+            w.isRead = (i % 3 == 0);
+            w.startPage = static_cast<flash::Lpn>((i * 37) % preload);
+            w.pageCount = 1;
+            ssd.submit(w);
+        }
+        ssd.events().run();
+    }
+};
+
+TEST(Auditor, CleanDeviceHasNoViolations)
+{
+    WarmSsd w;
+    Auditor a(w.ssd);
+    EXPECT_EQ(a.runAll(), 0u) << a.summary();
+    EXPECT_EQ(a.totalViolations(), 0u);
+    EXPECT_EQ(a.runs(), 1u);
+    EXPECT_TRUE(a.violations().empty());
+}
+
+TEST(Auditor, CleanUnderWriteBufferAndTrim)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.ftl.writeBuffer.capacityPages = 32;
+    WarmSsd w(cfg);
+    Auditor a(w.ssd);
+    EXPECT_EQ(a.runAll(), 0u) << a.summary();
+    // TRIM a mix of mapped, buffered-dirty, and never-written pages;
+    // the conservation deltas must keep balancing across them.
+    for (flash::Lpn lpn = 0; lpn < 40; ++lpn)
+        w.ssd.ftl().hostTrim(lpn * 17 % 700);
+    EXPECT_EQ(a.runAll(), 0u) << a.summary();
+}
+
+TEST(Auditor, MaybeRunHonoursEventInterval)
+{
+    WarmSsd w;
+    Auditor a(w.ssd);
+    EXPECT_TRUE(a.maybeRun(1)); // plenty of events executed since attach
+    EXPECT_FALSE(a.maybeRun(1'000'000'000)); // none since the last audit
+    EXPECT_FALSE(a.maybeRun(0));             // 0 disables
+    EXPECT_EQ(a.runs(), 1u);
+}
+
+TEST(Auditor, RebasesAcrossCounterReset)
+{
+    WarmSsd w;
+    Auditor a(w.ssd);
+    EXPECT_EQ(a.runAll(), 0u) << a.summary();
+    // The runner zeroes hostWrites when the measurement window opens;
+    // the conservation check must re-anchor, not report phantoms.
+    w.ssd.ftl().resetReadClassification();
+    EXPECT_EQ(a.runAll(), 0u) << a.summary();
+}
+
+TEST(Auditor, CustomCheckRunsAndAttributes)
+{
+    WarmSsd w;
+    Auditor a(w.ssd);
+    a.registerCheck("custom", [](Auditor &me) { me.fail("boom"); });
+    EXPECT_EQ(a.runAll(), 1u);
+    EXPECT_TRUE(fired(a, "custom"));
+    EXPECT_EQ(a.violations().front().detail, "boom");
+}
+
+// ---- Negative tests: every default check must fire on corruption. ----
+
+TEST(AuditorNegative, MappingCheckCatchesInvalidatedMappedPage)
+{
+    WarmSsd w;
+    const flash::Ppn ppn = w.ssd.ftl().mapping().lookup(0);
+    ASSERT_NE(ppn, flash::kInvalidPpn);
+    const auto &geom = w.ssd.chips().geometry();
+    auto &blk = w.ssd.chips().block(geom.blockOf(ppn));
+    testing_peers_block::setPageState(
+        blk, static_cast<std::uint32_t>(ppn % geom.pagesPerBlock),
+        flash::PageState::Invalid);
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "mapping-block")) << a.summary();
+}
+
+TEST(AuditorNegative, MappingCheckCatchesValidCountDrift)
+{
+    WarmSsd w;
+    const flash::Ppn ppn = w.ssd.ftl().mapping().lookup(0);
+    ASSERT_NE(ppn, flash::kInvalidPpn);
+    auto &blk = w.ssd.chips().block(
+        w.ssd.chips().geometry().blockOf(ppn));
+    testing_peers_block::bumpValidCount(blk, +1);
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "mapping-block")) << a.summary();
+}
+
+TEST(AuditorNegative, WordlineCacheCheckCatchesStaleMask)
+{
+    WarmSsd w;
+    const flash::Ppn ppn = w.ssd.ftl().mapping().lookup(0);
+    ASSERT_NE(ppn, flash::kInvalidPpn);
+    const auto &geom = w.ssd.chips().geometry();
+    auto &blk = w.ssd.chips().block(geom.blockOf(ppn));
+    const auto wl = geom.wordlineOfPage(
+        static_cast<std::uint32_t>(ppn % geom.pagesPerBlock));
+    testing_peers_block::setInvalidMask(
+        blk, wl,
+        static_cast<flash::LevelMask>(blk.invalidLevelMask(wl) ^ 0x1u));
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "wordline-cache")) << a.summary();
+}
+
+TEST(AuditorNegative, IdaCheckCatchesMaskDroppingLiveData)
+{
+    WarmSsd w;
+    const flash::Ppn ppn = w.ssd.ftl().mapping().lookup(0);
+    ASSERT_NE(ppn, flash::kInvalidPpn);
+    const auto &geom = w.ssd.chips().geometry();
+    auto &blk = w.ssd.chips().block(geom.blockOf(ppn));
+    const auto page = static_cast<std::uint32_t>(ppn % geom.pagesPerBlock);
+    const auto wl = geom.wordlineOfPage(page);
+    // Pretend the wordline was IDA'd with lpn 0's own level dropped:
+    // the dropped level still holds Valid data, which applyIda would
+    // have refused.
+    const auto mask = static_cast<flash::LevelMask>(
+        flash::fullMask(static_cast<int>(geom.bitsPerCell)) &
+        ~(1u << geom.levelOfPage(page)));
+    testing_peers_block::setWordlineMask(blk, wl, mask);
+    testing_peers_block::setIdaFlag(blk, true);
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "ida-coding")) << a.summary();
+}
+
+TEST(AuditorNegative, IdaCheckCatchesBlockFlagDisagreement)
+{
+    WarmSsd w;
+    auto &blk = w.ssd.chips().block(0);
+    testing_peers_block::setIdaFlag(blk, true); // no IDA wordline exists
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "ida-coding")) << a.summary();
+}
+
+TEST(AuditorNegative, EventQueueCheckCatchesHeapDisorder)
+{
+    WarmSsd w;
+    auto &events = w.ssd.events();
+    // Two pending events at distinct times, root earlier than child.
+    events.schedule(events.now() + 100, [] {});
+    events.schedule(events.now() + 200, [] {});
+    ASSERT_GE(testing_peers_queue::heapSize(events), 2u);
+    testing_peers_queue::swapEntries(events, 0, 1);
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "event-queue")) << a.summary();
+}
+
+TEST(AuditorNegative, EventQueueCheckCatchesStaleTimestamp)
+{
+    WarmSsd w;
+    auto &events = w.ssd.events();
+    events.schedule(events.now() + 100, [] {});
+    testing_peers_queue::setEntryWhen(events, 0, events.now() - 1);
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "event-queue")) << a.summary();
+}
+
+TEST(AuditorNegative, EventQueueCheckCatchesPoolLeak)
+{
+    WarmSsd w;
+    testing_peers_queue::cutFreeList(w.ssd.events());
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "event-queue")) << a.summary();
+}
+
+TEST(AuditorNegative, BlockAccountingCheckCatchesPoolFlagDrift)
+{
+    WarmSsd w;
+    const flash::Ppn ppn = w.ssd.ftl().mapping().lookup(0);
+    ASSERT_NE(ppn, flash::kInvalidPpn);
+    const flash::BlockId b = w.ssd.chips().geometry().blockOf(ppn);
+    w.ssd.ftl().blocks().meta(b).inFreePool = true; // holds data!
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "block-accounting")) << a.summary();
+}
+
+TEST(AuditorNegative, BlockAccountingCheckCatchesFutureClock)
+{
+    WarmSsd w;
+    const flash::Ppn ppn = w.ssd.ftl().mapping().lookup(0);
+    ASSERT_NE(ppn, flash::kInvalidPpn);
+    auto &blk = w.ssd.chips().block(
+        w.ssd.chips().geometry().blockOf(ppn));
+    testing_peers_block::setProgramTime(blk,
+                                        w.ssd.events().now() + sim::kDay);
+
+    Auditor a(w.ssd);
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "block-accounting")) << a.summary();
+}
+
+TEST(AuditorNegative, ConservationCheckCatchesCounterDrift)
+{
+    WarmSsd w;
+    Auditor a(w.ssd);
+    EXPECT_EQ(a.runAll(), 0u) << a.summary();
+    w.ssd.ftl().mutableStats().hostWrites += 5; // phantom host writes
+    EXPECT_GT(a.runAll(), 0u);
+    EXPECT_TRUE(fired(a, "conservation")) << a.summary();
+}
+
+TEST(AuditorNegative, SummaryListsCheckAndDetail)
+{
+    WarmSsd w;
+    Auditor a(w.ssd);
+    a.registerCheck("named", [](Auditor &me) { me.fail("specific"); });
+    a.runAll();
+    const std::string s = a.summary();
+    EXPECT_NE(s.find("named"), std::string::npos) << s;
+    EXPECT_NE(s.find("specific"), std::string::npos) << s;
+}
+
+} // namespace
+} // namespace ida::audit

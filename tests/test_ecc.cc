@@ -38,6 +38,42 @@ TEST(RetryModel, SampledMeanConverges)
     EXPECT_NEAR(sum / n, m.meanRounds(), 0.02);
 }
 
+TEST(RetryModel, SampledDistributionMatchesLadder)
+{
+    // Per-round empirical frequencies, not just the mean: the old
+    // lower_bound sampler assigned draws landing exactly on a CDF entry
+    // (u == 0.50 is representable) to the earlier round, a bias the
+    // mean test alone cannot see.
+    sim::Rng rng(5);
+    const RetryModel m = RetryModel::lateLife();
+    const double expected[] = {0.50, 0.25, 0.13, 0.08, 0.04};
+    const int n = 200000;
+    int counts[5] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < n; ++i) {
+        const int r = m.sampleRounds(rng);
+        ASSERT_GE(r, 0);
+        ASSERT_LE(r, 4);
+        ++counts[r];
+    }
+    for (int k = 0; k < 5; ++k)
+        EXPECT_NEAR(counts[k] / double(n), expected[k], 0.005)
+            << "round " << k;
+}
+
+TEST(RetryModel, ToleratedTailDriftStillSamplesInRange)
+{
+    // A ladder whose CDF sums to slightly under 1 (within the 1e-6
+    // tolerance) must clamp near-1 draws to the last round, never
+    // index past the end.
+    sim::Rng rng(6);
+    const RetryModel m({0.5, 0.5 - 5e-7});
+    for (int i = 0; i < 100000; ++i) {
+        const int r = m.sampleRounds(rng);
+        EXPECT_GE(r, 0);
+        EXPECT_LE(r, 1);
+    }
+}
+
 TEST(RetryModel, LifetimePhaseInterpolates)
 {
     EXPECT_DOUBLE_EQ(RetryModel::lifetimePhase(0.0).meanRounds(), 0.0);

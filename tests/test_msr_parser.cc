@@ -94,6 +94,34 @@ TEST(MsrTrace, StreamsFileWithRebasedTimestamps)
     std::remove(path.c_str());
 }
 
+TEST(MsrTrace, OutOfOrderTimestampsAreClampedAndCounted)
+{
+    const std::string path = ::testing::TempDir() + "/msr_ooo.csv";
+    {
+        std::ofstream out(path);
+        // Ticks relative to the first record: 0, +2000, +1000 (regresses),
+        // +3000. One tick is 100ns.
+        out << "128166372003061629,hm,1,Read,8192,8192,1\n";
+        out << "128166372003063629,hm,1,Write,16384,8192,1\n";
+        out << "128166372003062629,hm,1,Read,24576,8192,1\n";
+        out << "128166372003064629,hm,1,Write,32768,8192,1\n";
+    }
+    MsrTrace t(path, 8192, 1000);
+    IoRequest r;
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.arrival, 0);
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.arrival, 200'000);
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.arrival, 200'000); // clamped to the previous arrival
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.arrival, 300'000); // later records unaffected
+    EXPECT_FALSE(t.next(r));
+    EXPECT_EQ(t.outOfOrderLines(), 1u);
+    EXPECT_EQ(t.malformedLines(), 0u);
+    std::remove(path.c_str());
+}
+
 TEST(MsrTraceDeath, MissingFileIsFatal)
 {
     EXPECT_EXIT(MsrTrace("/nonexistent/trace.csv", 8192, 1000),

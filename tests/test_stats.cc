@@ -4,7 +4,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
 #include <sstream>
+#include <vector>
 
 #include "stats/histogram.hh"
 #include "stats/stats.hh"
@@ -78,12 +83,87 @@ TEST(Histogram, OverflowBucketCatchesHugeValues)
     EXPECT_EQ(h.buckets().back(), 1u);
 }
 
+TEST(Histogram, QuantileMatchesSortedVectorNearestRank)
+{
+    // Property test against the exact nearest-rank reference: sample
+    // #ceil(q*n) of the sorted data lives in some bucket (x, x*g], and
+    // the histogram must report exactly that bucket's upper bound.
+    const double growth = 1.25;
+    Histogram h(1.0, growth, 64);
+    std::mt19937_64 gen(7);
+    std::uniform_real_distribution<double> dist(1.0, 900.0);
+    std::vector<double> ref;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = dist(gen);
+        h.add(v);
+        ref.push_back(v);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {
+        const auto rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(ref.size())));
+        const double exact = ref[rank - 1];
+        const double est = h.quantile(q);
+        EXPECT_GE(est, exact) << "q=" << q;
+        EXPECT_LE(est, exact * growth * (1.0 + 1e-9)) << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileNearestRankBoundaries)
+{
+    // sorted data: {2, 100, 100, 100}; nearest rank = ceil(q * 4).
+    // Bucket bounds (lo=1, g=2): 2 -> 4.0, 100 -> 128.0. The old
+    // floor/strict-greater quantile returned rank ceil(q*n)+1, i.e.
+    // 128.0 at q=0.25 here.
+    Histogram h(1.0, 2.0, 10);
+    h.add(2.0);
+    for (int i = 0; i < 3; ++i)
+        h.add(100.0);
+    EXPECT_NEAR(h.quantile(0.25), 4.0, 1e-9);   // rank 1: the 2.0
+    EXPECT_NEAR(h.quantile(0.26), 128.0, 1e-9); // rank 2: first 100.0
+    EXPECT_NEAR(h.quantile(1.0), 128.0, 1e-9);  // rank n: the max
+    EXPECT_NEAR(h.quantile(1e-12), 4.0, 1e-9);  // rank clamps up to 1
+}
+
+TEST(Histogram, NanIsExcludedEntirely)
+{
+    Histogram h;
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.nonFiniteCount(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, PositiveInfinityCountsInOverflowOnly)
+{
+    Histogram h(1.0, 2.0, 4);
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(3.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.nonFiniteCount(), 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.5); // inf kept out of the sum
+    EXPECT_TRUE(std::isfinite(h.quantile(0.99)));
+}
+
+TEST(Histogram, NegativeInfinityClampsToZero)
+{
+    Histogram h;
+    h.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.nonFiniteCount(), 0u); // representable after the clamp
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h;
     h.add(3.0);
+    h.add(std::numeric_limits<double>::quiet_NaN());
     h.reset();
     EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.nonFiniteCount(), 0u);
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 

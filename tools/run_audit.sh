@@ -1,0 +1,26 @@
+#!/bin/sh
+# Audit gate: build Debug + IDA_AUDIT (the event-kernel hook compiles
+# in, so the auditor also fires from inside dispatchTop) and run the
+# auditor's own suite plus the seeded replay harness at full strength.
+# IDA_AUDIT_REPLAY_SEEDS widens the replay sweep far beyond the tier-1
+# default of 4 seeds; each seed is a distinct synthetic workload
+# (mixed read/write/TRIM, GC pressure, refresh with IDA on and off).
+#
+# Usage: tools/run_audit.sh [build-dir] [seeds]
+#   build-dir: default build-audit (kept separate from the release
+#              build so the flag flip never forces a full rebuild)
+#   seeds:     default 50
+set -eu
+
+BUILD_DIR="${1:-build-audit}"
+SEEDS="${2:-50}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+    -DCMAKE_BUILD_TYPE=Debug -DIDA_AUDIT=ON
+cmake --build "$BUILD_DIR" --parallel --target idaflash_tests
+
+IDA_AUDIT_REPLAY_SEEDS="$SEEDS" "$BUILD_DIR/tests/idaflash_tests" \
+    --gtest_filter='Auditor*:AuditReplay*' --gtest_brief=1
+
+echo "audit: OK ($SEEDS replay seeds clean under IDA_AUDIT)"

@@ -41,3 +41,7 @@ echo "smoke: OK (matrix deterministic across -j1/-j2)"
 cat "$OUT_DIR/stdout_j1"
 
 cmake --build "$BUILD_DIR" --parallel --target bench_smoke
+
+# Cross-layer invariant audit: separate Debug+IDA_AUDIT build, smoke
+# scale (8 seeds; CI and tools/run_audit.sh default to 50).
+"$SRC_DIR/tools/run_audit.sh" "$BUILD_DIR-audit" 8
