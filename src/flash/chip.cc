@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "trace/recorder.hh"
 
 namespace ida::flash {
 
@@ -32,11 +33,24 @@ ChipArray::currentReadLatency(Ppn ppn) const
 
 void
 ChipArray::readPage(Ppn ppn, bool host_read, int extra_rounds,
-                    DoneCallback done)
+                    DoneCallback done, [[maybe_unused]] Lpn lpn)
 {
-    const sim::Time sense =
-        currentReadLatency(ppn) * static_cast<sim::Time>(1 + extra_rounds);
+    const BlockId bid = geom_.blockOf(ppn);
+    const Block &blk = blocks_[bid];
+    const auto page = static_cast<std::uint32_t>(ppn % geom_.pagesPerBlock);
+    const int senses = blk.readSensings(page, coding_);
+    const int conv = coding_.sensingCount(
+        static_cast<int>(geom_.levelOfPage(page)));
+    const auto rounds = static_cast<std::uint64_t>(1 + extra_rounds);
+    const sim::Time sense = timing_.readLatency(coding_, senses) *
+                            static_cast<sim::Time>(1 + extra_rounds);
     stats_.retrySenseRounds += static_cast<std::uint64_t>(extra_rounds);
+    stats_.sensingOps += static_cast<std::uint64_t>(senses) * rounds;
+    stats_.sensingOpsConventional +=
+        static_cast<std::uint64_t>(conv) * rounds;
+    stats_.sensingOpsSaved +=
+        static_cast<std::uint64_t>(conv - senses) * rounds;
+    const DieId die = geom_.dieOfBlock(bid);
     Command cmd;
     cmd.op = Command::Op::Read;
     cmd.hostRead = host_read;
@@ -44,7 +58,23 @@ ChipArray::readPage(Ppn ppn, bool host_read, int extra_rounds,
     cmd.usesChannel = true;
     cmd.postLatency = timing_.eccDecode;
     cmd.done = std::move(done);
-    enqueue(geom_.dieOfBlock(geom_.blockOf(ppn)), std::move(cmd));
+#ifdef IDA_TRACE
+    if (tracer_) {
+        trace::Span &sp = cmd.span;
+        sp.id = tracer_->nextId();
+        sp.kind = host_read ? trace::SpanKind::HostRead
+                            : trace::SpanKind::InternalRead;
+        sp.lpn = lpn;
+        sp.ppn = ppn;
+        sp.die = die;
+        sp.channel = geom_.channelOfDie(die);
+        sp.start = events_.now();
+        sp.senses = static_cast<std::uint16_t>(senses);
+        sp.sensesConventional = static_cast<std::uint16_t>(conv);
+        sp.retryRounds = static_cast<std::uint8_t>(extra_rounds);
+    }
+#endif
+    enqueue(die, std::move(cmd));
     ++stats_.reads;
     stats_.senseTime += sense;
 }
@@ -61,7 +91,8 @@ ChipArray::programImmediate(Ppn ppn)
 }
 
 void
-ChipArray::programPage(Ppn ppn, DoneCallback done)
+ChipArray::programPage(Ppn ppn, DoneCallback done, [[maybe_unused]] Lpn lpn,
+                       [[maybe_unused]] bool host_data)
 {
     const BlockId bid = geom_.blockOf(ppn);
     Block &blk = blocks_[bid];
@@ -75,7 +106,21 @@ ChipArray::programPage(Ppn ppn, DoneCallback done)
     cmd.senseOrBusyTime = timing_.pageProgram;
     cmd.usesChannel = true;
     cmd.done = std::move(done);
-    enqueue(geom_.dieOfBlock(bid), std::move(cmd));
+    const DieId die = geom_.dieOfBlock(bid);
+#ifdef IDA_TRACE
+    if (tracer_) {
+        trace::Span &sp = cmd.span;
+        sp.id = tracer_->nextId();
+        sp.kind = host_data ? trace::SpanKind::HostWrite
+                            : trace::SpanKind::InternalProgram;
+        sp.lpn = lpn;
+        sp.ppn = ppn;
+        sp.die = die;
+        sp.channel = geom_.channelOfDie(die);
+        sp.start = events_.now();
+    }
+#endif
+    enqueue(die, std::move(cmd));
     ++stats_.programs;
 }
 
@@ -87,7 +132,19 @@ ChipArray::eraseBlock(BlockId b, DoneCallback done)
     cmd.op = Command::Op::Erase;
     cmd.senseOrBusyTime = timing_.blockErase;
     cmd.done = std::move(done);
-    enqueue(geom_.dieOfBlock(b), std::move(cmd));
+    const DieId die = geom_.dieOfBlock(b);
+#ifdef IDA_TRACE
+    if (tracer_) {
+        trace::Span &sp = cmd.span;
+        sp.id = tracer_->nextId();
+        sp.kind = trace::SpanKind::Erase;
+        sp.ppn = geom_.firstPpnOf(b);
+        sp.die = die;
+        sp.channel = geom_.channelOfDie(die);
+        sp.start = events_.now();
+    }
+#endif
+    enqueue(die, std::move(cmd));
     ++stats_.erases;
 }
 
@@ -100,7 +157,19 @@ ChipArray::adjustWordline(BlockId b, std::uint32_t wl, LevelMask mask,
     cmd.op = Command::Op::AdjustWl;
     cmd.senseOrBusyTime = timing_.voltageAdjust;
     cmd.done = std::move(done);
-    enqueue(geom_.dieOfBlock(b), std::move(cmd));
+    const DieId die = geom_.dieOfBlock(b);
+#ifdef IDA_TRACE
+    if (tracer_) {
+        trace::Span &sp = cmd.span;
+        sp.id = tracer_->nextId();
+        sp.kind = trace::SpanKind::AdjustWl;
+        sp.ppn = geom_.firstPpnOf(b) + geom_.pageOfWordline(wl, 0);
+        sp.die = die;
+        sp.channel = geom_.channelOfDie(die);
+        sp.start = events_.now();
+    }
+#endif
+    enqueue(die, std::move(cmd));
     ++stats_.adjusts;
 }
 
@@ -170,6 +239,10 @@ ChipArray::trySuspend(DieId die)
     stats_.dieBusy -= d.suspendedRemaining; // re-added on resume
     d.suspendedDone = std::move(d.runningDone);
     d.runningDone = nullptr;
+#ifdef IDA_TRACE
+    d.suspendedSpan = d.runningSpan;
+    d.runningSpan = trace::Span{};
+#endif
     ++d.endGen;
     d.busy = false;
     d.suspendable = false;
@@ -197,6 +270,16 @@ ChipArray::onDieOpEnd(DieId die, std::uint64_t gen)
         return; // the op was suspended; a new end event will come
     d.busy = false;
     d.suspendable = false;
+#ifdef IDA_TRACE
+    // Finalize before invoking the completion callback: it may issue
+    // new work on this very die and start the next traced command.
+    if (d.runningSpan.traced()) {
+        d.runningSpan.complete = events_.now();
+        if (tracer_)
+            tracer_->record(d.runningSpan);
+        d.runningSpan = trace::Span{};
+    }
+#endif
     if (d.runningDone) {
         DoneCallback done = std::move(d.runningDone);
         d.runningDone = nullptr;
@@ -214,6 +297,10 @@ ChipArray::resumeSuspended(DieId die)
     const sim::Time end = events_.now() + timing_.suspendResumeOverhead +
                           d.suspendedRemaining;
     stats_.dieBusy += end - events_.now();
+#ifdef IDA_TRACE
+    d.runningSpan = d.suspendedSpan;
+    d.suspendedSpan = trace::Span{};
+#endif
     occupyDie(die, end, true, std::move(d.suspendedDone));
     d.suspendedDone = nullptr;
 }
@@ -264,6 +351,19 @@ ChipArray::tryStart(DieId die)
         // parked in the pending-read slab; the event carries only the
         // slot index.
         const sim::Time completion = ch_end + cmd.postLatency;
+#ifdef IDA_TRACE
+        // A read's timeline is fully determined here (reads are never
+        // suspended), so the span finalizes at die-start time.
+        if (cmd.span.traced()) {
+            cmd.span.dieStart = now;
+            cmd.span.senseEnd = sense_done;
+            cmd.span.channelStart = ch_start;
+            cmd.span.channelEnd = ch_end;
+            cmd.span.complete = completion;
+            if (tracer_)
+                tracer_->record(cmd.span);
+        }
+#endif
         const std::uint32_t slot =
             acquireReadSlot(std::move(cmd.done), completion);
         events_.schedule(completion, [this, slot] { finishRead(slot); });
@@ -281,6 +381,15 @@ ChipArray::tryStart(DieId die)
         stats_.channelBusy += timing_.pageTransfer;
         const sim::Time end = ch_end + cmd.senseOrBusyTime;
         stats_.dieBusy += end - now;
+#ifdef IDA_TRACE
+        if (cmd.span.traced()) {
+            cmd.span.dieStart = now;
+            cmd.span.senseEnd = now;
+            cmd.span.channelStart = ch_start;
+            cmd.span.channelEnd = ch_end;
+            d.runningSpan = cmd.span; // finalized in onDieOpEnd
+        }
+#endif
         occupyDie(die, end, true, std::move(cmd.done));
         break;
       }
@@ -288,6 +397,15 @@ ChipArray::tryStart(DieId die)
       case Command::Op::AdjustWl: {
         const sim::Time end = now + cmd.senseOrBusyTime;
         stats_.dieBusy += end - now;
+#ifdef IDA_TRACE
+        if (cmd.span.traced()) {
+            cmd.span.dieStart = now;
+            cmd.span.senseEnd = now;
+            cmd.span.channelStart = now;
+            cmd.span.channelEnd = now;
+            d.runningSpan = cmd.span; // finalized in onDieOpEnd
+        }
+#endif
         occupyDie(die, end, true, std::move(cmd.done));
         break;
       }

@@ -35,6 +35,14 @@
 #include "sim/event_queue.hh"
 #include "sim/inline_callback.hh"
 
+#ifdef IDA_TRACE
+#include "trace/span.hh"
+#endif
+
+namespace ida::trace {
+class Recorder;
+}
+
 namespace ida::flash {
 
 /**
@@ -59,6 +67,17 @@ struct ChipStats
     std::uint64_t retrySenseRounds = 0;
     /** Program/erase suspensions performed (programSuspension mode). */
     std::uint64_t suspensions = 0;
+    /** Sensing operations performed (per-round count x rounds). */
+    std::uint64_t sensingOps = 0;
+    /** Sensings the conventional coding would have needed. */
+    std::uint64_t sensingOpsConventional = 0;
+    /**
+     * Conventional minus actual sensings: the IDA reduction of
+     * Fig. 5 (2->1, 4->2, 4->1) summed over every read. Always
+     * maintained — unlike the span stamps, these three counters are
+     * a handful of adds per read, not a hot-path concern.
+     */
+    std::uint64_t sensingOpsSaved = 0;
     /** Total die-busy time summed over dies. */
     sim::Time dieBusy = 0;
     /** Total channel-busy time summed over channels. */
@@ -91,15 +110,26 @@ class ChipArray
      * issue time. @p host_read selects the priority class;
      * @p extra_rounds adds read-retry re-sensings (each costs the page's
      * full memory-access latency again; paper Sec. V-F).
+     *
+     * @p lpn is attribution metadata only (the host LPN being served,
+     * kInvalidLpn for internal reads); it never affects timing. Passed
+     * explicitly rather than via an ambient "current span" register so
+     * that FTL work issued synchronously from inside a host operation
+     * (e.g. a GC triggered by allocateHostPage) cannot be misattributed
+     * to the host IO that happened to trigger it.
      */
     void readPage(Ppn ppn, bool host_read, int extra_rounds,
-                  DoneCallback done);
+                  DoneCallback done, Lpn lpn = kInvalidLpn);
 
     /**
      * Program the next in-order page of @p ppn's block; @p ppn must be
      * exactly the block's write pointer (flash programs are sequential).
+     * @p lpn / @p host_data are attribution metadata only (see
+     * readPage): host_data marks a host write as opposed to a GC /
+     * refresh / destage program.
      */
-    void programPage(Ppn ppn, DoneCallback done);
+    void programPage(Ppn ppn, DoneCallback done, Lpn lpn = kInvalidLpn,
+                     bool host_data = false);
 
     /**
      * Program a page instantly with no timing cost (state change only);
@@ -126,6 +156,13 @@ class ChipArray
     /** Pending + running commands across all dies (for drain checks). */
     std::uint64_t inflight() const { return inflight_; }
 
+    /**
+     * Attach the span recorder (null detaches). Spans are only stamped
+     * in IDA_TRACE builds; in default builds this stores a pointer that
+     * is never read.
+     */
+    void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
+
   private:
     struct Command
     {
@@ -139,6 +176,10 @@ class ChipArray
         /** Extra latency after resources are released (ECC pipeline). */
         sim::Time postLatency = 0;
         DoneCallback done;
+#ifdef IDA_TRACE
+        /** Span under construction (kind None when untraced). */
+        trace::Span span;
+#endif
     };
 
     struct Die
@@ -158,6 +199,17 @@ class ChipArray
         bool hasSuspended = false;
         sim::Time suspendedRemaining = 0;
         DoneCallback suspendedDone;
+#ifdef IDA_TRACE
+        /**
+         * Span of the running program/erase/adjust; finalized at the
+         * *actual* die-op end (onDieOpEnd), so suspension stretches
+         * land in the span instead of a precomputed completion time.
+         * Reads never park here — their completion is fully determined
+         * at start (tryStart records them immediately).
+         */
+        trace::Span runningSpan;
+        trace::Span suspendedSpan;
+#endif
     };
 
     /**
@@ -199,6 +251,7 @@ class ChipArray
     std::uint32_t freeReadSlot_ = kNilSlot;
     ChipStats stats_;
     std::uint64_t inflight_ = 0;
+    trace::Recorder *tracer_ = nullptr;
 };
 
 } // namespace ida::flash

@@ -6,6 +6,7 @@
 #include "ftl/gc.hh"
 #include "ftl/refresh.hh"
 #include "sim/log.hh"
+#include "trace/recorder.hh"
 
 namespace ida::ftl {
 
@@ -96,6 +97,11 @@ Ftl::hostRead(Lpn lpn, PageDone done)
         // dragging a `this` along just to re-read the clock.
         wbuf_.noteReadHit();
         const sim::Time t = events_.now() + wbuf_.config().dramLatency;
+#ifdef IDA_TRACE
+        if (tracer_)
+            tracer_->recordInstant(trace::SpanKind::WbufReadHit, lpn,
+                                   events_.now(), t);
+#endif
         events_.schedule(t, [done = std::move(done), t] { done(t); });
         return;
     }
@@ -104,6 +110,11 @@ Ftl::hostRead(Lpn lpn, PageDone done)
         // Never-written data: served without touching the flash array.
         ++stats_.hostReadsUnmapped;
         const sim::Time t = events_.now();
+#ifdef IDA_TRACE
+        if (tracer_)
+            tracer_->recordInstant(trace::SpanKind::UnmappedRead, lpn, t,
+                                   t);
+#endif
         events_.schedule(t, [done = std::move(done), t] { done(t); });
         return;
     }
@@ -126,7 +137,7 @@ Ftl::hostRead(Lpn lpn, PageDone done)
                          static_cast<sim::Time>(1 + rounds);
     }
 
-    chips_.readPage(src, true, rounds, std::move(done));
+    chips_.readPage(src, true, rounds, std::move(done), lpn);
 }
 
 void
@@ -136,6 +147,11 @@ Ftl::hostWrite(Lpn lpn, PageDone done)
     if (wbuf_.enabled() && wbuf_.insert(lpn)) {
         // Absorbed in controller DRAM; destaged in the background.
         const sim::Time t = events_.now() + wbuf_.config().dramLatency;
+#ifdef IDA_TRACE
+        if (tracer_)
+            tracer_->recordInstant(trace::SpanKind::WbufWrite, lpn,
+                                   events_.now(), t);
+#endif
         events_.schedule(t, [done = std::move(done), t] {
             if (done)
                 done(t);
@@ -143,7 +159,7 @@ Ftl::hostWrite(Lpn lpn, PageDone done)
         maybeFlushWriteBuffer();
         return;
     }
-    programHostData(lpn, std::move(done));
+    programHostData(lpn, std::move(done), true);
 }
 
 void
@@ -160,7 +176,7 @@ Ftl::hostTrim(Lpn lpn)
 }
 
 void
-Ftl::programHostData(Lpn lpn, PageDone done)
+Ftl::programHostData(Lpn lpn, PageDone done, bool host_write)
 {
     const Ppn dst = allocator_.allocateHostPage();
     const Ppn old = mapping_.remap(lpn, dst);
@@ -169,7 +185,9 @@ Ftl::programHostData(Lpn lpn, PageDone done)
             .invalidate(static_cast<std::uint32_t>(
                 old % geom_.pagesPerBlock));
     }
-    chips_.programPage(dst, std::move(done));
+    // host_write distinguishes a synchronous host write from a
+    // background write-buffer destage for attribution.
+    chips_.programPage(dst, std::move(done), lpn, host_write);
     noteInUse();
 }
 
@@ -187,7 +205,7 @@ Ftl::maybeFlushWriteBuffer()
         programHostData(lpn, [this](sim::Time) {
             --flushesInFlight_;
             maybeFlushWriteBuffer();
-        });
+        }, false);
     }
 }
 

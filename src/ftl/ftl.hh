@@ -26,6 +26,10 @@
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
+namespace ida::trace {
+class Recorder;
+}
+
 namespace ida::ftl {
 
 class GcJob;
@@ -232,6 +236,14 @@ class Ftl
     /** True when no GC or refresh job is running (for drain in tests). */
     bool quiescent() const;
 
+    /**
+     * Attach the span recorder for the FTL's instantly-served host
+     * operations (write-buffer hits/absorbs, unmapped reads); flash
+     * commands are stamped by ChipArray. Only active in IDA_TRACE
+     * builds (see trace/recorder.hh).
+     */
+    void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
+
     // ---- Internal interface for GC/refresh jobs. ----------------------
 
     /**
@@ -269,7 +281,7 @@ class Ftl
     friend class RefreshJob;
 
     void classifyHostRead(Ppn ppn);
-    void programHostData(Lpn lpn, PageDone done);
+    void programHostData(Lpn lpn, PageDone done, bool host_write);
     void maybeFlushWriteBuffer();
     void maybeStartGc(std::uint64_t plane);
     void refreshScan();
@@ -301,6 +313,7 @@ class Ftl
     std::vector<std::deque<PendingMigration>> fastQ_; // per plane
     std::vector<std::deque<PendingMigration>> slowQ_; // per plane
     WriteBuffer wbuf_;
+    trace::Recorder *tracer_ = nullptr;
     std::uint32_t flushesInFlight_ = 0;
     int activeRefresh_ = 0;
     bool preloading_ = false;

@@ -4,6 +4,7 @@
 
 #include "ecc/retry_model.hh"
 #include "sim/log.hh"
+#include "trace/recorder.hh"
 
 namespace ida::ssd {
 
@@ -50,6 +51,16 @@ void
 Ssd::start()
 {
     ftl_->start();
+}
+
+void
+Ssd::enableTracing(bool retain_spans)
+{
+    trace::Recorder::Options opts;
+    opts.retainSpans = retain_spans;
+    tracer_ = std::make_unique<trace::Recorder>(opts);
+    chips_->setTracer(tracer_.get());
+    ftl_->setTracer(tracer_.get());
 }
 
 void

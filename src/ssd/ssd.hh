@@ -20,6 +20,10 @@
 #include "stats/histogram.hh"
 #include "stats/stats.hh"
 
+namespace ida::trace {
+class Recorder;
+}
+
 namespace ida::ssd {
 
 /** One host I/O request (page-granular, like the paper's simulator). */
@@ -96,6 +100,19 @@ class Ssd
 
     const SsdStats &stats() const { return stats_; }
 
+    /**
+     * Create the span recorder and attach it to the chip array and the
+     * FTL (idempotent: replaces any previous recorder). Span *stamping*
+     * only happens in IDA_TRACE builds (trace::compiledIn()); in
+     * default builds the recorder stays empty. @p retain_spans keeps
+     * every raw span for chrome-trace export — leave off for long runs.
+     */
+    void enableTracing(bool retain_spans = false);
+
+    /** The attached recorder, or null when tracing was never enabled. */
+    trace::Recorder *tracer() { return tracer_.get(); }
+    const trace::Recorder *tracer() const { return tracer_.get(); }
+
     /** True when no host or internal flash operation is outstanding. */
     bool drained() const;
 
@@ -127,6 +144,7 @@ class Ssd
     sim::Rng rng_;
     std::unique_ptr<flash::ChipArray> chips_;
     std::unique_ptr<ftl::Ftl> ftl_;
+    std::unique_ptr<trace::Recorder> tracer_;
     SsdStats stats_;
     std::vector<PendingSubmit> pendingSubmits_;
     std::uint32_t freeSubmit_ = kNilSlot;

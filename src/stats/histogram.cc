@@ -48,7 +48,11 @@ Histogram::add(double x)
     }
     if (x < 0.0)
         x = 0.0; // clamps -inf too
-    ++counts_[static_cast<std::size_t>(bucketOf(x))];
+    if (x != lastX_) {
+        lastX_ = x;
+        lastBucket_ = bucketOf(x);
+    }
+    ++counts_[static_cast<std::size_t>(lastBucket_)];
     ++count_;
     sum_ += x;
 }

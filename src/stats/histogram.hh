@@ -51,6 +51,14 @@ class Histogram
 
     double lo_;
     double logGrowth_;
+    /**
+     * Last (value, bucket) pair: simulated latencies are deterministic
+     * constants, so consecutive adds usually repeat the same value and
+     * the memo skips bucketOf's std::log on the hot attribution path.
+     * Pure cache — hit or miss, the bucket chosen is identical.
+     */
+    double lastX_ = -1.0;
+    int lastBucket_ = 0;
     std::vector<std::uint64_t> counts_; // last entry = overflow
     std::uint64_t count_ = 0;
     double sum_ = 0.0;

@@ -1,0 +1,140 @@
+#include "trace/attribution.hh"
+
+#include "stats/json_writer.hh"
+
+namespace ida::trace {
+
+const char *
+phaseName(int p)
+{
+    switch (p) {
+      case kQueueWait: return "queueWait";
+      case kSense: return "sense";
+      case kRetrySense: return "retrySense";
+      case kChannelWait: return "channelWait";
+      case kTransfer: return "transfer";
+      case kDieBusy: return "dieBusy";
+      case kEcc: return "ecc";
+      case kDram: return "dram";
+    }
+    return "unknown";
+}
+
+Attribution::Attribution() = default;
+
+void
+Attribution::fold(int phase, sim::Time dur)
+{
+    totals_[phase] += dur;
+    ++counts_[phase];
+    hists_[phase].add(sim::toUsec(dur));
+}
+
+void
+Attribution::add(const Span &s)
+{
+    ++counters_.spans;
+    switch (s.kind) {
+      case SpanKind::HostRead: ++counters_.hostReads; break;
+      case SpanKind::HostWrite: ++counters_.hostWrites; break;
+      case SpanKind::WbufReadHit: ++counters_.wbufReadHits; break;
+      case SpanKind::WbufWrite: ++counters_.wbufWrites; break;
+      case SpanKind::UnmappedRead: ++counters_.unmappedReads; break;
+      case SpanKind::InternalRead: ++counters_.internalReads; break;
+      case SpanKind::InternalProgram: ++counters_.internalPrograms; break;
+      case SpanKind::Erase: ++counters_.erases; break;
+      case SpanKind::AdjustWl: ++counters_.adjusts; break;
+      case SpanKind::None: return; // untraced slot; nothing to fold
+    }
+
+    const SpanPhases p = phasesOf(s);
+    if (s.isInstant()) {
+        fold(kDram, p.dram);
+        return;
+    }
+    fold(kQueueWait, p.queueWait);
+    if (s.isRead()) {
+        const auto rounds = static_cast<std::uint64_t>(1 + s.retryRounds);
+        counters_.sensingOps += s.senses * rounds;
+        counters_.sensingOpsConventional += s.sensesConventional * rounds;
+        counters_.sensingOpsSaved +=
+            (s.sensesConventional - s.senses) * rounds;
+        counters_.retryRounds += s.retryRounds;
+        fold(kSense, p.sense);
+        // Only actual retries contribute: folding zeros for the common
+        // no-retry case would drown the retry distribution in zeros.
+        if (s.retryRounds > 0)
+            fold(kRetrySense, p.retrySense);
+        fold(kChannelWait, p.channelWait);
+        fold(kTransfer, p.transfer);
+        fold(kEcc, p.ecc);
+        return;
+    }
+    // Programs use the channel; erase/adjust stamps collapse the
+    // channel interval to zero width, so skip their empty transfer.
+    if (s.channelEnd > s.channelStart) {
+        fold(kChannelWait, p.channelWait);
+        fold(kTransfer, p.transfer);
+    }
+    fold(kDieBusy, p.dieBusy);
+}
+
+AttributionSummary
+Attribution::summary(bool enabled) const
+{
+    AttributionSummary s;
+    s.enabled = enabled;
+    s.counters = counters_;
+    for (int p = 0; p < kNumPhases; ++p) {
+        PhaseSummary &ps = s.phases[p];
+        ps.count = counts_[p];
+        ps.totalUs = sim::toUsec(totals_[p]);
+        ps.meanUs = counts_[p]
+            ? ps.totalUs / static_cast<double>(counts_[p])
+            : 0.0;
+        ps.p99Us = counts_[p] ? hists_[p].quantile(0.99) : 0.0;
+    }
+    return s;
+}
+
+void
+writeAttributionJson(stats::JsonWriter &w, const AttributionSummary &s)
+{
+    w.beginObject();
+    w.field("enabled", s.enabled);
+    w.field("spans", s.counters.spans);
+    w.key("phases");
+    w.beginObject();
+    for (int p = 0; p < kNumPhases; ++p) {
+        w.key(phaseName(p));
+        w.beginObject();
+        w.field("count", s.phases[p].count);
+        w.field("totalUs", s.phases[p].totalUs);
+        w.field("meanUs", s.phases[p].meanUs);
+        w.field("p99Us", s.phases[p].p99Us);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("ops");
+    w.beginObject();
+    w.field("hostReads", s.counters.hostReads);
+    w.field("hostWrites", s.counters.hostWrites);
+    w.field("wbufReadHits", s.counters.wbufReadHits);
+    w.field("wbufWrites", s.counters.wbufWrites);
+    w.field("unmappedReads", s.counters.unmappedReads);
+    w.field("internalReads", s.counters.internalReads);
+    w.field("internalPrograms", s.counters.internalPrograms);
+    w.field("erases", s.counters.erases);
+    w.field("adjusts", s.counters.adjusts);
+    w.endObject();
+    w.key("sensing");
+    w.beginObject();
+    w.field("ops", s.counters.sensingOps);
+    w.field("opsConventional", s.counters.sensingOpsConventional);
+    w.field("sensingOpsSaved", s.counters.sensingOpsSaved);
+    w.field("retryRounds", s.counters.retryRounds);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace ida::trace

@@ -1,0 +1,127 @@
+#include "trace/chrome_trace.hh"
+
+#include "stats/json_writer.hh"
+
+namespace ida::trace {
+
+namespace {
+
+constexpr std::uint64_t kChannelTidBase = 1000;
+constexpr std::uint64_t kHostTid = 2000;
+
+void
+metaEvent(stats::JsonWriter &w, std::uint64_t tid, const std::string &name)
+{
+    w.beginObject();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", std::uint64_t{0});
+    w.field("tid", tid);
+    w.key("args");
+    w.beginObject();
+    w.field("name", name);
+    w.endObject();
+    w.endObject();
+}
+
+void
+beginDuration(stats::JsonWriter &w, const char *name, const char *cat,
+              std::uint64_t tid, sim::Time start, sim::Time end)
+{
+    w.beginObject();
+    w.field("name", name);
+    w.field("cat", cat);
+    w.field("ph", "X");
+    w.field("pid", std::uint64_t{0});
+    w.field("tid", tid);
+    w.field("ts", sim::toUsec(start));
+    w.field("dur", sim::toUsec(end - start));
+    w.key("args");
+    w.beginObject();
+}
+
+void
+spanArgs(stats::JsonWriter &w, const Span &s)
+{
+    w.field("id", s.id);
+    if (s.lpn != flash::kInvalidLpn)
+        w.field("lpn", std::uint64_t{s.lpn});
+    if (s.ppn != flash::kInvalidPpn)
+        w.field("ppn", std::uint64_t{s.ppn});
+    if (s.isRead()) {
+        w.field("senses", std::uint64_t{s.senses});
+        w.field("sensesConventional",
+                std::uint64_t{s.sensesConventional});
+        w.field("retryRounds", std::uint64_t{s.retryRounds});
+    }
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<Span> &spans,
+                 const flash::Geometry &geom)
+{
+    stats::JsonWriter w(os);
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+
+    metaEvent(w, kHostTid, "host IOs");
+    for (std::uint64_t d = 0; d < geom.dies(); ++d) {
+        metaEvent(w, d,
+                  "die " + std::to_string(d) + " (ch " +
+                      std::to_string(geom.channelOfDie(
+                          static_cast<flash::DieId>(d))) +
+                      ")");
+    }
+    for (std::uint32_t c = 0; c < geom.channels; ++c)
+        metaEvent(w, kChannelTidBase + c, "channel " + std::to_string(c));
+
+    for (const Span &s : spans) {
+        if (!s.traced())
+            continue;
+
+        // Host lane: the end-to-end interval the host observes.
+        const bool host_visible = s.kind == SpanKind::HostRead ||
+                                  s.kind == SpanKind::HostWrite ||
+                                  s.isInstant();
+        if (host_visible) {
+            beginDuration(w, spanKindName(s.kind),
+                          s.isInstant() ? "dram" : "host", kHostTid,
+                          s.start, s.complete);
+            spanArgs(w, s);
+            w.endObject(); // args
+            w.endObject(); // event
+        }
+        if (s.isInstant())
+            continue;
+
+        // Die lane: reads hold the die only for the sensing stage
+        // (cache-register pipelining releases it at sense completion);
+        // programs/erases/adjusts own it to the end.
+        const sim::Time die_end = s.isRead() ? s.senseEnd : s.complete;
+        beginDuration(w, s.isRead() ? "sense" : spanKindName(s.kind),
+                      "die", s.die, s.dieStart, die_end);
+        spanArgs(w, s);
+        w.endObject();
+        w.endObject();
+
+        // Channel lane: the page transfer (reads out, programs in).
+        if (s.channelEnd > s.channelStart) {
+            beginDuration(w, "xfer", "channel",
+                          kChannelTidBase + s.channel, s.channelStart,
+                          s.channelEnd);
+            spanArgs(w, s);
+            w.endObject();
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace ida::trace

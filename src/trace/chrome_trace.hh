@@ -1,0 +1,31 @@
+/**
+ * @file
+ * chrome://tracing (Trace Event Format) exporter for retained spans.
+ *
+ * Lanes: each die is a thread (tid = die id), each channel a thread
+ * (tid = 1000 + channel), and host-visible IOs ride a synthetic "host"
+ * lane (tid = 2000) showing end-to-end latency. Open the file in
+ * chrome://tracing or https://ui.perfetto.dev to inspect pipelining —
+ * e.g. a die's cache-register sense overlapping the previous page's
+ * channel transfer, or the shorter sense slabs of IDA-merged reads.
+ *
+ * Durations/timestamps are microseconds (the format's unit). Output is
+ * deterministic: events are emitted in span-record order through the
+ * deterministic JsonWriter, which is what makes golden-file
+ * byte-comparison possible (tests/test_trace_golden.cc).
+ */
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "trace/span.hh"
+
+namespace ida::trace {
+
+/** Write @p spans as one Trace Event Format JSON document. */
+void writeChromeTrace(std::ostream &os, const std::vector<Span> &spans,
+                      const flash::Geometry &geom);
+
+} // namespace ida::trace

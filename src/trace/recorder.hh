@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The per-device span recorder the instrumentation points report to.
+ *
+ * A Recorder is owned by ssd::Ssd (created by Ssd::enableTracing) and
+ * handed to ChipArray and Ftl as a raw pointer. Every completed span is
+ * folded into the Attribution accumulator; with `retainSpans` on, the
+ * raw spans are additionally kept for the chrome://tracing exporter
+ * (trace/chrome_trace.hh).
+ *
+ * The recorder itself is always compiled (and unit-tested) — only the
+ * *stamping* in the flash/FTL hot paths is gated behind the IDA_TRACE
+ * compile option, mirroring the IDA_AUDIT pattern: a default build
+ * carries a never-written null pointer and nothing else.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/attribution.hh"
+#include "trace/span.hh"
+
+namespace ida::trace {
+
+/** True when the IDA_TRACE instrumentation is compiled into this build. */
+inline constexpr bool
+compiledIn()
+{
+#ifdef IDA_TRACE
+    return true;
+#else
+    return false;
+#endif
+}
+
+class Recorder
+{
+  public:
+    struct Options
+    {
+        /**
+         * Keep every raw span (for chrome-trace export). Off by
+         * default: long runs fold millions of spans into the fixed-size
+         * attribution state without growing memory.
+         */
+        bool retainSpans = false;
+    };
+
+    Recorder() = default;
+    explicit Recorder(Options opts) : opts_(opts) {}
+
+    /** Allocate the next span id (1-based; 0 marks "no span"). */
+    std::uint64_t nextId() { return ++lastId_; }
+
+    /** Fold (and optionally retain) one completed span. */
+    void
+    record(const Span &s)
+    {
+        attribution_.add(s);
+        if (opts_.retainSpans)
+            spans_.push_back(s);
+    }
+
+    /**
+     * Record an instantly-served host operation (write-buffer hit,
+     * buffered write, unmapped read) as a one-phase DRAM span.
+     */
+    void
+    recordInstant(SpanKind kind, flash::Lpn lpn, sim::Time start,
+                  sim::Time complete)
+    {
+        Span s;
+        s.id = nextId();
+        s.kind = kind;
+        s.lpn = lpn;
+        s.start = start;
+        s.dieStart = start;
+        s.senseEnd = start;
+        s.channelStart = start;
+        s.channelEnd = start;
+        s.complete = complete;
+        record(s);
+    }
+
+    const Attribution &attribution() const { return attribution_; }
+
+    /** Snapshot for RunResult; enabled iff the stamps could have fired. */
+    AttributionSummary summary() const {
+        return attribution_.summary(compiledIn());
+    }
+
+    /** Retained spans (empty unless Options::retainSpans). */
+    const std::vector<Span> &spans() const { return spans_; }
+
+  private:
+    Options opts_;
+    std::uint64_t lastId_ = 0;
+    Attribution attribution_;
+    std::vector<Span> spans_;
+};
+
+} // namespace ida::trace

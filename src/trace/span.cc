@@ -1,0 +1,58 @@
+#include "trace/span.hh"
+
+namespace ida::trace {
+
+const char *
+spanKindName(SpanKind k)
+{
+    switch (k) {
+      case SpanKind::None: return "none";
+      case SpanKind::HostRead: return "host_read";
+      case SpanKind::HostWrite: return "host_write";
+      case SpanKind::WbufReadHit: return "wbuf_read_hit";
+      case SpanKind::WbufWrite: return "wbuf_write";
+      case SpanKind::UnmappedRead: return "unmapped_read";
+      case SpanKind::InternalRead: return "internal_read";
+      case SpanKind::InternalProgram: return "internal_program";
+      case SpanKind::Erase: return "erase";
+      case SpanKind::AdjustWl: return "adjust_wl";
+    }
+    return "unknown";
+}
+
+SpanPhases
+phasesOf(const Span &s)
+{
+    SpanPhases p;
+    if (s.isInstant()) {
+        p.dram = s.complete - s.start;
+        return p;
+    }
+    p.queueWait = s.dieStart - s.start;
+    if (s.isRead()) {
+        // The die stage holds (1 + retryRounds) equal sensing rounds
+        // (flash/chip.cc computes it as latency * rounds, so the split
+        // below is exact); attribute the first round to `sense` and the
+        // re-sensings to `retrySense`.
+        const sim::Time senseTotal = s.senseEnd - s.dieStart;
+        const auto rounds = static_cast<sim::Time>(1 + s.retryRounds);
+        p.sense = senseTotal / rounds;
+        p.retrySense = senseTotal - p.sense;
+        p.channelWait = s.channelStart - s.senseEnd;
+        p.transfer = s.channelEnd - s.channelStart;
+        p.ecc = s.complete - s.channelEnd;
+        return p;
+    }
+    // Programs: transfer in first, then the cell operation until
+    // completion. Erase/adjust are die-only: the instrumentation stamps
+    // channelStart == channelEnd == dieStart, so channelWait and
+    // transfer collapse to zero and dieBusy covers the whole operation.
+    // A suspended program's interruption window also lands in dieBusy
+    // (the operation owns the die slot across the suspension).
+    p.channelWait = s.channelStart - s.dieStart;
+    p.transfer = s.channelEnd - s.channelStart;
+    p.dieBusy = s.complete - s.channelEnd;
+    return p;
+}
+
+} // namespace ida::trace

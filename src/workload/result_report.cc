@@ -69,6 +69,9 @@ RunResult::writeJson(stats::JsonWriter &w, bool include_volatile) const
     w.field("adjusts", chip.adjusts);
     w.field("retrySenseRounds", chip.retrySenseRounds);
     w.field("suspensions", chip.suspensions);
+    w.field("sensingOps", chip.sensingOps);
+    w.field("sensingOpsConventional", chip.sensingOpsConventional);
+    w.field("sensingOpsSaved", chip.sensingOpsSaved);
     w.field("dieBusySec", sim::toSec(chip.dieBusy));
     w.field("channelBusySec", sim::toSec(chip.channelBusy));
     w.field("senseSec", sim::toSec(chip.senseTime));
@@ -97,6 +100,9 @@ RunResult::writeJson(stats::JsonWriter &w, bool include_volatile) const
     w.field("malformedLines", traceMalformedLines);
     w.field("outOfOrderLines", traceOutOfOrderLines);
     w.endObject();
+
+    w.key("attribution");
+    trace::writeAttributionJson(w, attribution);
 
     w.field("simulatedSec", sim::toSec(simulatedTime));
     if (include_volatile)
@@ -159,6 +165,8 @@ makeReport(const RunResult &r)
     rep.add("erases", r.chip.erases);
     rep.add("adjusts", r.chip.adjusts);
     rep.add("retry_rounds", r.chip.retrySenseRounds);
+    rep.add("sensing_ops", r.chip.sensingOps);
+    rep.add("sensing_ops_saved", r.chip.sensingOpsSaved);
     rep.add("die_busy_s", sim::toSec(r.chip.dieBusy), 2);
     rep.add("channel_busy_s", sim::toSec(r.chip.channelBusy), 2);
 
@@ -173,6 +181,20 @@ makeReport(const RunResult &r)
     rep.add("total_blocks", r.totalBlocks);
     rep.add("footprint_pages", r.footprintPages);
     rep.add("max_in_use_blocks", r.ftl.maxInUseBlocks);
+
+    if (r.attribution.enabled) {
+        rep.section("attribution");
+        for (int p = 0; p < trace::kNumPhases; ++p) {
+            const auto &ph = r.attribution.phases[p];
+            if (ph.count == 0)
+                continue;
+            rep.add(std::string(trace::phaseName(p)) + "_mean_us",
+                    ph.meanUs, 1);
+        }
+        rep.add("spans", r.attribution.counters.spans);
+        rep.add("sensing_ops_saved",
+                r.attribution.counters.sensingOpsSaved);
+    }
 
     rep.section("meta");
     rep.add("trace_malformed_lines", r.traceMalformedLines);

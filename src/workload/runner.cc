@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "sim/log.hh"
+#include "trace/recorder.hh"
 
 namespace ida::workload {
 
@@ -45,6 +46,11 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
             sim::kSec);
     }
     ssd::Ssd ssd(cfg);
+    // Fold spans as they complete (no retention: memory stays fixed).
+    // Free in default builds: the stamps are compiled out and the
+    // recorder never sees a span.
+    if (trace::compiledIn())
+        ssd.enableTracing();
 
     const std::uint64_t footprint = std::min<std::uint64_t>(
         footprint_pages,
@@ -120,6 +126,8 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     r.ftl = ssd.ftl().stats();
     r.chip = ssd.chips().stats();
     r.wear = ftl::captureWear(ssd.chips());
+    if (ssd.tracer())
+        r.attribution = ssd.tracer()->summary();
     r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();
     r.totalBlocks = cfg.geometry.blocks();
     r.footprintPages = footprint;
@@ -173,6 +181,8 @@ runClosedLoop(const ssd::SsdConfig &device, const WorkloadPreset &preset,
     // their IDA adjustments) happen during the warm-up portion.
     cfg.ftl.preloadAgeSpread = sim::kSec;
     ssd::Ssd ssd(cfg);
+    if (trace::compiledIn())
+        ssd.enableTracing();
 
     SyntheticTrace trace(preset.synth);
     const std::uint64_t footprint = std::min<std::uint64_t>(
@@ -277,6 +287,8 @@ runClosedLoop(const ssd::SsdConfig &device, const WorkloadPreset &preset,
     r.ftl = ssd.ftl().stats();
     r.chip = ssd.chips().stats();
     r.wear = ftl::captureWear(ssd.chips());
+    if (ssd.tracer())
+        r.attribution = ssd.tracer()->summary();
     r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();
     r.totalBlocks = cfg.geometry.blocks();
     r.footprintPages = footprint;

@@ -11,6 +11,7 @@
 
 #include "ftl/wear.hh"
 #include "ssd/ssd.hh"
+#include "trace/attribution.hh"
 #include "workload/presets.hh"
 
 namespace ida::stats {
@@ -35,6 +36,14 @@ struct RunResult
     ftl::FtlStats ftl;       // classification, refresh, GC counters
     flash::ChipStats chip;   // command counts / busy times
     ftl::WearSnapshot wear;  // erase distribution at end of run
+    /**
+     * Per-phase latency attribution (src/trace). Populated (enabled ==
+     * true) only in IDA_TRACE builds; the JSON schema is identical
+     * either way, with zeroed phases when the stamps are compiled out.
+     * Covers the whole run including warm-up (spans are device-side and
+     * have no measurement window).
+     */
+    trace::AttributionSummary attribution;
     std::uint64_t inUseBlocksEnd = 0;
     std::uint64_t totalBlocks = 0;
     std::uint64_t footprintPages = 0;

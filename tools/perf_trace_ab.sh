@@ -1,0 +1,102 @@
+#!/bin/sh
+# Perf gate for the trace layer: interleaved A/B of perf_kernel between
+# a default build (IDA_TRACE=OFF) and a trace build (IDA_TRACE=ON),
+# comparing per-side medians of events_per_sec. Proves the #ifdef
+# pattern holds — a default build must pay nothing for the
+# instrumentation (the recorder pointer is never even read), and even
+# the ON build only adds work when a tracer is attached.
+#
+# Both perf_kernel metrics are gated, with separate budgets because
+# they measure different claims (see docs/PERF.md, "Trace-layer A/B"):
+#   events/sec — the raw event kernel. No trace code runs in that path,
+#     so any delta is binary layout/alignment noise; the tight default
+#     tolerance (6%) bounds it and proves the default build pays
+#     nothing for the instrumentation.
+#   ios/sec — the full device path with the runner's tracer attached,
+#     i.e. the cost of *live* per-IO attribution. Budgeted at 15%
+#     (measured ~10%) so the live cost cannot creep unnoticed.
+# Alternating A/B/A/B runs cancel machine drift, and each side gets one
+# discarded warmup run.
+#
+# Usage: tools/perf_trace_ab.sh [runs-per-side] [events-tol] [ios-tol]
+#   runs-per-side: default 5
+#   events-tol:    allowed events/sec median regression %, default 6
+#   ios-tol:       allowed ios/sec median regression %, default 15
+set -eu
+
+RUNS="${1:-5}"
+EV_TOL="${2:-6}"
+IO_TOL="${3:-15}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+OFF_DIR="build-perf-off"
+ON_DIR="build-perf-on"
+
+for side in OFF ON; do
+    [ "$side" = OFF ] && dir="$OFF_DIR" || dir="$ON_DIR"
+    [ "$side" = OFF ] && flag=OFF || flag=ON
+    cmake -B "$dir" -S "$SRC_DIR" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIDA_TRACE=$flag
+    cmake --build "$dir" --parallel --target perf_kernel
+done
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+rate() {
+    grep -Eo "\"$2\": [0-9.]+" "$1" | grep -Eo '[0-9.]+$'
+}
+
+one_run() { # $1=dir $2=results-dir
+    IDA_RESULTS_DIR="$2" \
+        IDA_PERF_EVENTS="${IDA_PERF_EVENTS:-4000000}" \
+        IDA_PERF_SCALE="${IDA_PERF_SCALE:-0.15}" \
+        "$1/bench/perf_kernel" > /dev/null
+}
+
+# One discarded warmup per side: the first run pays page-cache and
+# branch-predictor cold costs that would otherwise land on side OFF.
+one_run "$OFF_DIR" "$OUT_DIR/warm-off"
+one_run "$ON_DIR" "$OUT_DIR/warm-on"
+
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+    for side in off on; do
+        [ "$side" = off ] && dir="$OFF_DIR" || dir="$ON_DIR"
+        res="$OUT_DIR/$side-$i"
+        one_run "$dir" "$res"
+        rate "$res/BENCH_kernel.json" events_per_sec \
+            >> "$OUT_DIR/ev_$side"
+        rate "$res/BENCH_kernel.json" ios_per_sec \
+            >> "$OUT_DIR/io_$side"
+    done
+    i=$((i + 1))
+done
+
+median() {
+    sort -n "$1" | awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}'
+}
+
+FAIL=0
+for metric in ev io; do
+    if [ "$metric" = ev ]; then
+        name="events/sec"; TOL="$EV_TOL"
+    else
+        name="ios/sec"; TOL="$IO_TOL"
+    fi
+    MED_OFF="$(median "$OUT_DIR/${metric}_off")"
+    MED_ON="$(median "$OUT_DIR/${metric}_on")"
+    echo "perf_trace_ab: median $name OFF=$MED_OFF ON=$MED_ON"
+    awk -v off="$MED_OFF" -v on="$MED_ON" -v tol="$TOL" -v n="$name" \
+        'BEGIN {
+        delta = 100.0 * (off - on) / off
+        printf "perf_trace_ab: %s ON is %.2f%% below OFF " \
+               "(tolerance %s%%)\n", n, delta, tol
+        exit (delta <= tol) ? 0 : 1
+    }' || FAIL=1
+done
+if [ "$FAIL" -ne 0 ]; then
+    echo "perf_trace_ab: FAIL - IDA_TRACE=ON regresses perf_kernel" \
+         "beyond the tolerance" >&2
+    exit 1
+fi
+echo "perf_trace_ab: OK"

@@ -42,6 +42,17 @@ cat "$OUT_DIR/stdout_j1"
 
 cmake --build "$BUILD_DIR" --parallel --target bench_smoke
 
+# Trace smoke: separate IDA_TRACE build (flag flip never touches the
+# release tree), run the trace demo with IDA on, and validate both
+# exports — including that the run actually saved sensing operations.
+cmake -B "$BUILD_DIR-trace" -S "$SRC_DIR" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIDA_TRACE=ON
+cmake --build "$BUILD_DIR-trace" --parallel --target trace_demo
+"$BUILD_DIR-trace/examples/trace_demo" --ida 1 --requests 500 \
+    --trace-out "$OUT_DIR/trace.json" --attr-out "$OUT_DIR/attr.json"
+"$SRC_DIR/tools/check_trace_json.sh" \
+    "$OUT_DIR/trace.json" "$OUT_DIR/attr.json" --require-savings
+
 # Cross-layer invariant audit: separate Debug+IDA_AUDIT build, smoke
 # scale (8 seeds; CI and tools/run_audit.sh default to 50).
 "$SRC_DIR/tools/run_audit.sh" "$BUILD_DIR-audit" 8

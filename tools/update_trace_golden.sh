@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerate the trace-layer golden files (tests/golden/*.json) from the
+# current source, then verify the regenerated goldens pass. Run this
+# after an intentional change to the instrumentation stamps, the phase
+# decomposition, the JSON writer, or anything that moves simulated
+# event timing — and commit the resulting diff together with the change
+# (see docs/TESTING.md, "Golden tests").
+#
+# Usage: tools/update_trace_golden.sh [build-dir]   (default: build-trace)
+set -eu
+
+BUILD_DIR="${1:-build-trace}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIDA_TRACE=ON
+cmake --build "$BUILD_DIR" --parallel --target idaflash_tests
+
+IDA_UPDATE_GOLDEN=1 "$BUILD_DIR/tests/idaflash_tests" \
+    --gtest_filter='TraceGolden*' --gtest_brief=1
+IDA_UPDATE_GOLDEN= "$BUILD_DIR/tests/idaflash_tests" \
+    --gtest_filter='TraceGolden*' --gtest_brief=1
+
+echo "update_trace_golden: OK (goldens rewritten in tests/golden/)"
