@@ -81,7 +81,7 @@ runTwoPhase(bool ida)
     p1.totalRequests = 60'000;
     p1.duration = sim::kHour;
     p1.seed = 77;
-    feedAndRun(ssd, p1, footprint, 0);
+    feedAndRun(ssd, p1, footprint, sim::Time{});
 
     TwoPhaseResult out;
     out.inUseAfterPhase1 = ssd.ftl().blocks().inUseBlocks();

@@ -31,8 +31,7 @@ main(int argc, char **argv)
     for (const auto &name : names) {
         for (double m : multiples) {
             workload::WorkloadPreset p = workload::presetByName(name);
-            p.refreshPeriod = static_cast<sim::Time>(
-                m * static_cast<double>(p.synth.duration));
+            p.refreshPeriod = p.synth.duration * m;
             const std::string suffix =
                 "/p" + stats::Table::num(m, 2) + "x";
             specs.push_back(bench::spec(bench::tlcSystem(false), p,

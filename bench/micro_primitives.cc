@@ -56,7 +56,7 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         sim::EventQueue q;
         int sink = 0;
         for (int i = 0; i < n; ++i)
-            q.schedule(i % 97, [&sink] { ++sink; });
+            q.schedule(sim::Time{i % 97}, [&sink] { ++sink; });
         q.run();
         benchmark::DoNotOptimize(sink);
     }

@@ -141,7 +141,7 @@ class ActorBench
         --remaining_;
         rng = rng * 1664525u + 1013904223u;
         p.v[rng % 3] += rng;
-        q_.scheduleAfter(1 + (rng >> 21),
+        q_.scheduleAfter(ida::sim::Time{1 + (rng >> 21)},
                          [this, rng, p] { step(rng, p); });
     }
 

@@ -47,7 +47,7 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (a == "--ida")
-            ida_on = std::atoi(next()) != 0;
+            ida_on = std::strtol(next(), nullptr, 10) != 0;
         else if (a == "--requests")
             requests = std::strtoull(next(), nullptr, 10);
         else if (a == "--seed")
@@ -88,11 +88,11 @@ main(int argc, char **argv)
     // mid-run and both coding modes appear in the same timeline.
     sim::Rng rng(seed);
     const sim::Time horizon = 3 * sim::kMin;
-    sim::Time arrival = 0;
+    sim::Time arrival{};
     for (std::uint64_t i = 0; i < requests; ++i) {
-        arrival += static_cast<sim::Time>(
-            rng.exponential(static_cast<double>(horizon) /
-                            static_cast<double>(requests)));
+        arrival += sim::Time{static_cast<std::int64_t>(
+            rng.exponential(static_cast<double>(horizon.count()) /
+                            static_cast<double>(requests)))};
         ssd::HostRequest hr;
         hr.arrival = arrival;
         hr.isRead = rng.uniform01() < 0.7;

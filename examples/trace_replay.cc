@@ -104,7 +104,8 @@ main(int argc, char **argv)
             suspension = true;
         else if (!std::strcmp(argv[i], "--wbuf"))
             wbufPages = static_cast<std::uint32_t>(
-                std::atoi(need("--wbuf").c_str()));
+                static_cast<int>(
+                    std::strtol(need("--wbuf").c_str(), nullptr, 10)));
         else
             usage();
     }

@@ -368,8 +368,9 @@ Auditor::checkBlockAccounting()
     const sim::Time now = ssd_.events().now();
     // finalizePreload may legitimately post-date refreshedAt by up to
     // (preloadAgeSpread - refreshPeriod) when the spread is the larger.
-    const sim::Time refreshSlack = std::max<sim::Time>(
-        0, ftl.config().preloadAgeSpread - ftl.config().refreshPeriod);
+    const sim::Time refreshSlack = std::max(
+        sim::Time{},
+        ftl.config().preloadAgeSpread - ftl.config().refreshPeriod);
 
     std::vector<std::uint64_t> freeByPlane(geom.planes(), 0);
     std::uint64_t closed = 0;

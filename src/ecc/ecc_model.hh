@@ -76,7 +76,11 @@ class EccModel
     }
 
     /** Ladder-mode convenience overload (no page context). */
-    int retryRounds(sim::Rng &rng) const { return retryRounds(0, 0, rng); }
+    int
+    retryRounds(sim::Rng &rng) const
+    {
+        return retryRounds(0, sim::Time{}, rng);
+    }
 
   private:
     double adjustErrorRate_;

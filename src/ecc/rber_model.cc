@@ -13,7 +13,7 @@ RberModel::RberModel(const RberConfig &cfg) : cfg_(cfg)
         sim::fatal("RberModel: base RBER and decode limit must be > 0");
     if (cfg_.perRoundGain <= 1.0)
         sim::fatal("RberModel: per-round gain must exceed 1");
-    if (cfg_.peScale <= 0.0 || cfg_.retentionScale <= 0)
+    if (cfg_.peScale <= 0.0 || cfg_.retentionScale <= sim::Time{})
         sim::fatal("RberModel: scales must be positive");
     if (cfg_.maxExtraRounds < 0)
         sim::fatal("RberModel: maxExtraRounds must be >= 0");
@@ -22,14 +22,14 @@ RberModel::RberModel(const RberConfig &cfg) : cfg_(cfg)
 double
 RberModel::rber(std::uint32_t pe_cycles, sim::Time retention) const
 {
-    if (retention < 0)
-        retention = 0;
+    if (retention < sim::Time{})
+        retention = sim::Time{};
     const double wear = std::pow(
         1.0 + static_cast<double>(pe_cycles) / cfg_.peScale,
         cfg_.wearExponent);
     const double ret = std::pow(
-        1.0 + static_cast<double>(retention) /
-                  static_cast<double>(cfg_.retentionScale),
+        1.0 + static_cast<double>(retention.count()) /
+                  static_cast<double>(cfg_.retentionScale.count()),
         cfg_.retentionExponent);
     return cfg_.baseRber * wear * ret;
 }
@@ -72,11 +72,10 @@ RberModel::retryOnsetRetention(std::uint32_t pe_cycles) const
         cfg_.wearExponent);
     const double target = cfg_.hardDecisionLimit / (cfg_.baseRber * wear);
     if (target <= 1.0)
-        return 0; // already beyond the limit at zero retention
+        return sim::Time{}; // already beyond the limit at zero retention
     const double x =
         std::pow(target, 1.0 / cfg_.retentionExponent) - 1.0;
-    return static_cast<sim::Time>(
-        x * static_cast<double>(cfg_.retentionScale));
+    return x * cfg_.retentionScale;
 }
 
 } // namespace ida::ecc

@@ -97,7 +97,7 @@ Block::erase()
     validCount_ = 0;
     ++eraseCount_;
     idaBlock_ = false;
-    programTime_ = 0;
+    programTime_ = sim::Time{};
 }
 
 int

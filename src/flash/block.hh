@@ -150,7 +150,7 @@ class Block
     std::uint32_t writePtr_ = 0;
     std::uint32_t validCount_ = 0;
     std::uint32_t eraseCount_ = 0;
-    sim::Time programTime_ = 0;
+    sim::Time programTime_{};
     bool idaBlock_ = false;
 };
 

@@ -19,7 +19,7 @@ ChipArray::ChipArray(const Geometry &geom, const FlashTiming &timing,
     for (std::uint64_t b = 0; b < geom_.blocks(); ++b)
         blocks_.emplace_back(geom_.pagesPerBlock, geom_.bitsPerCell);
     dies_.resize(geom_.dies());
-    channelFree_.assign(geom_.channels, 0);
+    channelFree_.assign(geom_.channels, sim::Time{});
 }
 
 sim::Time
@@ -42,8 +42,8 @@ ChipArray::readPage(Ppn ppn, bool host_read, int extra_rounds,
     const int conv = coding_.sensingCount(
         static_cast<int>(geom_.levelOfPage(page)));
     const auto rounds = static_cast<std::uint64_t>(1 + extra_rounds);
-    const sim::Time sense = timing_.readLatency(coding_, senses) *
-                            static_cast<sim::Time>(1 + extra_rounds);
+    const sim::Time sense =
+        timing_.readLatency(coding_, senses) * (1 + extra_rounds);
     stats_.retrySenseRounds += static_cast<std::uint64_t>(extra_rounds);
     stats_.sensingOps += static_cast<std::uint64_t>(senses) * rounds;
     stats_.sensingOpsConventional +=

@@ -79,11 +79,11 @@ struct ChipStats
      */
     std::uint64_t sensingOpsSaved = 0;
     /** Total die-busy time summed over dies. */
-    sim::Time dieBusy = 0;
+    sim::Time dieBusy{};
     /** Total channel-busy time summed over channels. */
-    sim::Time channelBusy = 0;
+    sim::Time channelBusy{};
     /** Total sensing time (the memory-access stage only). */
-    sim::Time senseTime = 0;
+    sim::Time senseTime{};
 };
 
 /**
@@ -170,11 +170,11 @@ class ChipArray
         Op op;
         bool hostRead = false;
         /** Precomputed die occupancy of the pre-transfer stage. */
-        sim::Time senseOrBusyTime = 0;
+        sim::Time senseOrBusyTime{};
         /** True when the op uses the channel (read out / program in). */
         bool usesChannel = false;
         /** Extra latency after resources are released (ECC pipeline). */
-        sim::Time postLatency = 0;
+        sim::Time postLatency{};
         DoneCallback done;
 #ifdef IDA_TRACE
         /** Span under construction (kind None when untraced). */
@@ -190,14 +190,14 @@ class ChipArray
         /** Generation of the pending die-end event (stale-event guard). */
         std::uint64_t endGen = 0;
         /** End time of the op currently occupying the die. */
-        sim::Time endTime = 0;
+        sim::Time endTime{};
         /** Whether the running op may be suspended by a host read. */
         bool suspendable = false;
         /** Completion callback of the running non-read op. */
         DoneCallback runningDone;
         /** A suspended op waiting to resume (remaining die time). */
         bool hasSuspended = false;
-        sim::Time suspendedRemaining = 0;
+        sim::Time suspendedRemaining{};
         DoneCallback suspendedDone;
 #ifdef IDA_TRACE
         /**
@@ -223,7 +223,7 @@ class ChipArray
     struct PendingRead
     {
         DoneCallback done;
-        sim::Time completion = 0;
+        sim::Time completion{};
         std::uint32_t nextFree = kNilSlot;
     };
 

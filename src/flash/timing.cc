@@ -6,7 +6,7 @@ sim::Time
 FlashTiming::readLatency(const CodingScheme &scheme, int nSensings) const
 {
     const int tier = scheme.latencyTier(nSensings);
-    return lsbRead + static_cast<sim::Time>(tier) * deltaTr;
+    return lsbRead + tier * deltaTr;
 }
 
 sim::Time

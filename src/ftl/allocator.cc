@@ -6,7 +6,7 @@ namespace ida::ftl {
 
 PageAllocator::PageAllocator(const flash::Geometry &geom,
                              flash::ChipArray &chips, BlockManager &blocks,
-                             std::function<void(std::uint64_t)> low_free)
+                             LowFreeCallback low_free)
     : geom_(geom), chips_(chips), blocks_(blocks),
       lowFree_(std::move(low_free)),
       hostOpen_(geom.planes(), kNoBlock),

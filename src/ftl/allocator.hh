@@ -11,11 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "flash/chip.hh"
 #include "ftl/block_manager.hh"
+#include "sim/inline_callback.hh"
 
 namespace ida::ftl {
 
@@ -26,13 +26,19 @@ class PageAllocator
 {
   public:
     /**
+     * Low-free-pool notification. Allocation runs on the write
+     * dispatch path, so the hook is an InlineCallback (16 bytes: a
+     * `this` pointer and change), not a std::function.
+     */
+    using LowFreeCallback = sim::InlineCallback<void(std::uint64_t), 16>;
+
+    /**
      * @param low_free called (with the plane id) whenever an allocation
      *        leaves a plane's free pool at-or-below the GC threshold;
      *        the FTL hooks GC triggering here.
      */
     PageAllocator(const flash::Geometry &geom, flash::ChipArray &chips,
-                  BlockManager &blocks,
-                  std::function<void(std::uint64_t)> low_free);
+                  BlockManager &blocks, LowFreeCallback low_free);
 
     /**
      * Allocate the next host-write page following the CWDP stripe.
@@ -59,7 +65,7 @@ class PageAllocator
     const flash::Geometry &geom_;
     flash::ChipArray &chips_;
     BlockManager &blocks_;
-    std::function<void(std::uint64_t)> lowFree_;
+    LowFreeCallback lowFree_;
 
     std::uint64_t rr_ = 0; // CWDP round-robin cursor
     std::vector<BlockId> hostOpen_;     // per plane, kInvalid when closed

@@ -35,7 +35,7 @@ struct BlockMeta
      */
     bool forceMigrateNextRefresh = false;
     /** Time the block's current data generation was refreshed/written. */
-    sim::Time refreshedAt = 0;
+    sim::Time refreshedAt{};
 };
 
 /**

@@ -133,8 +133,7 @@ Ftl::hostRead(Lpn lpn, PageDone done)
         const sim::Time conv = chips_.timing().conventionalReadLatency(
             chips_.coding(), static_cast<int>(geom_.levelOfPage(page)));
         const sim::Time actual = chips_.currentReadLatency(src);
-        rc.idaSavings += (conv - actual) *
-                         static_cast<sim::Time>(1 + rounds);
+        rc.idaSavings += (conv - actual) * (1 + rounds);
     }
 
     chips_.readPage(src, true, rounds, std::move(done), lpn);
@@ -231,15 +230,16 @@ Ftl::finalizePreload()
     // Spread the apparent age of preloaded blocks so they become
     // refresh-eligible uniformly over preloadAgeSpread (defaulting to
     // the full refresh period) instead of storming at one instant.
-    const auto spread = static_cast<std::uint64_t>(
-        cfg_.preloadAgeSpread > 0 ? cfg_.preloadAgeSpread
-                                  : cfg_.refreshPeriod);
+    const sim::Time spreadT = cfg_.preloadAgeSpread > sim::Time{}
+                                  ? cfg_.preloadAgeSpread
+                                  : cfg_.refreshPeriod;
+    const auto spread = static_cast<std::uint64_t>(spreadT.count());
     for (std::uint64_t b = 0; b < geom_.blocks(); ++b) {
         BlockMeta &m = blocks_.meta(b);
         if (m.inFreePool)
             continue;
         m.refreshedAt = events_.now() - cfg_.refreshPeriod +
-            static_cast<sim::Time>(rng_.uniformInt(0, spread));
+            sim::Time{rng_.uniformInt(0, spread)};
     }
     noteInUse();
     for (std::uint64_t plane = 0; plane < geom_.planes(); ++plane)
@@ -372,7 +372,7 @@ void
 Ftl::onGcFinished(std::uint64_t plane)
 {
     gcRunning_[plane] = false;
-    events_.scheduleAfter(0, [this, plane] {
+    events_.scheduleAfter(sim::Time{}, [this, plane] {
         std::erase_if(gcJobs_,
                       [](const auto &j) { return j->finished(); });
         maybeStartGc(plane);
@@ -416,7 +416,7 @@ Ftl::onRefreshFinished(BlockId)
     --activeRefresh_;
     // Keep the refresh pipeline full: pull the next overdue block as
     // soon as a slot frees instead of waiting for the next scan tick.
-    events_.scheduleAfter(0, [this] {
+    events_.scheduleAfter(sim::Time{}, [this] {
         std::erase_if(refreshJobs_,
                       [](const auto &j) { return j->finished(); });
         startRefreshCandidates();

@@ -57,7 +57,7 @@ struct FtlConfig
      * mostly predates the trace, as with the paper's preconditioned
      * MSR replays.
      */
-    sim::Time preloadAgeSpread = 0;
+    sim::Time preloadAgeSpread{};
 
     /** Maximum refresh jobs in flight (spreads refresh storms). */
     int maxConcurrentRefresh = 4;
@@ -98,7 +98,7 @@ struct ReadClassStats
     /** Host reads served from IDA-reprogrammed wordlines. */
     std::uint64_t idaServed = 0;
     /** Total memory-access latency saved on IDA-served reads. */
-    sim::Time idaSavings = 0;
+    sim::Time idaSavings{};
 };
 
 /** Refresh accounting behind the paper's Table IV. */

@@ -42,6 +42,7 @@
 #include <vector>
 
 #ifdef IDA_AUDIT
+// ida-lint: allow(IDA001) audit-only hook; compiled out of default builds
 #include <functional>
 #endif
 
@@ -158,6 +159,7 @@ class EventQueue
      * without IDA_AUDIT — the dispatch loop carries no check.
      */
     void
+    // ida-lint: allow(IDA001) audit-only hook; compiled out of default builds
     setAuditHook(std::uint64_t every_events, std::function<void()> hook)
     {
         auditEvery_ = every_events;
@@ -195,14 +197,14 @@ class EventQueue
         {
             assert(seq < (std::uint64_t{1} << (64 - kNodeBits)));
             return Entry{(static_cast<unsigned __int128>(
-                              static_cast<std::uint64_t>(when))
+                              static_cast<std::uint64_t>(when.count()))
                           << 64) |
                          (seq << kNodeBits) | node};
         }
 
         Time when() const {
-            return static_cast<Time>(
-                static_cast<std::uint64_t>(key >> 64));
+            return Time{static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(key >> 64))};
         }
 
         std::uint32_t node() const {
@@ -261,11 +263,12 @@ class EventQueue
     std::vector<Entry> heap_;
     std::vector<Node> pool_;
     std::uint32_t freeHead_ = kNil;
-    Time now_ = 0;
+    Time now_{};
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t pastSchedules_ = 0;
 #ifdef IDA_AUDIT
+    // ida-lint: allow(IDA001) audit-only hook; compiled out of default builds
     std::function<void()> auditHook_;
     std::uint64_t auditEvery_ = 0;
     std::uint64_t nextAuditAt_ = 0;

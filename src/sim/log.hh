@@ -7,6 +7,9 @@
  */
 #pragma once
 
+// ida-lint: allow-file(IDA008) this IS the console backend every other
+// module is pointed at; it owns the only sanctioned stderr writes.
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>

@@ -2,45 +2,196 @@
  * @file
  * Simulated-time definitions shared by every module.
  *
- * Time is a signed 64-bit count of nanoseconds. Flash timing parameters
- * in the paper are quoted in microseconds and milliseconds; data-retention
- * and refresh periods span days to months. Nanosecond resolution keeps
- * sub-microsecond arithmetic exact while int64_t still covers ~292 years.
+ * Time is a signed 64-bit count of nanoseconds, wrapped in the strong
+ * type Tick so the compiler rejects unit-mixing bugs: a raw integer
+ * never silently becomes a time, a time never silently becomes a
+ * count, and two times cannot be multiplied (tick^2 has no meaning
+ * here). Flash timing parameters in the paper are quoted in
+ * microseconds and milliseconds; data-retention and refresh periods
+ * span days to months. Nanosecond resolution keeps sub-microsecond
+ * arithmetic exact while the int64_t payload still covers ~292 years.
+ *
+ * # The Tick algebra
+ *
+ *  - `Tick + Tick`, `Tick - Tick`, `-Tick`  -> Tick (closed)
+ *  - `Tick * count`, `count * Tick`         -> Tick (scaling)
+ *  - `Tick / count`                         -> Tick (scaling)
+ *  - `Tick / Tick`                          -> int64 (dimensionless ratio)
+ *  - `Tick % Tick`                          -> Tick (phase within a period)
+ *  - `Tick * double` / `double * Tick`      -> Tick, truncated toward zero
+ *    (bit-identical to the `static_cast<Time>(...)` arithmetic it
+ *    replaced, so goldens and seeded replays are unchanged)
+ *  - construction from an integer is explicit; there is no implicit
+ *    conversion in either direction. Read the raw count with .count().
+ *
+ * Durations are expressed as multiples of the unit constants below
+ * (`50 * kUsec`, `3 * kDay`); writing a raw nanosecond literal outside
+ * this file is an ida-lint violation (rule IDA005, docs/LINTING.md).
+ *
+ * Tick is a trivially copyable 8-byte value type: it compiles to the
+ * same code as the raw int64_t it replaced (the event kernel's packed
+ * 16-byte heap entries and perf baselines are unaffected).
  */
 #pragma once
 
+#include <compare>
 #include <cstdint>
+#include <ostream>
+#include <type_traits>
 
 namespace ida::sim {
 
-/** Simulated time in nanoseconds. */
-using Time = std::int64_t;
+/** Simulated time: a strongly typed count of nanosecond ticks. */
+class Tick
+{
+  public:
+    /** Zero ticks. */
+    constexpr Tick() = default;
+
+    /** Explicit construction from a raw nanosecond count. */
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I> &&
+                                   !std::is_same_v<I, bool>,
+                               int> = 0>
+    explicit constexpr Tick(I ns) : ns_(static_cast<std::int64_t>(ns))
+    {
+    }
+
+    /** Raw nanosecond count (the only way out of the strong type). */
+    constexpr std::int64_t count() const { return ns_; }
+
+    // -- closed additive group -------------------------------------
+    friend constexpr Tick
+    operator+(Tick a, Tick b)
+    {
+        return Tick{a.ns_ + b.ns_};
+    }
+    friend constexpr Tick
+    operator-(Tick a, Tick b)
+    {
+        return Tick{a.ns_ - b.ns_};
+    }
+    constexpr Tick operator-() const { return Tick{-ns_}; }
+    constexpr Tick &
+    operator+=(Tick o)
+    {
+        ns_ += o.ns_;
+        return *this;
+    }
+    constexpr Tick &
+    operator-=(Tick o)
+    {
+        ns_ -= o.ns_;
+        return *this;
+    }
+
+    // -- scaling by a dimensionless count --------------------------
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    friend constexpr Tick
+    operator*(Tick t, I n)
+    {
+        return Tick{t.ns_ * static_cast<std::int64_t>(n)};
+    }
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    friend constexpr Tick
+    operator*(I n, Tick t)
+    {
+        return Tick{static_cast<std::int64_t>(n) * t.ns_};
+    }
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    friend constexpr Tick
+    operator/(Tick t, I n)
+    {
+        return Tick{t.ns_ / static_cast<std::int64_t>(n)};
+    }
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr Tick &
+    operator*=(I n)
+    {
+        ns_ *= static_cast<std::int64_t>(n);
+        return *this;
+    }
+
+    // -- fractional scaling (stochastic models, warmup fractions) --
+    // Truncates toward zero, exactly like the static_cast<Time>(...)
+    // expressions this type replaced, so results stay bit-identical.
+    template <typename F,
+              std::enable_if_t<std::is_floating_point_v<F>, int> = 0>
+    friend constexpr Tick
+    operator*(Tick t, F f)
+    {
+        return Tick{static_cast<std::int64_t>(
+            static_cast<double>(t.ns_) * static_cast<double>(f))};
+    }
+    template <typename F,
+              std::enable_if_t<std::is_floating_point_v<F>, int> = 0>
+    friend constexpr Tick
+    operator*(F f, Tick t)
+    {
+        return t * f;
+    }
+
+    // -- dimensionless results -------------------------------------
+    /** How many @p b fit in @p a (integer ratio of two durations). */
+    friend constexpr std::int64_t
+    operator/(Tick a, Tick b)
+    {
+        return a.ns_ / b.ns_;
+    }
+    /** Phase of @p a within a period of @p b. */
+    friend constexpr Tick
+    operator%(Tick a, Tick b)
+    {
+        return Tick{a.ns_ % b.ns_};
+    }
+
+    friend constexpr auto operator<=>(Tick, Tick) = default;
+
+    /** Streams the raw count (test diagnostics; not a display format). */
+    friend std::ostream &
+    operator<<(std::ostream &os, Tick t)
+    {
+        return os << t.ns_;
+    }
+
+  private:
+    std::int64_t ns_ = 0;
+};
+
+/** Legacy alias; Tick and Time are the same strong type. */
+using Time = Tick;
 
 /** One microsecond in simulation ticks. */
-inline constexpr Time kUsec = 1'000;
+inline constexpr Tick kUsec{1'000};
 /** One millisecond in simulation ticks. */
-inline constexpr Time kMsec = 1'000'000;
+inline constexpr Tick kMsec{1'000'000};
 /** One second in simulation ticks. */
-inline constexpr Time kSec = 1'000'000'000;
+inline constexpr Tick kSec{1'000'000'000};
 /** One minute in simulation ticks. */
-inline constexpr Time kMin = 60 * kSec;
+inline constexpr Tick kMin = 60 * kSec;
 /** One hour in simulation ticks. */
-inline constexpr Time kHour = 60 * kMin;
+inline constexpr Tick kHour = 60 * kMin;
 /** One day in simulation ticks. */
-inline constexpr Time kDay = 24 * kHour;
+inline constexpr Tick kDay = 24 * kHour;
 
 /** Convert ticks to (double) microseconds, the paper's reporting unit. */
 inline constexpr double
-toUsec(Time t)
+toUsec(Tick t)
 {
-    return static_cast<double>(t) / static_cast<double>(kUsec);
+    return static_cast<double>(t.count()) /
+           static_cast<double>(kUsec.count());
 }
 
 /** Convert ticks to (double) seconds. */
 inline constexpr double
-toSec(Time t)
+toSec(Tick t)
 {
-    return static_cast<double>(t) / static_cast<double>(kSec);
+    return static_cast<double>(t.count()) /
+           static_cast<double>(kSec.count());
 }
 
 } // namespace ida::sim

@@ -12,7 +12,7 @@ double
 SsdStats::readThroughputMBps() const
 {
     const sim::Time window = lastCompletion - measureStart;
-    if (window <= 0)
+    if (window <= sim::Time{})
         return 0.0;
     return (static_cast<double>(bytesRead) / (1024.0 * 1024.0)) /
            sim::toSec(window);
@@ -104,7 +104,7 @@ Ssd::dispatch(const HostRequest &req)
         Ssd *ssd;
         HostRequest req;
         std::uint32_t pending;
-        sim::Time lastDone = 0;
+        sim::Time lastDone{};
     };
     auto ctx = std::make_shared<Ctx>();
     ctx->ssd = this;

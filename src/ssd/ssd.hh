@@ -29,7 +29,7 @@ namespace ida::ssd {
 /** One host I/O request (page-granular, like the paper's simulator). */
 struct HostRequest
 {
-    sim::Time arrival = 0;
+    sim::Time arrival{};
     bool isRead = true;
     flash::Lpn startPage = 0;
     std::uint32_t pageCount = 1;
@@ -47,8 +47,8 @@ struct SsdStats
     std::uint64_t writeRequests = 0;
     std::uint64_t bytesRead = 0;     // measured only
     std::uint64_t bytesWritten = 0;
-    sim::Time measureStart = 0;
-    sim::Time lastCompletion = 0;
+    sim::Time measureStart{};
+    sim::Time lastCompletion{};
 
     /** Measured host-read throughput in MB/s. */
     double readThroughputMBps() const;

@@ -3,7 +3,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+
+#include "sim/log.hh"
 
 namespace ida::stats {
 
@@ -102,8 +103,7 @@ JsonWriter::JsonWriter(std::ostream &os, int indent)
 void
 JsonWriter::fail(const char *what) const
 {
-    std::fprintf(stderr, "panic: JsonWriter misuse: %s\n", what);
-    std::abort();
+    sim::panic(std::string("JsonWriter misuse: ") + what);
 }
 
 void

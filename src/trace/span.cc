@@ -35,7 +35,7 @@ phasesOf(const Span &s)
         // below is exact); attribute the first round to `sense` and the
         // re-sensings to `retrySense`.
         const sim::Time senseTotal = s.senseEnd - s.dieStart;
-        const auto rounds = static_cast<sim::Time>(1 + s.retryRounds);
+        const auto rounds = 1 + s.retryRounds;
         p.sense = senseTotal / rounds;
         p.retrySense = senseTotal - p.sense;
         p.channelWait = s.channelStart - s.senseEnd;

@@ -70,12 +70,12 @@ struct Span
     std::uint32_t die = kNoLane;
     std::uint32_t channel = kNoLane;
 
-    sim::Time start = 0;        ///< issue time (host arrival tick)
-    sim::Time dieStart = 0;     ///< die granted (queue wait ends)
-    sim::Time senseEnd = 0;     ///< sensing done (reads; else == dieStart)
-    sim::Time channelStart = 0; ///< channel granted
-    sim::Time channelEnd = 0;   ///< transfer done
-    sim::Time complete = 0;     ///< host-visible completion
+    sim::Time start{};        ///< issue time (host arrival tick)
+    sim::Time dieStart{};     ///< die granted (queue wait ends)
+    sim::Time senseEnd{};     ///< sensing done (reads; else == dieStart)
+    sim::Time channelStart{}; ///< channel granted
+    sim::Time channelEnd{};   ///< transfer done
+    sim::Time complete{};     ///< host-visible completion
 
     /** Sensings of one round at the wordline's current coding mode. */
     std::uint16_t senses = 0;
@@ -109,14 +109,14 @@ struct Span
  */
 struct SpanPhases
 {
-    sim::Time queueWait = 0;   ///< issue -> die granted
-    sim::Time sense = 0;       ///< first sensing round (reads)
-    sim::Time retrySense = 0;  ///< additional retry rounds (reads)
-    sim::Time channelWait = 0; ///< waiting for the shared channel
-    sim::Time transfer = 0;    ///< page transfer on the channel
-    sim::Time dieBusy = 0;     ///< program / erase / adjust execution
-    sim::Time ecc = 0;         ///< pipelined ECC decode (reads)
-    sim::Time dram = 0;        ///< controller-DRAM serves (instant spans)
+    sim::Time queueWait{};   ///< issue -> die granted
+    sim::Time sense{};       ///< first sensing round (reads)
+    sim::Time retrySense{};  ///< additional retry rounds (reads)
+    sim::Time channelWait{}; ///< waiting for the shared channel
+    sim::Time transfer{};    ///< page transfer on the channel
+    sim::Time dieBusy{};     ///< program / erase / adjust execution
+    sim::Time ecc{};         ///< pipelined ECC decode (reads)
+    sim::Time dram{};        ///< controller-DRAM serves (instant spans)
 
     sim::Time
     total() const

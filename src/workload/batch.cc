@@ -40,7 +40,7 @@ int
 defaultJobs()
 {
     if (const char *env = std::getenv("IDA_JOBS")) {
-        const int v = std::atoi(env);
+        const int v = static_cast<int>(std::strtol(env, nullptr, 10));
         if (v > 0)
             return v;
     }
@@ -52,7 +52,7 @@ int
 jobsFromArgs(int argc, char **argv)
 {
     auto parse = [](const char *s, const char *opt) -> int {
-        const int v = std::atoi(s);
+        const int v = static_cast<int>(std::strtol(s, nullptr, 10));
         if (v <= 0)
             sim::fatal(std::string(opt) + " expects a positive integer, "
                        "got '" + s + "'");
@@ -91,6 +91,9 @@ class ProgressReporter
             return;
         std::lock_guard<std::mutex> g(mu_);
         ++completed_;
+        // Progress meter contract: stderr only, so stdout stays
+        // byte-identical across --jobs (run_smoke.sh gate).
+        // ida-lint: allow(IDA008) deliberate stderr progress meter
         std::fprintf(stderr, "[%zu/%zu] %s (%.1fs)\n", completed_,
                      total_, tag.c_str(), seconds);
     }
@@ -102,6 +105,7 @@ class ProgressReporter
             return;
         std::lock_guard<std::mutex> g(mu_);
         ++completed_;
+        // ida-lint: allow(IDA008) progress meter, stderr only (see above).
         std::fprintf(stderr, "[%zu/%zu] %s FAILED: %s\n", completed_,
                      total_, tag.c_str(), what.c_str());
     }

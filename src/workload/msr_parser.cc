@@ -103,7 +103,7 @@ MsrTrace::next(IoRequest &out)
         // Windows filetime ticks are 100 ns.
         const std::uint64_t rel =
             raw_ts >= baseTimestamp_ ? raw_ts - baseTimestamp_ : 0;
-        const auto arrival = static_cast<sim::Time>(rel * 100);
+        const sim::Time arrival{rel * 100};
         if (arrival < lastArrival_) {
             // Some MSR volumes carry mis-sorted records. The stream
             // contract requires non-decreasing arrivals, so clamp — but

@@ -62,7 +62,7 @@ class MsrTrace : public TraceStream
     std::uint64_t outOfOrder_ = 0;
     bool haveBase_ = false;
     std::uint64_t baseTimestamp_ = 0;
-    sim::Time lastArrival_ = 0;
+    sim::Time lastArrival_{};
 };
 
 } // namespace ida::workload

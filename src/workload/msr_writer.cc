@@ -11,7 +11,8 @@ writeMsrCsv(std::ostream &os, TraceStream &trace,
     while (trace.next(r)) {
         // Simulation ticks are nanoseconds; filetime ticks are 100 ns.
         const std::uint64_t ts =
-            cfg.baseTimestamp + static_cast<std::uint64_t>(r.arrival) / 100;
+            cfg.baseTimestamp +
+            static_cast<std::uint64_t>(r.arrival.count()) / 100;
         const std::uint64_t offset =
             r.startPage * static_cast<std::uint64_t>(cfg.pageSizeBytes);
         const std::uint64_t size =

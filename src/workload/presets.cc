@@ -159,14 +159,8 @@ scaled(const WorkloadPreset &p, double factor)
     out.synth.totalRequests = std::max<std::uint64_t>(
         1000, static_cast<std::uint64_t>(
                   static_cast<double>(p.synth.totalRequests) * factor));
-    out.synth.duration = std::max<sim::Time>(
-        sim::kMin,
-        static_cast<sim::Time>(static_cast<double>(p.synth.duration) *
-                               factor));
-    out.refreshPeriod = std::max<sim::Time>(
-        sim::kMin,
-        static_cast<sim::Time>(static_cast<double>(p.refreshPeriod) *
-                               factor));
+    out.synth.duration = std::max(sim::kMin, p.synth.duration * factor);
+    out.refreshPeriod = std::max(sim::kMin, p.refreshPeriod * factor);
     // Keep the churn *ratios* (writes per footprint page, pre-age depth)
     // intact so shorter runs keep the same wordline-validity mix.
     out.synth.footprintPages = std::max<std::uint64_t>(

@@ -36,14 +36,12 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     cfg.ftl.refreshPeriod = refresh_period;
     cfg.ftl.refreshCheckInterval =
         std::max<sim::Time>(refresh_period / 64, sim::kSec);
-    if (duration_hint > 0) {
+    if (duration_hint > sim::Time{}) {
         // Preloaded (pre-trace) data becomes refresh-eligible during the
         // warm-up window, so the measured window sees the steady state
         // the paper measures: resident data already refreshed once.
-        cfg.ftl.preloadAgeSpread = std::max<sim::Time>(
-            static_cast<sim::Time>(warmup_fraction *
-                                   static_cast<double>(duration_hint)),
-            sim::kSec);
+        cfg.ftl.preloadAgeSpread =
+            std::max(warmup_fraction * duration_hint, sim::kSec);
     }
     ssd::Ssd ssd(cfg);
     // Fold spans as they complete (no retention: memory stays fixed).
@@ -78,7 +76,7 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     }
 
     // Feed the whole trace; every request is one arrival event.
-    sim::Time last_arrival = 0;
+    sim::Time last_arrival{};
     IoRequest req;
     while (trace.next(req)) {
         ssd::HostRequest hr;
@@ -95,8 +93,7 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     }
 
     const sim::Time horizon = std::max(duration_hint, last_arrival);
-    const auto measure_start = static_cast<sim::Time>(
-        warmup_fraction * static_cast<double>(horizon));
+    const sim::Time measure_start = warmup_fraction * horizon;
     ssd.setMeasureStart(measure_start);
     ssd.events().schedule(measure_start, [&ssd] {
         ssd.ftl().resetReadClassification();
@@ -164,7 +161,7 @@ runTrace(const ssd::SsdConfig &device, TraceStream &trace,
          double warmup_fraction, const std::string &label)
 {
     return runStream(device, trace, footprint_pages, refresh_period,
-                     warmup_fraction, 0, label);
+                     warmup_fraction, sim::Time{}, label);
 }
 
 RunResult
@@ -265,7 +262,7 @@ runClosedLoop(const ssd::SsdConfig &device, const WorkloadPreset &preset,
         ssd.submit(hr);
     };
     for (int i = 0; i < queue_depth; ++i)
-        pump(0);
+        pump(sim::Time{});
 
     const sim::Time limit = 30ll * 24 * sim::kHour;
     while (!(exhausted && ssd.drained()) && ssd.events().now() < limit) {

@@ -50,7 +50,7 @@ struct RunResult
     /** Trace-input hygiene (nonzero only for file-backed streams). */
     std::uint64_t traceMalformedLines = 0;
     std::uint64_t traceOutOfOrderLines = 0;
-    sim::Time simulatedTime = 0;
+    sim::Time simulatedTime{};
     double wallSeconds = 0.0;
 
     /** this.readRespUs / base.readRespUs (the paper's normalization). */

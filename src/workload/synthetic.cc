@@ -45,7 +45,7 @@ SyntheticTrace::SyntheticTrace(const SyntheticConfig &cfg)
     writeMult_ = coprimeMult(cfg_.footprintPages, 0xC2B2AE3D27D4EB4Full);
     writeAdd_ = 0xD6E8FEB86659FD93ull % cfg_.footprintPages;
 
-    meanGap_ = static_cast<double>(cfg_.duration) /
+    meanGap_ = static_cast<double>(cfg_.duration.count()) /
                static_cast<double>(cfg_.totalRequests);
     // Hyperexponential mixture preserving the overall mean:
     // p_b * short + (1 - p_b) * long = meanGap.
@@ -84,7 +84,7 @@ SyntheticTrace::next(IoRequest &out)
     const double gap = in_burst ? rng_.exponential(shortGapMean_)
                                 : rng_.exponential(longGapMean_);
     clock_ += gap;
-    out.arrival = static_cast<sim::Time>(clock_);
+    out.arrival = sim::Time{static_cast<std::int64_t>(clock_)};
 
     if (cfg_.segregateBursts) {
         // A long gap starts a new burst, which draws a fresh type; the

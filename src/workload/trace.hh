@@ -16,7 +16,7 @@ namespace ida::workload {
 /** One host I/O, page-granular. */
 struct IoRequest
 {
-    sim::Time arrival = 0;
+    sim::Time arrival{};
     bool isRead = true;
     flash::Lpn startPage = 0;
     std::uint32_t pageCount = 1;

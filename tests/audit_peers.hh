@@ -42,7 +42,7 @@ struct EventQueuePeer
         auto &e = q.heap_[i];
         const auto low = static_cast<std::uint64_t>(e.key);
         e.key = (static_cast<unsigned __int128>(
-                     static_cast<std::uint64_t>(when))
+                     static_cast<std::uint64_t>(when.count()))
                  << 64) |
                 low;
     }

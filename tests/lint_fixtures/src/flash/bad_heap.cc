@@ -1,0 +1,22 @@
+// Fixture: IDA002 no-raw-heap-hot-path. Never compiled; scanned by
+// tests/test_lint.cc. `= delete;` below must NOT fire (deleted special
+// members are not heap traffic).
+#include <cstdlib>
+
+namespace ida::flash {
+
+struct Buffer
+{
+    Buffer(const Buffer &) = delete;
+
+    void
+    grow()
+    {
+        int *a = new int[8];
+        delete[] a;
+        void *p = std::malloc(64);
+        std::free(p);
+    }
+};
+
+} // namespace ida::flash

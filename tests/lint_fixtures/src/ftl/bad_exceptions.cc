@@ -1,0 +1,19 @@
+// Fixture: IDA003 no-exceptions-hot-path. Never compiled; scanned by
+// tests/test_lint.cc.
+#include <stdexcept>
+
+namespace ida::ftl {
+
+int
+translate(int lpn)
+{
+    try {
+        if (lpn < 0)
+            throw std::runtime_error("negative lpn");
+    } catch (const std::exception &) {
+        return -1;
+    }
+    return lpn;
+}
+
+} // namespace ida::ftl

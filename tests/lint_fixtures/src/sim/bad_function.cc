@@ -1,0 +1,12 @@
+// Fixture: IDA001 no-std-function-hot-path. Never compiled; scanned by
+// tests/test_lint.cc, which pins the exact findings (rule id + line).
+#include <functional>
+
+namespace ida::sim {
+
+struct Dispatcher
+{
+    std::function<void()> onDone;
+};
+
+} // namespace ida::sim

@@ -1,0 +1,26 @@
+// Fixture: every violation below carries a suppression, so ida-lint
+// must report NOTHING for this file (tests/test_lint.cc asserts rc 0).
+// Exercises all three forms: allow-file, same-line allow, and a
+// comment-only line blessing the next line.
+#include <cstdlib>
+
+// ida-lint: allow-file(IDA004)
+
+namespace ida::sim {
+
+unsigned
+legacySeed()
+{
+    return static_cast<unsigned>(rand());
+}
+
+int *
+bootstrapSlab()
+{
+    int *slab = new int[64]; // ida-lint: allow(IDA002) one-time setup
+    // ida-lint: allow(IDA002) matching one-time teardown
+    delete[] slab;
+    return nullptr;
+}
+
+} // namespace ida::sim

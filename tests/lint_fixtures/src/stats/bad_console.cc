@@ -1,0 +1,16 @@
+// Fixture: IDA008 no-console-io-in-lib. Never compiled; scanned by
+// tests/test_lint.cc. Library code owns no terminal: the matrix runner
+// multiplexes stdout, so stray prints corrupt machine-read output.
+#include <cstdio>
+#include <iostream>
+
+namespace ida::stats {
+
+void
+report(double mean)
+{
+    std::printf("mean=%f\n", mean);
+    std::cout << "mean=" << mean << "\n";
+}
+
+} // namespace ida::stats

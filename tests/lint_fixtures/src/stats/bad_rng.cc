@@ -1,0 +1,21 @@
+// Fixture: IDA004 no-unseeded-rng. Never compiled; scanned by
+// tests/test_lint.cc. All four entropy sources below break seeded
+// replay and must fire, including outside the hot-path directories.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ida::stats {
+
+unsigned
+entropy()
+{
+    std::random_device rd;
+    unsigned seed = rd() ^ static_cast<unsigned>(time(nullptr));
+    seed ^= static_cast<unsigned>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    return seed + static_cast<unsigned>(rand());
+}
+
+} // namespace ida::stats

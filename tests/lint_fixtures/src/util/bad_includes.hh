@@ -1,0 +1,15 @@
+// Fixture: IDA006 include-hygiene. Never compiled; scanned by
+// tests/test_lint.cc. Three violations: a parent-relative include, a C
+// compat header, and no #pragma once anywhere (reported at line 1).
+#include "../sim/time.hh"
+#include <stdio.h>
+
+namespace ida::util {
+
+inline int
+answer()
+{
+    return 42;
+}
+
+} // namespace ida::util

@@ -1,0 +1,15 @@
+// Fixture: IDA005 no-raw-time-literal. Never compiled; scanned by
+// tests/test_lint.cc. Durations must be written as multiples of the
+// sim/time.hh unit constants, not raw nanosecond counts.
+#include "sim/time.hh"
+
+namespace ida::workload {
+
+sim::Time
+pollInterval()
+{
+    long long gap_ns = 1'000'000;
+    return sim::Time{50'000} + sim::Time{gap_ns};
+}
+
+} // namespace ida::workload

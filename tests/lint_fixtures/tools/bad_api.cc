@@ -1,0 +1,12 @@
+// Fixture: IDA007 banned-api. Never compiled; scanned by
+// tests/test_lint.cc. Fires outside src/ too (tools/ here).
+#include <cstdlib>
+#include <cstring>
+
+int
+parsePort(const char *arg)
+{
+    char buf[16];
+    std::strcpy(buf, arg);
+    return std::atoi(buf);
+}

@@ -14,7 +14,7 @@ namespace {
 
 struct Fixture
 {
-    explicit Fixture(std::function<void(std::uint64_t)> cb = nullptr)
+    explicit Fixture(PageAllocator::LowFreeCallback cb = nullptr)
         : allocator(geom, chips, mgr, std::move(cb))
     {
     }
@@ -134,10 +134,10 @@ TEST(Allocator, CanFillEveryHostPageOfTheDevice)
 TEST(Allocator, RefreshedAtStampedWhenBlockOpens)
 {
     Fixture f;
-    f.events.runUntil(12345);
+    f.events.runUntil(sim::Time{12345});
     const flash::Ppn p = f.allocator.allocateHostPage();
     f.chips.programImmediate(p);
-    EXPECT_EQ(f.mgr.meta(f.geom.blockOf(p)).refreshedAt, 12345);
+    EXPECT_EQ(f.mgr.meta(f.geom.blockOf(p)).refreshedAt, sim::Time{12345});
 }
 
 } // namespace

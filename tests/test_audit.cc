@@ -193,8 +193,8 @@ TEST(AuditorNegative, EventQueueCheckCatchesHeapDisorder)
     WarmSsd w;
     auto &events = w.ssd.events();
     // Two pending events at distinct times, root earlier than child.
-    events.schedule(events.now() + 100, [] {});
-    events.schedule(events.now() + 200, [] {});
+    events.schedule(events.now() + sim::Time{100}, [] {});
+    events.schedule(events.now() + sim::Time{200}, [] {});
     ASSERT_GE(testing_peers_queue::heapSize(events), 2u);
     testing_peers_queue::swapEntries(events, 0, 1);
 
@@ -207,8 +207,8 @@ TEST(AuditorNegative, EventQueueCheckCatchesStaleTimestamp)
 {
     WarmSsd w;
     auto &events = w.ssd.events();
-    events.schedule(events.now() + 100, [] {});
-    testing_peers_queue::setEntryWhen(events, 0, events.now() - 1);
+    events.schedule(events.now() + sim::Time{100}, [] {});
+    testing_peers_queue::setEntryWhen(events, 0, events.now() - sim::Time{1});
 
     Auditor a(w.ssd);
     EXPECT_GT(a.runAll(), 0u);

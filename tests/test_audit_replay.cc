@@ -71,9 +71,9 @@ runScenario(const Scenario &sc)
 #endif
 
     sim::Rng rng(sc.seed * 2654435761ull + 17);
-    sim::Time t = 0;
+    sim::Time t{};
     for (std::uint64_t i = 0; i < sc.ops; ++i) {
-        t += static_cast<sim::Time>(rng.uniformInt(50, 1500)) * sim::kUsec;
+        t += rng.uniformInt(50, 1500) * sim::kUsec;
         const double kind = rng.uniform01();
         auto lpn =
             static_cast<flash::Lpn>(rng.uniformInt(0, footprint - 1));
@@ -98,7 +98,7 @@ runScenario(const Scenario &sc)
     // Drive with periodic audits, then drain well past the last
     // arrival so refresh runs against an idle device too.
     const sim::Time horizon = t + 60 * sim::kSec;
-    for (sim::Time step = 0; step <= horizon; step += 2 * sim::kSec) {
+    for (sim::Time step{}; step <= horizon; step += 2 * sim::kSec) {
         ssd.events().runUntil(step);
         auditor.maybeRun(2000);
     }
@@ -142,7 +142,8 @@ TEST(AuditReplay, SeededWorkloadsStayClean)
 {
     int nSeeds = 4;
     if (const char *env = std::getenv("IDA_AUDIT_REPLAY_SEEDS"))
-        nSeeds = std::max(1, std::atoi(env));
+        nSeeds = std::max(
+            1, static_cast<int>(std::strtol(env, nullptr, 10)));
 
     std::uint64_t refreshes = 0, idaRefreshes = 0, trims = 0;
     for (int s = 1; s <= nSeeds; ++s) {

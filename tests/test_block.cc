@@ -24,18 +24,18 @@ TEST(Block, StartsErased)
 TEST(Block, ProgramsInOrder)
 {
     Block b(6, 3);
-    EXPECT_EQ(b.programNext(100), 0u);
-    EXPECT_EQ(b.programNext(101), 1u);
+    EXPECT_EQ(b.programNext(sim::Time{100}), 0u);
+    EXPECT_EQ(b.programNext(sim::Time{101}), 1u);
     EXPECT_EQ(b.writePointer(), 2u);
     EXPECT_EQ(b.validCount(), 2u);
-    EXPECT_EQ(b.programTime(), 100);
+    EXPECT_EQ(b.programTime(), sim::Time{100});
 }
 
 TEST(Block, InvalidateTracksValidCount)
 {
     Block b(6, 3);
-    b.programNext(0);
-    b.programNext(0);
+    b.programNext(sim::Time{0});
+    b.programNext(sim::Time{0});
     b.invalidate(0);
     EXPECT_EQ(b.validCount(), 1u);
     EXPECT_EQ(b.pageState(0), PageState::Invalid);
@@ -46,7 +46,7 @@ TEST(Block, FullLifecycle)
 {
     Block b(6, 3);
     for (int i = 0; i < 6; ++i)
-        b.programNext(50);
+        b.programNext(sim::Time{50});
     EXPECT_TRUE(b.isFull());
     b.invalidate(0); // LSB of WL0
     b.applyIda(0, 0b110);
@@ -66,7 +66,7 @@ TEST(Block, ReadSensingsFollowWordlineMode)
     const CodingScheme c = CodingScheme::tlc124();
     Block b(6, 3);
     for (int i = 0; i < 6; ++i)
-        b.programNext(0);
+        b.programNext(sim::Time{0});
     // Conventional: LSB 1, CSB 2, MSB 4.
     EXPECT_EQ(b.readSensings(0, c), 1);
     EXPECT_EQ(b.readSensings(1, c), 2);
@@ -84,7 +84,7 @@ TEST(Block, IdaMaskCanShrinkMonotonically)
 {
     Block b(3, 3);
     for (int i = 0; i < 3; ++i)
-        b.programNext(0);
+        b.programNext(sim::Time{0});
     b.invalidate(0);
     b.applyIda(0, 0b110);
     // CSB becomes invalid later; tightening to MSB-only is legal.
@@ -97,7 +97,7 @@ TEST(BlockDeath, ApplyIdaRefusesToDestroyValidData)
 {
     Block b(3, 3);
     for (int i = 0; i < 3; ++i)
-        b.programNext(0);
+        b.programNext(sim::Time{0});
     // LSB still valid; masking it away would destroy data.
     EXPECT_DEATH(b.applyIda(0, 0b110), "valid page");
 }
@@ -106,7 +106,7 @@ TEST(BlockDeath, ApplyIdaRefusesMaskWidening)
 {
     Block b(3, 3);
     for (int i = 0; i < 3; ++i)
-        b.programNext(0);
+        b.programNext(sim::Time{0});
     b.invalidate(0);
     b.invalidate(1);
     b.applyIda(0, 0b100);
@@ -118,14 +118,14 @@ TEST(BlockDeath, ProgramBeyondFullPanics)
 {
     Block b(3, 3);
     for (int i = 0; i < 3; ++i)
-        b.programNext(0);
-    EXPECT_DEATH(b.programNext(0), "full");
+        b.programNext(sim::Time{0});
+    EXPECT_DEATH(b.programNext(sim::Time{0}), "full");
 }
 
 TEST(BlockDeath, DoubleInvalidatePanics)
 {
     Block b(3, 3);
-    b.programNext(0);
+    b.programNext(sim::Time{0});
     b.invalidate(0);
     EXPECT_DEATH(b.invalidate(0), "not valid");
 }
@@ -143,7 +143,7 @@ TEST_P(TableICase, MatchesPaperNumbering)
     const int k = GetParam();
     Block b(3, 3);
     for (int i = 0; i < 3; ++i)
-        b.programNext(0);
+        b.programNext(sim::Time{0});
     const bool lsbInvalid = (k % 2) == 0;
     const bool csbInvalid = ((k - 1) / 2) % 2 == 1;
     const bool msbInvalid = k >= 5;
@@ -162,7 +162,7 @@ TEST(Block, TableICaseZeroWhileNotFullyProgrammed)
 {
     Block b(3, 3);
     EXPECT_EQ(b.tableICase(0), 0);
-    b.programNext(0);
+    b.programNext(sim::Time{0});
     EXPECT_EQ(b.tableICase(0), 0);
 }
 

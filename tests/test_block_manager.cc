@@ -122,23 +122,23 @@ TEST(BlockManager, RefreshCandidatesRespectAgeAndValidity)
     f.mgr.meta(young).hostActive = true;
     f.fill(young);
     f.mgr.closeActive(young);
-    f.mgr.meta(young).refreshedAt = 900;
+    f.mgr.meta(young).refreshedAt = sim::Time{900};
 
     const flash::BlockId old1 = f.mgr.takeFree(0);
     f.mgr.meta(old1).hostActive = true;
     f.fill(old1);
     f.mgr.closeActive(old1);
-    f.mgr.meta(old1).refreshedAt = 0;
+    f.mgr.meta(old1).refreshedAt = sim::Time{};
 
     const flash::BlockId empty = f.mgr.takeFree(1);
     f.mgr.meta(empty).hostActive = true;
     f.fill(empty);
     f.mgr.closeActive(empty);
-    f.mgr.meta(empty).refreshedAt = 0;
+    f.mgr.meta(empty).refreshedAt = sim::Time{};
     for (std::uint32_t p = 0; p < f.geom.pagesPerBlock; ++p)
         f.chips.block(empty).invalidate(p); // nothing valid to protect
 
-    const auto cands = f.mgr.refreshCandidates(1000, 500);
+    const auto cands = f.mgr.refreshCandidates(sim::Time{1000}, sim::Time{500});
     ASSERT_EQ(cands.size(), 1u);
     EXPECT_EQ(cands[0], old1);
 }

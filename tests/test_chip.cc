@@ -45,7 +45,7 @@ TEST(Chip, SingleReadLatencyBreakdown)
 {
     Fixture f;
     f.fillBlock(0);
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.chips.readPage(0, true, 0, [&](sim::Time t) { done = t; });
     f.events.run();
     // LSB read: 50us sense + 48us transfer + 20us ECC.
@@ -56,7 +56,7 @@ TEST(Chip, MsbReadUsesTier2Latency)
 {
     Fixture f;
     f.fillBlock(0);
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.chips.readPage(2, true, 0, [&](sim::Time t) { done = t; });
     f.events.run();
     EXPECT_EQ(done, (150 + 48 + 20) * sim::kUsec);
@@ -66,7 +66,7 @@ TEST(Chip, RetryRoundsMultiplySensing)
 {
     Fixture f;
     f.fillBlock(0);
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.chips.readPage(2, true, 2, [&](sim::Time t) { done = t; });
     f.events.run();
     EXPECT_EQ(done, (3 * 150 + 48 + 20) * sim::kUsec);
@@ -78,7 +78,7 @@ TEST(Chip, IdaWordlineReadsFaster)
     Fixture f;
     f.fillBlock(0);
     f.chips.block(0).invalidate(0);
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.chips.adjustWordline(0, 0, 0b110, nullptr);
     f.chips.readPage(2, true, 0, [&](sim::Time t) { done = t; });
     f.events.run();
@@ -161,7 +161,7 @@ TEST(Chip, NonHostReadsDoNotJumpTheQueue)
 TEST(Chip, ProgramLatency)
 {
     Fixture f;
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.chips.programPage(0, [&](sim::Time t) { done = t; });
     f.events.run();
     EXPECT_EQ(done, 48 * sim::kUsec + f.timing.pageProgram);
@@ -172,7 +172,7 @@ TEST(Chip, EraseLatencyAndStateReset)
 {
     Fixture f;
     f.fillBlock(0);
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.chips.eraseBlock(0, [&](sim::Time t) { done = t; });
     f.events.run();
     EXPECT_EQ(done, f.timing.blockErase);
@@ -205,7 +205,7 @@ TEST(Chip, StatsCountCommands)
     EXPECT_EQ(s.programs, 1u);
     EXPECT_EQ(s.erases, 1u);
     EXPECT_EQ(s.adjusts, 1u);
-    EXPECT_GT(s.dieBusy, 0);
+    EXPECT_GT(s.dieBusy, sim::Time{});
 }
 
 TEST(Chip, ChannelContentionSerializesTransfersWhenEnabled)

@@ -56,7 +56,7 @@ struct StormRules
         const std::uint32_t n = 1 + (r & 1);
         for (std::uint32_t k = 0; k < n; ++k) {
             const std::uint32_t d = (r >> (8 + 6 * k)) % 9;
-            out.push_back(static_cast<Time>(d) - 3); // -3..5
+            out.push_back(Time{d} - Time{3}); // -3..5
         }
         return out;
     }
@@ -68,7 +68,7 @@ logLine(std::string &log, std::uint32_t id, Time when)
 {
     log += std::to_string(id);
     log += '@';
-    log += std::to_string(when);
+    log += std::to_string(when.count());
     log += '\n';
 }
 
@@ -90,7 +90,7 @@ referenceStorm(const StormRules &rules)
     std::vector<Ev> pending;
     std::uint64_t nextSeq = 0;
     std::uint32_t nextId = 0;
-    Time now = 0;
+    Time now{};
 
     for (std::uint32_t i = 0; i < 8; ++i)
         pending.push_back(Ev{static_cast<Time>(i % 3), nextSeq++, nextId++});
@@ -140,7 +140,7 @@ class KernelStorm
     {
         for (std::uint32_t i = 0; i < 8; ++i)
             spawn(static_cast<Time>(i % 3));
-        Time limit = 0;
+        Time limit{};
         while (!q_.empty()) {
             limit += step;
             q_.runUntil(limit);
@@ -192,8 +192,8 @@ TEST(EventOrderGolden, RunUntilSteppingDoesNotReorder)
 {
     const StormRules rules{2000};
     const std::string expected = referenceStorm(rules);
-    EXPECT_EQ(KernelStorm(rules).runStepped(1), expected);
-    EXPECT_EQ(KernelStorm(rules).runStepped(7), expected);
+    EXPECT_EQ(KernelStorm(rules).runStepped(Time{1}), expected);
+    EXPECT_EQ(KernelStorm(rules).runStepped(Time{7}), expected);
 }
 
 TEST(EventOrderGolden, PastSchedulesAreCountedAndClamped)
@@ -208,12 +208,12 @@ TEST(EventOrderGolden, PastSchedulesAreCountedAndClamped)
 
     EventQueue q;
     EXPECT_EQ(q.pastSchedules(), 0u);
-    q.schedule(100, [&q] {
-        q.schedule(10, [] {}); // in the past once now == 100
+    q.schedule(Time{100}, [&q] {
+        q.schedule(Time{10}, [] {}); // in the past once now == 100
     });
     q.run();
     EXPECT_EQ(q.pastSchedules(), 1u);
-    EXPECT_EQ(q.now(), 100);
+    EXPECT_EQ(q.now(), Time{100});
 }
 
 } // namespace

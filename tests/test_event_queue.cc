@@ -14,7 +14,7 @@ namespace {
 TEST(EventQueue, StartsAtTimeZero)
 {
     EventQueue q;
-    EXPECT_EQ(q.now(), 0);
+    EXPECT_EQ(q.now(), Time{0});
     EXPECT_TRUE(q.empty());
 }
 
@@ -22,12 +22,12 @@ TEST(EventQueue, RunsEventsInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(30, [&] { order.push_back(3); });
-    q.schedule(10, [&] { order.push_back(1); });
-    q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(Time{30}, [&] { order.push_back(3); });
+    q.schedule(Time{10}, [&] { order.push_back(1); });
+    q.schedule(Time{20}, [&] { order.push_back(2); });
     q.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(q.now(), 30);
+    EXPECT_EQ(q.now(), Time{30});
 }
 
 TEST(EventQueue, SameTickIsFifo)
@@ -35,7 +35,7 @@ TEST(EventQueue, SameTickIsFifo)
     EventQueue q;
     std::vector<int> order;
     for (int i = 0; i < 16; ++i)
-        q.schedule(5, [&order, i] { order.push_back(i); });
+        q.schedule(Time{5}, [&order, i] { order.push_back(i); });
     q.run();
     for (int i = 0; i < 16; ++i)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -45,39 +45,39 @@ TEST(EventQueue, CallbacksCanScheduleMoreEvents)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(1, [&] {
+    q.schedule(Time{1}, [&] {
         ++fired;
-        q.schedule(2, [&] {
+        q.schedule(Time{2}, [&] {
             ++fired;
-            q.schedule(3, [&] { ++fired; });
+            q.schedule(Time{3}, [&] { ++fired; });
         });
     });
     q.run();
     EXPECT_EQ(fired, 3);
-    EXPECT_EQ(q.now(), 3);
+    EXPECT_EQ(q.now(), Time{3});
 }
 
 TEST(EventQueue, SchedulingInThePastClampsToNow)
 {
     EventQueue q;
-    Time fired_at = -1;
-    q.schedule(100, [&] {
-        q.schedule(50, [&] { fired_at = q.now(); }); // in the past
+    Time fired_at{-1};
+    q.schedule(Time{100}, [&] {
+        q.schedule(Time{50}, [&] { fired_at = q.now(); }); // in the past
     });
     q.run();
-    EXPECT_EQ(fired_at, 100);
+    EXPECT_EQ(fired_at, Time{100});
 }
 
 TEST(EventQueue, RunUntilStopsAtLimit)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(10, [&] { ++fired; });
-    q.schedule(20, [&] { ++fired; });
-    q.schedule(30, [&] { ++fired; });
-    q.runUntil(20);
+    q.schedule(Time{10}, [&] { ++fired; });
+    q.schedule(Time{20}, [&] { ++fired; });
+    q.schedule(Time{30}, [&] { ++fired; });
+    q.runUntil(Time{20});
     EXPECT_EQ(fired, 2);
-    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.now(), Time{20});
     EXPECT_EQ(q.pending(), 1u);
     q.run();
     EXPECT_EQ(fired, 3);
@@ -86,35 +86,35 @@ TEST(EventQueue, RunUntilStopsAtLimit)
 TEST(EventQueue, RunUntilAdvancesClockToLimitWhenIdle)
 {
     EventQueue q;
-    q.runUntil(12345);
-    EXPECT_EQ(q.now(), 12345);
+    q.runUntil(Time{12345});
+    EXPECT_EQ(q.now(), Time{12345});
 }
 
 TEST(EventQueue, ScheduleAfterUsesCurrentTime)
 {
     EventQueue q;
-    Time when = -1;
-    q.schedule(100, [&] {
-        q.scheduleAfter(50, [&] { when = q.now(); });
+    Time when{-1};
+    q.schedule(Time{100}, [&] {
+        q.scheduleAfter(Time{50}, [&] { when = q.now(); });
     });
     q.run();
-    EXPECT_EQ(when, 150);
+    EXPECT_EQ(when, Time{150});
 }
 
 TEST(EventQueue, ExecutedCounterCounts)
 {
     EventQueue q;
     for (int i = 0; i < 7; ++i)
-        q.schedule(i, [] {});
+        q.schedule(Time{i}, [] {});
     q.run();
     EXPECT_EQ(q.executed(), 7u);
 }
 
 TEST(TimeUnits, ConversionHelpers)
 {
-    EXPECT_EQ(kUsec, 1000);
+    EXPECT_EQ(kUsec.count(), 1000);
     EXPECT_EQ(kDay, 24 * kHour);
-    EXPECT_DOUBLE_EQ(toUsec(1500), 1.5);
+    EXPECT_DOUBLE_EQ(toUsec(Time{1500}), 1.5);
     EXPECT_DOUBLE_EQ(toSec(2 * kSec), 2.0);
 }
 

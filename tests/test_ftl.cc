@@ -23,10 +23,10 @@ TEST(Ftl, LogicalCapacityHonorsOverProvision)
 TEST(Ftl, WriteThenReadRoundTrip)
 {
     FtlFixture f;
-    sim::Time wdone = -1, rdone = -1;
+    sim::Time wdone{-1}, rdone{-1};
     f.ftl.hostWrite(7, [&](sim::Time t) { wdone = t; });
     f.events.run();
-    EXPECT_GT(wdone, 0);
+    EXPECT_GT(wdone, sim::Time{});
     EXPECT_TRUE(f.ftl.mapping().isMapped(7));
 
     f.ftl.hostRead(7, [&](sim::Time t) { rdone = t; });
@@ -39,10 +39,10 @@ TEST(Ftl, WriteThenReadRoundTrip)
 TEST(Ftl, UnmappedReadCompletesInstantlyAndIsCounted)
 {
     FtlFixture f;
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.ftl.hostRead(3, [&](sim::Time t) { done = t; });
     f.events.run();
-    EXPECT_EQ(done, 0);
+    EXPECT_EQ(done, sim::Time{});
     EXPECT_EQ(f.ftl.stats().hostReadsUnmapped, 1u);
 }
 
@@ -64,7 +64,7 @@ TEST(Ftl, PreloadInstallsMappingsWithoutTime)
 {
     FtlFixture f;
     f.preload(30);
-    EXPECT_EQ(f.events.now(), 0);
+    EXPECT_EQ(f.events.now(), sim::Time{0});
     EXPECT_EQ(f.ftl.mapping().mappedCount(), 30u);
     for (flash::Lpn l = 0; l < 30; ++l)
         EXPECT_TRUE(f.ftl.mapping().isMapped(l));
@@ -76,7 +76,7 @@ TEST(Ftl, PreloadStaggersBlockAges)
     cfg.refreshPeriod = 1000 * sim::kSec;
     FtlFixture f(cfg);
     f.preload(60);
-    sim::Time min = INT64_MAX, max = INT64_MIN;
+    sim::Time min{INT64_MAX}, max{INT64_MIN};
     int seen = 0;
     for (std::uint64_t b = 0; b < f.geom.blocks(); ++b) {
         const auto &m = f.ftl.blocks().meta(b);

@@ -255,7 +255,7 @@ TEST(InlineCallbackAlloc, EventQueueSteadyStateIsAllocationFree)
             if (remaining == 0)
                 return;
             --remaining;
-            q.scheduleAfter(1 + (salt % 5),
+            q.scheduleAfter(sim::Time{1 + (salt % 5)},
                             [this, salt] { step(salt * 2654435761u); });
         }
     };

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * End-to-end tests for the ida-lint scanner (tools/lint/ida_lint.cc).
+ *
+ * Each fixture under tests/lint_fixtures/ is a known-bad file for one
+ * rule; the tests here shell out to the real binary and pin the exact
+ * findings — rule id AND line number — so a rule that silently stops
+ * firing (or starts firing on the wrong line) fails the suite, not
+ * just the lint job. The directory layout under lint_fixtures mirrors
+ * the real tree (src/sim, src/flash, ...) so path-scoped rules apply
+ * exactly as they do in production; scanning with
+ * `--root lint_fixtures` makes those relative paths line up.
+ *
+ * The build injects IDA_LINT_BIN (the freshly built scanner) and
+ * IDA_REPO_ROOT; tests/CMakeLists.txt makes idaflash_tests depend on
+ * the ida_lint target so the binary is never stale.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string out;
+};
+
+/** Run the scanner with @p args appended; capture stdout + exit code. */
+LintRun
+runLint(const std::string &args)
+{
+    const std::string cmd =
+        std::string(IDA_LINT_BIN) + " " + args + " 2>/dev/null";
+    LintRun r;
+    FILE *p = popen(cmd.c_str(), "r");
+    if (!p)
+        return r;
+    std::array<char, 4096> buf;
+    std::size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), p)) > 0)
+        r.out.append(buf.data(), n);
+    const int st = pclose(p);
+    r.exitCode = (st >= 0 && WIFEXITED(st)) ? WEXITSTATUS(st) : -1;
+    return r;
+}
+
+std::string
+fixtureRoot()
+{
+    return std::string(IDA_REPO_ROOT) + "/tests/lint_fixtures";
+}
+
+/** (line, rule-id) pairs parsed from scanner output, input order. */
+std::vector<std::pair<int, std::string>>
+parseFindings(const std::string &out)
+{
+    std::vector<std::pair<int, std::string>> v;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t eol = out.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = out.size();
+        const std::string line = out.substr(pos, eol - pos);
+        pos = eol + 1;
+        // <path>:<line>: <rule>: <message> [<name>]
+        const std::size_t c1 = line.find(':');
+        if (c1 == std::string::npos)
+            continue;
+        const std::size_t c2 = line.find(':', c1 + 1);
+        const std::size_t c3 = line.find(':', c2 + 1);
+        if (c2 == std::string::npos || c3 == std::string::npos)
+            continue;
+        v.emplace_back(std::stoi(line.substr(c1 + 1, c2 - c1 - 1)),
+                       line.substr(c2 + 2, c3 - c2 - 2));
+    }
+    return v;
+}
+
+/** Scan one fixture file and pin its exact (line, rule) findings. */
+void
+expectFindings(const std::string &relFixture,
+               std::vector<std::pair<int, std::string>> expected)
+{
+    const LintRun r = runLint("--root " + fixtureRoot() + " " +
+                              fixtureRoot() + "/" + relFixture);
+    auto got = parseFindings(r.out);
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "scanner output was:\n" << r.out;
+    EXPECT_EQ(r.exitCode, expected.empty() ? 0 : 1);
+}
+
+TEST(Lint, ListRulesNamesTheWholePack)
+{
+    const LintRun r = runLint("--list-rules");
+    EXPECT_EQ(r.exitCode, 0);
+    for (const char *id : {"IDA001", "IDA002", "IDA003", "IDA004",
+                           "IDA005", "IDA006", "IDA007", "IDA008"})
+        EXPECT_NE(r.out.find(id), std::string::npos) << id;
+}
+
+TEST(Lint, StdFunctionInHotPath)
+{
+    expectFindings("src/sim/bad_function.cc",
+                   {{3, "IDA001"}, {9, "IDA001"}});
+}
+
+TEST(Lint, RawHeapInHotPath)
+{
+    // Line 10's `= delete;` must NOT appear: deleted special members
+    // are not heap traffic (the regression this pins was a real false
+    // positive on src/ftl/ftl.hh).
+    expectFindings("src/flash/bad_heap.cc",
+                   {{15, "IDA002"},
+                    {16, "IDA002"},
+                    {17, "IDA002"},
+                    {18, "IDA002"}});
+}
+
+TEST(Lint, ExceptionsInHotPath)
+{
+    expectFindings("src/ftl/bad_exceptions.cc",
+                   {{10, "IDA003"}, {12, "IDA003"}, {13, "IDA003"}});
+}
+
+TEST(Lint, UnseededRngAnywhere)
+{
+    expectFindings("src/stats/bad_rng.cc",
+                   {{14, "IDA004"},
+                    {15, "IDA004"},
+                    {17, "IDA004"},
+                    {18, "IDA004"}});
+}
+
+TEST(Lint, RawTimeLiterals)
+{
+    expectFindings("src/workload/bad_time_literal.cc",
+                   {{11, "IDA005"}, {12, "IDA005"}});
+}
+
+TEST(Lint, IncludeHygiene)
+{
+    // Line 1 is the missing-#pragma-once finding; 4 and 5 are the
+    // parent-relative include and the C compat header. The include
+    // path lives inside a string literal — this also pins that the
+    // stripper keeps preprocessor lines matchable.
+    expectFindings("src/util/bad_includes.hh",
+                   {{1, "IDA006"}, {4, "IDA006"}, {5, "IDA006"}});
+}
+
+TEST(Lint, BannedApis)
+{
+    expectFindings("tools/bad_api.cc", {{10, "IDA007"}, {11, "IDA007"}});
+}
+
+TEST(Lint, ConsoleIoInLibrary)
+{
+    expectFindings("src/stats/bad_console.cc",
+                   {{12, "IDA008"}, {13, "IDA008"}});
+}
+
+TEST(Lint, SuppressionsSilenceEveryForm)
+{
+    // allow-file, same-line allow, and previous-comment-line allow:
+    // all three forms are exercised and every finding is silenced.
+    expectFindings("src/sim/suppressed_ok.cc", {});
+}
+
+TEST(Lint, RepoTreeIsClean)
+{
+    // The self-check the CI lint job runs: the real tree must scan
+    // clean. A new violation anywhere in src/tests/bench/examples/
+    // tools fails this test with the offending findings printed.
+    const LintRun r = runLint(std::string("--root ") + IDA_REPO_ROOT);
+    EXPECT_EQ(r.exitCode, 0) << "tree has lint findings:\n" << r.out;
+    EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+} // namespace

@@ -84,10 +84,10 @@ TEST(MsrTrace, StreamsFileWithRebasedTimestamps)
     MsrTrace t(path, 8192, 1000);
     IoRequest r;
     ASSERT_TRUE(t.next(r));
-    EXPECT_EQ(r.arrival, 0);
+    EXPECT_EQ(r.arrival, sim::Time{});
     EXPECT_TRUE(r.isRead);
     ASSERT_TRUE(t.next(r));
-    EXPECT_EQ(r.arrival, 100'000); // 1000 ticks of 100ns = 100us
+    EXPECT_EQ(r.arrival, sim::Time{100'000}); // 1000 ticks of 100ns = 100us
     EXPECT_FALSE(r.isRead);
     EXPECT_FALSE(t.next(r));
     EXPECT_EQ(t.malformedLines(), 1u);
@@ -109,13 +109,13 @@ TEST(MsrTrace, OutOfOrderTimestampsAreClampedAndCounted)
     MsrTrace t(path, 8192, 1000);
     IoRequest r;
     ASSERT_TRUE(t.next(r));
-    EXPECT_EQ(r.arrival, 0);
+    EXPECT_EQ(r.arrival, sim::Time{});
     ASSERT_TRUE(t.next(r));
-    EXPECT_EQ(r.arrival, 200'000);
+    EXPECT_EQ(r.arrival, sim::Time{200'000});
     ASSERT_TRUE(t.next(r));
-    EXPECT_EQ(r.arrival, 200'000); // clamped to the previous arrival
+    EXPECT_EQ(r.arrival, sim::Time{200'000}); // clamped to the previous arrival
     ASSERT_TRUE(t.next(r));
-    EXPECT_EQ(r.arrival, 300'000); // later records unaffected
+    EXPECT_EQ(r.arrival, sim::Time{300'000}); // later records unaffected
     EXPECT_FALSE(t.next(r));
     EXPECT_EQ(t.outOfOrderLines(), 1u);
     EXPECT_EQ(t.malformedLines(), 0u);

@@ -39,7 +39,7 @@ class FixedTrace : public TraceStream
 
 TEST(MsrWriter, EmitsWellFormedRecords)
 {
-    FixedTrace t({{1000, true, 3, 2}, {2000, false, 10, 1}});
+    FixedTrace t({{sim::Time{1000}, true, 3, 2}, {sim::Time{2000}, false, 10, 1}});
     std::ostringstream os;
     const auto n = writeMsrCsv(os, t);
     EXPECT_EQ(n, 2u);
@@ -69,17 +69,18 @@ TEST(MsrWriter, RecordsParseBackIdentically)
     MsrTrace parsed(path, 8192, cfg.footprintPages);
     IoRequest a, b;
     std::uint64_t n = 0;
-    sim::Time first_ref = -1;
+    sim::Time first_ref{-1};
     while (reference.next(a)) {
         ASSERT_TRUE(parsed.next(b)) << "record " << n;
-        if (first_ref < 0)
+        if (first_ref < sim::Time{})
             first_ref = a.arrival;
         EXPECT_EQ(b.isRead, a.isRead) << n;
         EXPECT_EQ(b.startPage, a.startPage) << n;
         EXPECT_EQ(b.pageCount, a.pageCount) << n;
         // The parser rebases to the first record; timestamps round to
         // 100 ns filetime ticks.
-        EXPECT_NEAR(double(b.arrival), double(a.arrival - first_ref),
+        EXPECT_NEAR(double(b.arrival.count()),
+                    double((a.arrival - first_ref).count()),
                     200.0)
             << n;
         ++n;

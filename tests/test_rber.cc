@@ -13,8 +13,8 @@ namespace {
 TEST(Rber, FreshDeviceIsBelowDecodeLimit)
 {
     const RberModel m;
-    EXPECT_LT(m.rber(0, 0), m.config().hardDecisionLimit);
-    EXPECT_EQ(m.roundsNeeded(m.rber(0, 0)), 0);
+    EXPECT_LT(m.rber(0, sim::Time{}), m.config().hardDecisionLimit);
+    EXPECT_EQ(m.roundsNeeded(m.rber(0, sim::Time{})), 0);
 }
 
 TEST(Rber, MonotoneInWearAndRetention)
@@ -22,7 +22,7 @@ TEST(Rber, MonotoneInWearAndRetention)
     const RberModel m;
     double prev = 0.0;
     for (std::uint32_t pe : {0u, 1000u, 5000u, 20000u}) {
-        const double r = m.rber(pe, 0);
+        const double r = m.rber(pe, sim::Time{});
         EXPECT_GT(r, prev);
         prev = r;
     }
@@ -74,7 +74,7 @@ TEST(Rber, RetryOnsetRetentionIsConsistent)
     const RberModel m;
     for (std::uint32_t pe : {0u, 5000u, 10000u}) {
         const sim::Time onset = m.retryOnsetRetention(pe);
-        if (onset > 0) {
+        if (onset > sim::Time{}) {
             EXPECT_LE(m.rber(pe, onset - sim::kSec),
                       m.config().hardDecisionLimit * 1.0001);
         }

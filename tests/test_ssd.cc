@@ -45,7 +45,7 @@ TEST(Ssd, PreloadAndSingleRead)
     Ssd ssd(SsdConfig::tiny());
     ssd.preloadSequential(100);
     HostRequest r;
-    r.arrival = 0;
+    r.arrival = sim::Time{};
     r.isRead = true;
     r.startPage = 10;
     r.pageCount = 1;
@@ -92,7 +92,7 @@ TEST(Ssd, WarmupRequestsAreExcluded)
     ssd.preloadSequential(100);
     ssd.setMeasureStart(1 * sim::kSec);
     HostRequest warm;
-    warm.arrival = 0;
+    warm.arrival = sim::Time{};
     warm.isRead = true;
     warm.startPage = 1;
     warm.pageCount = 1;

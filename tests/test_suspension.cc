@@ -47,7 +47,7 @@ struct Rig
 TEST(Suspension, ReadInterruptsProgram)
 {
     Rig r(true);
-    sim::Time prog_done = -1, read_done = -1;
+    sim::Time prog_done{-1}, read_done{-1};
     // Program on block 1, then a host read arriving mid-program.
     r.chips->programPage(r.geom.firstPpnOf(1),
                          [&](sim::Time t) { prog_done = t; });
@@ -69,7 +69,7 @@ TEST(Suspension, ReadInterruptsProgram)
 TEST(Suspension, DisabledReadWaitsBehindProgram)
 {
     Rig r(false);
-    sim::Time read_done = -1;
+    sim::Time read_done{-1};
     r.chips->programPage(r.geom.firstPpnOf(1), nullptr);
     r.events.runUntil(500 * sim::kUsec);
     r.chips->readPage(0, true, 0, [&](sim::Time t) { read_done = t; });
@@ -82,7 +82,7 @@ TEST(Suspension, DisabledReadWaitsBehindProgram)
 TEST(Suspension, MultipleReadsDrainBeforeResume)
 {
     Rig r(true);
-    sim::Time prog_done = -1;
+    sim::Time prog_done{-1};
     std::vector<sim::Time> reads;
     r.chips->programPage(r.geom.firstPpnOf(1),
                          [&](sim::Time t) { prog_done = t; });
@@ -104,7 +104,7 @@ TEST(Suspension, MultipleReadsDrainBeforeResume)
 TEST(Suspension, EraseIsSuspendableToo)
 {
     Rig r(true);
-    sim::Time erase_done = -1, read_done = -1;
+    sim::Time erase_done{-1}, read_done{-1};
     r.chips->eraseBlock(2, [&](sim::Time t) { erase_done = t; });
     r.events.runUntil(sim::kMsec);
     r.chips->readPage(0, true, 0, [&](sim::Time t) { read_done = t; });
@@ -116,7 +116,7 @@ TEST(Suspension, EraseIsSuspendableToo)
 TEST(Suspension, NonHostReadsDoNotSuspend)
 {
     Rig r(true);
-    sim::Time read_done = -1;
+    sim::Time read_done{-1};
     r.chips->programPage(r.geom.firstPpnOf(1), nullptr);
     r.events.runUntil(500 * sim::kUsec);
     r.chips->readPage(0, false, 0, [&](sim::Time t) { read_done = t; });

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the strong Tick time type (sim/time.hh).
+ *
+ * Half of this file is negative *compile* tests: detection-idiom
+ * static_asserts proving that the unit-safety holes Tick exists to
+ * close — implicit int <-> Tick conversion, Tick * Tick, Tick + int —
+ * do not compile. If someone weakens the type (say, adds an implicit
+ * constructor "for convenience"), this translation unit stops
+ * building, which is the point: unit-mixing must be a build failure,
+ * not a runtime surprise.
+ */
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+#include "sim/time.hh"
+
+namespace ida::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Negative compile tests (detection idiom).
+// ---------------------------------------------------------------------
+
+// No implicit conversions in either direction.
+static_assert(!std::is_convertible_v<int, Tick>,
+              "int must not implicitly become a Tick");
+static_assert(!std::is_convertible_v<std::int64_t, Tick>,
+              "int64 must not implicitly become a Tick");
+static_assert(!std::is_convertible_v<Tick, int>,
+              "Tick must not implicitly become an int");
+static_assert(!std::is_convertible_v<Tick, std::int64_t>,
+              "Tick must not implicitly become an int64");
+static_assert(!std::is_convertible_v<Tick, double>,
+              "Tick must not implicitly become a double");
+static_assert(!std::is_constructible_v<Tick, double>,
+              "Tick must not be constructible from a floating value; "
+              "scale with Tick * double instead");
+
+// Explicit construction from integers is the (only) way in.
+static_assert(std::is_constructible_v<Tick, int>);
+static_assert(std::is_constructible_v<Tick, std::int64_t>);
+static_assert(std::is_constructible_v<Tick, std::uint64_t>);
+static_assert(!std::is_constructible_v<Tick, bool>);
+
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanMul : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanMul<A, B,
+              std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanMod : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanMod<A, B,
+              std::void_t<decltype(std::declval<A>() % std::declval<B>())>>
+    : std::true_type
+{
+};
+
+// Additive group is closed over Tick: no Tick + int in either order.
+static_assert(CanAdd<Tick, Tick>::value);
+static_assert(!CanAdd<Tick, int>::value, "Tick + int must not compile");
+static_assert(!CanAdd<int, Tick>::value, "int + Tick must not compile");
+
+// Scaling is Tick x count only; Tick x Tick (tick^2) is meaningless.
+static_assert(CanMul<Tick, int>::value);
+static_assert(CanMul<int, Tick>::value);
+static_assert(CanMul<Tick, double>::value);
+static_assert(CanMul<double, Tick>::value);
+static_assert(!CanMul<Tick, Tick>::value, "Tick * Tick must not compile");
+
+// Modulo is phase-within-period (Tick % Tick), never Tick % int.
+static_assert(CanMod<Tick, Tick>::value);
+static_assert(!CanMod<Tick, int>::value, "Tick % int must not compile");
+
+// Tick / Tick is a dimensionless count; Tick / int stays a Tick.
+static_assert(std::is_same_v<decltype(std::declval<Tick>() /
+                                      std::declval<Tick>()),
+                             std::int64_t>);
+static_assert(std::is_same_v<decltype(std::declval<Tick>() / 2), Tick>);
+
+// The wrapper must stay layout- and cost-free: same size as the raw
+// int64 it replaced, trivially copyable (memcpy-safe in the event
+// kernel's packed heap and the batch runner's result structs).
+static_assert(sizeof(Tick) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<Tick>);
+static_assert(std::is_trivially_destructible_v<Tick>);
+
+// ---------------------------------------------------------------------
+// Runtime behavior.
+// ---------------------------------------------------------------------
+
+TEST(Tick, DefaultConstructsToZero)
+{
+    EXPECT_EQ(Tick{}.count(), 0);
+    EXPECT_EQ(Tick{}, Tick{0});
+}
+
+TEST(Tick, UnitConstantsCompose)
+{
+    EXPECT_EQ(kUsec.count(), 1'000);
+    EXPECT_EQ(kMsec, 1000 * kUsec);
+    EXPECT_EQ(kSec, 1000 * kMsec);
+    EXPECT_EQ(kMin, 60 * kSec);
+    EXPECT_EQ(kHour, 60 * kMin);
+    EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(Tick, ClosedArithmetic)
+{
+    const Tick a{300};
+    const Tick b{100};
+    EXPECT_EQ(a + b, Tick{400});
+    EXPECT_EQ(a - b, Tick{200});
+    EXPECT_EQ(-b, Tick{-100});
+    Tick c = a;
+    c += b;
+    EXPECT_EQ(c, Tick{400});
+    c -= a;
+    EXPECT_EQ(c, b);
+}
+
+TEST(Tick, ScalingAndRatios)
+{
+    EXPECT_EQ(Tick{7} * 3, Tick{21});
+    EXPECT_EQ(3 * Tick{7}, Tick{21});
+    EXPECT_EQ(Tick{21} / 3, Tick{7});
+    EXPECT_EQ(Tick{21} / Tick{7}, 3);
+    EXPECT_EQ(Tick{23} % Tick{7}, Tick{2});
+    Tick t{7};
+    t *= 3;
+    EXPECT_EQ(t, Tick{21});
+}
+
+TEST(Tick, DoubleScalingTruncatesTowardZero)
+{
+    // Bit-compatible with the static_cast<Time>(x * double(t)) sites
+    // the strong type replaced (flash timing defaults, warmup windows).
+    EXPECT_EQ(kMsec * 2.3, Tick{2'300'000});
+    EXPECT_EQ(2.3 * kMsec, Tick{2'300'000});
+    EXPECT_EQ(Tick{10} * 0.99, Tick{9});
+    EXPECT_EQ(Tick{-10} * 0.99, Tick{-9}); // truncation, not floor
+}
+
+TEST(Tick, Ordering)
+{
+    EXPECT_LT(Tick{1}, Tick{2});
+    EXPECT_GT(Tick{2}, Tick{1});
+    EXPECT_LE(Tick{2}, Tick{2});
+    EXPECT_NE(Tick{1}, Tick{2});
+}
+
+TEST(Tick, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toUsec(Tick{1'500}), 1.5);
+    EXPECT_DOUBLE_EQ(toSec(3 * kSec), 3.0);
+    EXPECT_EQ((50 * kUsec).count(), 50'000);
+}
+
+} // namespace
+} // namespace ida::sim

@@ -43,7 +43,7 @@ readSpan(std::uint8_t retry_rounds)
     s.ppn = 42;
     s.die = 0;
     s.channel = 0;
-    s.start = 0;
+    s.start = sim::Time{};
     s.dieStart = 10 * sim::kUsec;
     // One round of sensing is 50us; retries repeat the full round.
     s.senseEnd = s.dieStart + 50 * sim::kUsec * (1 + retry_rounds);
@@ -62,12 +62,12 @@ TEST(TracePhases, ReadDecomposesExactly)
     const trace::SpanPhases p = trace::phasesOf(s);
     EXPECT_EQ(p.queueWait, 10 * sim::kUsec);
     EXPECT_EQ(p.sense, 50 * sim::kUsec);
-    EXPECT_EQ(p.retrySense, 0);
+    EXPECT_EQ(p.retrySense, sim::Time{});
     EXPECT_EQ(p.channelWait, 10 * sim::kUsec);
     EXPECT_EQ(p.transfer, 30 * sim::kUsec);
     EXPECT_EQ(p.ecc, 20 * sim::kUsec);
-    EXPECT_EQ(p.dieBusy, 0);
-    EXPECT_EQ(p.dram, 0);
+    EXPECT_EQ(p.dieBusy, sim::Time{});
+    EXPECT_EQ(p.dram, sim::Time{});
     EXPECT_EQ(p.total(), s.complete - s.start);
 }
 
@@ -84,7 +84,7 @@ TEST(TracePhases, ProgramPutsCellTimeInDieBusy)
 {
     Span s;
     s.kind = SpanKind::HostWrite;
-    s.start = 0;
+    s.start = sim::Time{};
     s.dieStart = 5 * sim::kUsec;
     s.senseEnd = s.dieStart; // unused for programs
     s.channelStart = 12 * sim::kUsec;
@@ -102,7 +102,7 @@ TEST(TracePhases, EraseCollapsesChannelPhases)
 {
     Span s;
     s.kind = SpanKind::Erase;
-    s.start = 0;
+    s.start = sim::Time{};
     s.dieStart = 100 * sim::kUsec;
     s.senseEnd = s.dieStart;
     s.channelStart = s.dieStart;
@@ -110,8 +110,8 @@ TEST(TracePhases, EraseCollapsesChannelPhases)
     s.complete = s.dieStart + 5 * sim::kMsec;
     const trace::SpanPhases p = trace::phasesOf(s);
     EXPECT_EQ(p.queueWait, 100 * sim::kUsec);
-    EXPECT_EQ(p.channelWait, 0);
-    EXPECT_EQ(p.transfer, 0);
+    EXPECT_EQ(p.channelWait, sim::Time{});
+    EXPECT_EQ(p.transfer, sim::Time{});
     EXPECT_EQ(p.dieBusy, 5 * sim::kMsec);
     EXPECT_EQ(p.total(), s.complete - s.start);
 }
@@ -174,7 +174,7 @@ TEST(TraceAttribution, JsonSchemaIsStableWhenEmpty)
 TEST(TraceRecorder, RetainsSpansOnlyWhenAsked)
 {
     trace::Recorder fold_only;
-    fold_only.recordInstant(SpanKind::WbufWrite, 9, 0, sim::kUsec);
+    fold_only.recordInstant(SpanKind::WbufWrite, 9, sim::Time{}, sim::kUsec);
     EXPECT_TRUE(fold_only.spans().empty());
     EXPECT_EQ(fold_only.attribution().counters().wbufWrites, 1u);
 
@@ -326,11 +326,11 @@ TEST(TraceCrossCheck, PhaseSumsMatchObservedCompletions)
     // periodic trims to churn validity (feeding GC and IDA refresh).
     std::vector<std::pair<sim::Time, sim::Time>> observed;
     sim::Rng rng(7);
-    sim::Time arrival = 0;
+    sim::Time arrival{};
     const int kRequests = 600;
     for (int i = 0; i < kRequests; ++i) {
-        arrival += static_cast<sim::Time>(rng.exponential(
-            static_cast<double>(3 * sim::kMin) / kRequests));
+        arrival += sim::Time{static_cast<std::int64_t>(rng.exponential(
+            static_cast<double>((3 * sim::kMin).count()) / kRequests))};
         if (i % 19 == 18) {
             const flash::Lpn victim = rng.uniformInt(0, footprint - 1);
             dev.events().schedule(arrival, [&dev, victim] {

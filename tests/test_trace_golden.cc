@@ -60,10 +60,10 @@ runMini()
     dev.start();
 
     sim::Rng rng(2024);
-    sim::Time arrival = 0;
+    sim::Time arrival{};
     for (int i = 0; i < 200; ++i) {
-        arrival += static_cast<sim::Time>(rng.exponential(
-            static_cast<double>(3 * sim::kMin) / 200));
+        arrival += sim::Time{static_cast<std::int64_t>(rng.exponential(
+            static_cast<double>((3 * sim::kMin).count()) / 200))};
         ssd::HostRequest hr;
         hr.arrival = arrival;
         hr.isRead = rng.uniform01() < 0.65;

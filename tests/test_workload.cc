@@ -51,7 +51,7 @@ TEST(Synthetic, ArrivalsAreNonDecreasingAndPaced)
 {
     SyntheticTrace t(smallCfg());
     IoRequest r;
-    sim::Time prev = 0, last = 0;
+    sim::Time prev{}, last{};
     while (t.next(r)) {
         EXPECT_GE(r.arrival, prev);
         prev = r.arrival;
@@ -133,10 +133,10 @@ TEST(Synthetic, SegregatedBurstsAreHomogeneous)
     IoRequest prev, cur;
     ASSERT_TRUE(t.next(prev));
     const double shortGap = 0.001 *
-        (double(c.duration) / double(c.totalRequests));
+        (double(c.duration.count()) / double(c.totalRequests));
     std::uint64_t flipsInsideBurst = 0, insideBurst = 0;
     while (t.next(cur)) {
-        const double gap = double(cur.arrival - prev.arrival);
+        const double gap = double((cur.arrival - prev.arrival).count());
         if (gap < shortGap * 20) {
             ++insideBurst;
             flipsInsideBurst += cur.isRead != prev.isRead;

@@ -80,7 +80,7 @@ bufferedCfg()
 TEST(WriteBufferFtl, WritesCompleteAtDramLatency)
 {
     FtlFixture f(bufferedCfg());
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.ftl.hostWrite(3, [&](sim::Time t) { done = t; });
     f.events.run();
     EXPECT_EQ(done, 5 * sim::kUsec);
@@ -93,7 +93,7 @@ TEST(WriteBufferFtl, BufferedReadHitsDram)
 {
     FtlFixture f(bufferedCfg());
     f.ftl.hostWrite(3, nullptr);
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.ftl.hostRead(3, [&](sim::Time t) { done = t; });
     f.events.run();
     EXPECT_EQ(done, 5 * sim::kUsec);
@@ -132,7 +132,7 @@ TEST(WriteBufferFtl, RewritingBufferedPageDoesNotDuplicate)
 TEST(WriteBufferFtl, DisabledBufferWritesThrough)
 {
     FtlFixture f; // default config: no buffer
-    sim::Time done = -1;
+    sim::Time done{-1};
     f.ftl.hostWrite(3, [&](sim::Time t) { done = t; });
     f.events.run();
     EXPECT_GT(done, sim::kMsec); // a real program happened

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Diff-only formatting gate: run clang-format (profile: .clang-format)
+# over the files touched relative to a base ref and fail if any would
+# be rewritten. Scoped to the diff on purpose — the tree predates the
+# codified style, so a whole-tree gate would demand a history-wrecking
+# reformat commit; instead the style ratchets in with each change.
+#
+# Degrades to a notice when clang-format is not installed (the default
+# container ships none); the committed .clang-format stays the style
+# authority either way.
+#
+# Usage: tools/check_format.sh [base-ref]   (default: HEAD)
+#   base-ref HEAD      checks uncommitted changes
+#   base-ref origin/main  checks a whole branch in CI
+set -eu
+
+BASE="${1:-HEAD}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$SRC_DIR"
+
+if ! command -v clang-format > /dev/null 2>&1; then
+    echo "format: clang-format not installed; skipping diff gate"
+    exit 0
+fi
+
+CHANGED="$(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+               '*.cc' '*.hh' '*.cpp' '*.h' |
+           grep -v '^tests/lint_fixtures/' || true)"
+if [ -z "$CHANGED" ]; then
+    echo "format: no C++ files changed vs $BASE"
+    exit 0
+fi
+
+STATUS=0
+for f in $CHANGED; do
+    [ -f "$f" ] || continue
+    if ! clang-format --dry-run --Werror "$f" > /dev/null 2>&1; then
+        echo "format: needs reformatting: $f" >&2
+        STATUS=1
+    fi
+done
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "format: FAIL - run: clang-format -i <files>" >&2
+    exit 1
+fi
+echo "format: OK ($(printf '%s\n' "$CHANGED" | wc -l) files checked)"

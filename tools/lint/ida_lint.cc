@@ -1,0 +1,495 @@
+/**
+ * @file
+ * ida-lint: the project's custom static-analysis rule pack.
+ *
+ * A standalone source scanner (no compiler dependency) enforcing the
+ * invariants the simulator's correctness arguments rest on but a C++
+ * compiler cannot check by itself: the event kernel stays
+ * allocation-free, seeded replays stay deterministic, and durations
+ * are always written in terms of the sim/time.hh unit constants.
+ * docs/LINTING.md is the rule catalogue; tests/lint_fixtures/ holds a
+ * known-bad snippet per rule and tests/test_lint.cc pins the exact
+ * findings each fixture must produce.
+ *
+ * Matching runs on a comment- and string-stripped view of each line,
+ * so prose and format strings never trip a rule. Suppressions are
+ * written in comments:
+ *
+ *     deliberate_use();            // ida-lint: allow(IDA002) why...
+ *     // ida-lint: allow(IDA001) applies to the next line
+ *     // ida-lint: allow-file(IDA004) applies to the whole file
+ *
+ * Exit status: 0 when no findings, 1 when any rule fired, 2 on usage
+ * or I/O errors. Output format (one finding per line):
+ *
+ *     <path>:<line>: <rule-id>: <message> [<rule-name>]
+ */
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding
+{
+    std::string path; // root-relative, '/'-separated
+    std::size_t line; // 1-based
+    std::string rule;
+    std::string message;
+    std::string ruleName;
+};
+
+/**
+ * Directories whose dispatch paths must stay allocation-, exception-
+ * and std::function-free (the PR 3 kernel contract). Matched against
+ * the root-relative path prefix.
+ */
+const std::vector<std::string> kHotPathDirs = {
+    "src/sim/",
+    "src/flash/",
+    "src/ftl/",
+};
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+isHotPath(const std::string &rel)
+{
+    return std::any_of(kHotPathDirs.begin(), kHotPathDirs.end(),
+                       [&](const auto &d) { return startsWith(rel, d); });
+}
+
+bool
+isLibrarySource(const std::string &rel)
+{
+    return startsWith(rel, "src/");
+}
+
+bool
+isHeader(const std::string &rel)
+{
+    return rel.size() > 3 && rel.compare(rel.size() - 3, 3, ".hh") == 0;
+}
+
+/**
+ * One file, preprocessed for matching: `code` has comments, string
+ * and character literals blanked with spaces (line count preserved);
+ * `comments` has only the comment text (for suppression parsing).
+ */
+struct FileView
+{
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+    std::vector<std::string> comments;
+};
+
+FileView
+stripSource(std::istream &in)
+{
+    FileView v;
+    std::string line;
+    enum class St { Code, Block, Str, Chr, RawStr } st = St::Code;
+    std::string rawDelim; // raw-string closing delimiter ")foo"
+    while (std::getline(in, line)) {
+        std::string code(line.size(), ' ');
+        std::string comment(line.size(), ' ');
+        // Preprocessor directives keep their "quoted" parts: an
+        // #include path is a string literal, but include-hygiene rules
+        // must still see it. Comments on such lines are stripped as
+        // usual.
+        const std::size_t firstNonWs = line.find_first_not_of(" \t");
+        const bool preproc = st == St::Code &&
+                             firstNonWs != std::string::npos &&
+                             line[firstNonWs] == '#';
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char n = i + 1 < line.size() ? line[i + 1] : '\0';
+            switch (st) {
+            case St::Code:
+                if (c == '/' && n == '/') {
+                    for (std::size_t j = i; j < line.size(); ++j)
+                        comment[j] = line[j];
+                    i = line.size();
+                } else if (c == '/' && n == '*') {
+                    st = St::Block;
+                    ++i;
+                } else if (preproc && (c == '"' || c == '\'')) {
+                    code[i] = c;
+                } else if (c == '"' && i >= 1 && line[i - 1] == 'R') {
+                    // Raw string literal: find the delimiter.
+                    std::size_t p = line.find('(', i);
+                    rawDelim = ")" +
+                               line.substr(i + 1, p == std::string::npos
+                                                      ? 0
+                                                      : p - i - 1) +
+                               "\"";
+                    st = St::RawStr;
+                } else if (c == '"') {
+                    st = St::Str;
+                } else if (c == '\'' && i >= 1 &&
+                           (std::isalnum(
+                                static_cast<unsigned char>(line[i - 1])) ||
+                            line[i - 1] == '_')) {
+                    // Digit separator (1'000) or suffix — keep it so
+                    // numeric-literal rules see the full token.
+                    code[i] = c;
+                } else if (c == '\'') {
+                    st = St::Chr;
+                } else {
+                    code[i] = c;
+                }
+                break;
+            case St::Block:
+                comment[i] = c;
+                if (c == '*' && n == '/') {
+                    comment[i + 1] = '/';
+                    ++i;
+                    st = St::Code;
+                }
+                break;
+            case St::Str:
+                if (c == '\\')
+                    ++i;
+                else if (c == '"')
+                    st = St::Code;
+                break;
+            case St::Chr:
+                if (c == '\\')
+                    ++i;
+                else if (c == '\'')
+                    st = St::Code;
+                break;
+            case St::RawStr: {
+                const std::size_t p = line.find(rawDelim, i);
+                if (p == std::string::npos) {
+                    i = line.size();
+                } else {
+                    i = p + rawDelim.size() - 1;
+                    st = St::Code;
+                }
+                break;
+            }
+            }
+        }
+        v.raw.push_back(line);
+        v.code.push_back(std::move(code));
+        v.comments.push_back(std::move(comment));
+    }
+    return v;
+}
+
+/** Parsed suppressions: per-line (line -> rules) and file-wide. */
+struct Suppressions
+{
+    std::set<std::string> fileWide;
+    // Rules allowed on a given 1-based line (the comment's own line
+    // and, for a comment-only line, the following line).
+    std::vector<std::set<std::string>> perLine;
+
+    bool
+    allows(const std::string &rule, std::size_t line1) const
+    {
+        if (fileWide.count(rule))
+            return true;
+        return line1 - 1 < perLine.size() &&
+               perLine[line1 - 1].count(rule) > 0;
+    }
+};
+
+Suppressions
+parseSuppressions(const FileView &v)
+{
+    Suppressions s;
+    s.perLine.resize(v.comments.size());
+    const std::regex re("ida-lint:\\s*(allow|allow-file)\\(([A-Z0-9, ]+)\\)");
+    for (std::size_t i = 0; i < v.comments.size(); ++i) {
+        std::smatch m;
+        std::string text = v.comments[i];
+        while (std::regex_search(text, m, re)) {
+            std::set<std::string> rules;
+            std::stringstream ss(m[2].str());
+            std::string r;
+            while (std::getline(ss, r, ',')) {
+                r.erase(std::remove_if(r.begin(), r.end(), ::isspace),
+                        r.end());
+                if (!r.empty())
+                    rules.insert(r);
+            }
+            if (m[1].str() == "allow-file") {
+                s.fileWide.insert(rules.begin(), rules.end());
+            } else {
+                s.perLine[i].insert(rules.begin(), rules.end());
+                // A comment-only line blesses the next line too.
+                const std::string &code = v.code[i];
+                const bool codeOnLine = std::any_of(
+                    code.begin(), code.end(), [](unsigned char c) {
+                        return !std::isspace(c);
+                    });
+                if (!codeOnLine && i + 1 < s.perLine.size())
+                    s.perLine[i + 1].insert(rules.begin(), rules.end());
+            }
+            text = m.suffix();
+        }
+    }
+    return s;
+}
+
+struct Rule
+{
+    std::string id;
+    std::string name;
+    std::string message;
+    std::regex pattern;
+    enum class Scope { HotPath, Library, Everywhere, LibraryNoTime };
+    Scope scope;
+};
+
+std::vector<Rule>
+buildRules()
+{
+    std::vector<Rule> rules;
+    const auto add = [&](const char *id, const char *name,
+                         const char *message, const char *pattern,
+                         Rule::Scope scope) {
+        rules.push_back(
+            {id, name, message, std::regex(pattern), scope});
+    };
+
+    add("IDA001", "no-std-function-hot-path",
+        "std::function (type-erased, may allocate) is banned in "
+        "dispatch-path code; use sim::InlineCallback",
+        "std::\\s*function\\b|#\\s*include\\s*<functional>",
+        Rule::Scope::HotPath);
+
+    add("IDA002", "no-raw-heap-hot-path",
+        "raw heap traffic is banned in dispatch-path code; use the "
+        "pooled/slab containers set up at construction",
+        // `delete` needs an operand to its right so `= delete;`
+        // (deleted special members) stays legal — std::regex has no
+        // lookbehind, so match the expression forms instead.
+        "\\bnew\\b|\\bdelete\\s*\\[|\\bdelete\\s+[A-Za-z_(*:]|"
+        "\\bmalloc\\s*\\(|\\bcalloc\\s*\\(|"
+        "\\brealloc\\s*\\(|\\bfree\\s*\\(",
+        Rule::Scope::HotPath);
+
+    add("IDA003", "no-exceptions-hot-path",
+        "exceptions are banned in dispatch-path code (the kernel is "
+        "built around sim::fatal and status returns)",
+        "\\bthrow\\b|\\btry\\b|\\bcatch\\s*\\(",
+        Rule::Scope::HotPath);
+
+    add("IDA004", "no-unseeded-rng",
+        "unseeded/wall-clock entropy breaks seeded replay; thread a "
+        "sim::Rng (or pass timestamps in) instead",
+        "\\brand\\s*\\(|\\bsrand\\s*\\(|\\bdrand48\\s*\\(|"
+        "\\brandom\\s*\\(\\s*\\)|random_device|system_clock|"
+        "(^|[^:_\\w.])time\\s*\\(|\\bclock\\s*\\(\\s*\\)|"
+        "\\bgetpid\\s*\\(",
+        Rule::Scope::Everywhere);
+
+    add("IDA005", "no-raw-time-literal",
+        "raw time-unit literal; express durations as multiples of the "
+        "sim/time.hh constants (kUsec, kMsec, ...)",
+        "\\b1'000\\b|\\b1'000'000\\b|\\b1'000'000'000\\b|"
+        "(Time|Tick)\\s*[{(]\\s*[0-9][0-9']{3,}\\s*[})]",
+        Rule::Scope::LibraryNoTime);
+
+    add("IDA006", "include-hygiene",
+        "include hygiene: no parent-relative includes, no C compat "
+        "headers (<cstdio> over <stdio.h>), headers start with "
+        "#pragma once",
+        "#\\s*include\\s*\"\\.\\.?/|"
+        "#\\s*include\\s*<(assert|ctype|errno|float|limits|locale|math|"
+        "setjmp|signal|stdarg|stddef|stdio|stdint|stdlib|string|time)"
+        "\\.h>",
+        Rule::Scope::Everywhere);
+
+    add("IDA007", "banned-api",
+        "banned unsafe/legacy API; use the std:: replacements "
+        "(snprintf, std::string, strtol, ...)",
+        "\\bgets\\s*\\(|\\bstrcpy\\s*\\(|\\bstrcat\\s*\\(|"
+        "\\bsprintf\\s*\\(|\\bvsprintf\\s*\\(|\\bstrtok\\s*\\(|"
+        "\\batoi\\s*\\(|\\batol\\s*\\(|\\bsetjmp\\s*\\(|"
+        "\\blongjmp\\s*\\(",
+        Rule::Scope::Everywhere);
+
+    add("IDA008", "no-console-io-in-lib",
+        "library code must not write to the console; return strings, "
+        "take an ostream, or use sim/log.hh",
+        "std::\\s*cout\\b|std::\\s*cerr\\b|\\bprintf\\s*\\(|"
+        "\\bfprintf\\s*\\(|\\bputs\\s*\\(",
+        Rule::Scope::Library);
+
+    return rules;
+}
+
+bool
+inScope(const Rule &rule, const std::string &rel)
+{
+    switch (rule.scope) {
+    case Rule::Scope::HotPath:
+        return isHotPath(rel);
+    case Rule::Scope::Library:
+        return isLibrarySource(rel);
+    case Rule::Scope::LibraryNoTime:
+        return isLibrarySource(rel) && rel != "src/sim/time.hh";
+    case Rule::Scope::Everywhere:
+        return true;
+    }
+    return false;
+}
+
+void
+scanFile(const fs::path &abs, const std::string &rel,
+         const std::vector<Rule> &rules, std::vector<Finding> &out)
+{
+    std::ifstream in(abs);
+    if (!in) {
+        out.push_back({rel, 0, "IDA000", "cannot open file", "io-error"});
+        return;
+    }
+    const FileView v = stripSource(in);
+    const Suppressions sup = parseSuppressions(v);
+
+    for (const Rule &rule : rules) {
+        if (!inScope(rule, rel))
+            continue;
+        for (std::size_t i = 0; i < v.code.size(); ++i) {
+            if (!std::regex_search(v.code[i], rule.pattern))
+                continue;
+            if (sup.allows(rule.id, i + 1))
+                continue;
+            out.push_back(
+                {rel, i + 1, rule.id, rule.message, rule.name});
+        }
+    }
+
+    // IDA006 (part 2): headers must start with #pragma once.
+    if (isHeader(rel)) {
+        const bool hasPragma = std::any_of(
+            v.code.begin(), v.code.end(), [](const std::string &l) {
+                return l.find("#pragma once") != std::string::npos;
+            });
+        if (!hasPragma && !sup.allows("IDA006", 1)) {
+            out.push_back({rel, 1, "IDA006",
+                           "header is missing #pragma once",
+                           "include-hygiene"});
+        }
+    }
+}
+
+bool
+skippable(const std::string &rel)
+{
+    // Out-of-tree artifacts and the intentionally-bad lint fixtures.
+    return rel.find("lint_fixtures") != std::string::npos ||
+           startsWith(rel, "build") || rel.find("/build") == 0;
+}
+
+void
+collect(const fs::path &root, const fs::path &dir,
+        std::vector<fs::path> &files)
+{
+    if (!fs::exists(dir))
+        return;
+    for (const auto &e : fs::recursive_directory_iterator(dir)) {
+        if (!e.is_regular_file())
+            continue;
+        const auto ext = e.path().extension().string();
+        if (ext != ".cc" && ext != ".hh" && ext != ".cpp" && ext != ".h")
+            continue;
+        const std::string rel =
+            fs::relative(e.path(), root).generic_string();
+        if (skippable(rel))
+            continue;
+        files.push_back(e.path());
+    }
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: ida_lint [--root DIR] [--list-rules] [FILE...]\n"
+        << "\n"
+        << "With no FILEs, scans src/ tests/ bench/ examples/ tools/\n"
+        << "under the root (default: current directory), skipping\n"
+        << "tests/lint_fixtures. Paths in findings are root-relative.\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    std::vector<fs::path> explicitFiles;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = fs::path(argv[++i]);
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            explicitFiles.emplace_back(arg);
+        }
+    }
+    root = fs::absolute(root).lexically_normal();
+
+    const std::vector<Rule> rules = buildRules();
+    if (listRules) {
+        for (const auto &r : rules)
+            std::cout << r.id << "  " << r.name << "\n    " << r.message
+                      << "\n";
+        return 0;
+    }
+
+    std::vector<fs::path> files;
+    if (!explicitFiles.empty()) {
+        for (auto &f : explicitFiles)
+            files.push_back(fs::absolute(f));
+    } else {
+        for (const char *d : {"src", "tests", "bench", "examples", "tools"})
+            collect(root, root / d, files);
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> findings;
+    for (const auto &f : files) {
+        std::string rel = fs::relative(f, root).generic_string();
+        if (startsWith(rel, "..")) // outside root: report as given
+            rel = f.generic_string();
+        scanFile(f, rel, rules, findings);
+    }
+
+    for (const auto &fd : findings)
+        std::cout << fd.path << ':' << fd.line << ": " << fd.rule << ": "
+                  << fd.message << " [" << fd.ruleName << "]\n";
+    if (!findings.empty()) {
+        std::cerr << "ida-lint: " << findings.size() << " finding"
+                  << (findings.size() == 1 ? "" : "s") << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Project lint gate.
+#
+#  1. Build tools/lint/ida_lint (the hermetic, compiler-only scanner)
+#     and run it over the tree: any finding fails the gate.
+#  2. Self-check the rule pack: every known-bad fixture under
+#     tests/lint_fixtures must still produce a non-zero exit (a rule
+#     that silently stops firing is as bad as a violation), and the
+#     fully-suppressed fixture must scan clean.
+#  3. If a clang-tidy binary is on PATH, run the curated .clang-tidy
+#     profile against build/compile_commands.json. The default
+#     container has no clang tools, so this step degrades to a notice;
+#     ida-lint is the portable floor, clang-tidy the opportunistic
+#     ceiling.
+#
+# Usage: tools/run_lint.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+FIXTURES="$SRC_DIR/tests/lint_fixtures"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" > /dev/null
+cmake --build "$BUILD_DIR" --parallel --target ida_lint > /dev/null
+LINT="$BUILD_DIR/tools/lint/ida_lint"
+
+echo "lint: scanning tree"
+"$LINT" --root "$SRC_DIR"
+
+echo "lint: self-checking rule pack against fixtures"
+for f in "$FIXTURES"/src/*/bad_*.cc "$FIXTURES"/src/*/bad_*.hh \
+         "$FIXTURES"/tools/bad_*.cc; do
+    [ -e "$f" ] || continue
+    if "$LINT" --root "$FIXTURES" "$f" > /dev/null 2>&1; then
+        echo "lint: FAIL - fixture produced no findings: $f" >&2
+        echo "lint: a rule has silently stopped firing" >&2
+        exit 1
+    fi
+done
+if ! "$LINT" --root "$FIXTURES" \
+        "$FIXTURES/src/sim/suppressed_ok.cc" > /dev/null; then
+    echo "lint: FAIL - suppressions no longer silence findings" >&2
+    exit 1
+fi
+
+if command -v clang-tidy > /dev/null 2>&1; then
+    echo "lint: running clang-tidy (profile: .clang-tidy)"
+    if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+        echo "lint: FAIL - $BUILD_DIR/compile_commands.json missing" >&2
+        exit 1
+    fi
+    find "$SRC_DIR/src" -name '*.cc' -print0 |
+        xargs -0 clang-tidy -p "$BUILD_DIR" --quiet
+else
+    echo "lint: clang-tidy not installed; skipping (ida-lint is the" \
+         "portable gate)"
+fi
+
+echo "lint: OK"

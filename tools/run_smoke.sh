@@ -14,6 +14,12 @@ SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SRC_DIR"
 cmake --build "$BUILD_DIR" --parallel --target batch_demo
 
+# Lint first: the scanner gate is seconds, so a violation fails fast
+# before the minutes of build/run below. Format gate is diff-only and
+# a no-op when clang-format is absent.
+"$SRC_DIR/tools/run_lint.sh" "$BUILD_DIR"
+"$SRC_DIR/tools/check_format.sh"
+
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 
