@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Sector-validity + read-cache ablation (docs/CACHING.md).
+ *
+ * Two questions the page-granular harnesses cannot answer:
+ *
+ *  A. How much IDA-exploitable invalidity does sector-granular validity
+ *     tracking expose that a page-granular FTL never sees? The fig10-mix
+ *     preset's sub-page writes and TRIMs partially invalidate pages; in
+ *     page mode those TRIMs are dropped outright (counted as
+ *     trims_dropped) and the partial writes pad to full pages, so the
+ *     IDA-eligible wordline population shrinks.
+ *
+ *  B. Does IDA's read-latency benefit survive behind a controller DRAM
+ *     read cache? Hits are served at DRAM latency regardless of coding,
+ *     so the cache dilutes the benefit — the sweep shows the residual
+ *     improvement at increasing cache capacities, with the cache's
+ *     hit/miss/merge counters alongside.
+ *
+ * The 2 x 2 (validity x system) + 2 x 2 (capacity x system) matrix runs
+ * through workload::runMatrix; pass --jobs N to parallelize. The device
+ * enables the write buffer so sub-page writes exercise the
+ * read-modify-write destage path, like the production controllers the
+ * cache model follows.
+ */
+#include "bench_util.hh"
+
+namespace {
+
+/** TLC system with the controller DRAM features the sweep studies. */
+ida::ssd::SsdConfig
+cachedSystem(bool enable_ida, bool sector_mode, std::uint32_t cache_pages)
+{
+    ida::ssd::SsdConfig cfg = ida::bench::tlcSystem(enable_ida, 0.20);
+    cfg.ftl.writeBuffer.capacityPages = 128;
+    cfg.ftl.sectorMode = sector_mode;
+    cfg.ftl.readCache.capacityPages = cache_pages;
+    return cfg;
+}
+
+double
+hitRate(const ida::workload::RunResult &r)
+{
+    const double total =
+        static_cast<double>(r.cache.hits + r.cache.misses);
+    return total > 0.0 ? static_cast<double>(r.cache.hits) / total : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ida;
+    bench::banner("Ablation - sector-granular validity and read cache",
+                  "sector masks expose invalidity page-granular FTLs "
+                  "drop; IDA's benefit persists behind a DRAM cache");
+
+    const workload::WorkloadPreset mix =
+        workload::presetByName("fig10-mix");
+    // Capacity points sized against the preset's 60k-page footprint
+    // (scaled): ~5% and ~20% of the resident data.
+    const std::vector<std::uint32_t> capacities = {0, 1024, 4096};
+
+    std::vector<workload::RunSpec> specs;
+    // Part A: validity granularity, cache off.
+    for (const bool sector : {false, true}) {
+        const std::string gran = sector ? "sector" : "page";
+        specs.push_back(bench::spec(cachedSystem(false, sector, 0), mix,
+                                    "A/" + gran + "/Baseline"));
+        specs.push_back(bench::spec(cachedSystem(true, sector, 0), mix,
+                                    "A/" + gran + "/IDA-E20"));
+    }
+    // Part B: cache capacity sweep, sector mode on. Capacity 0 reuses
+    // the Part A sector cells' configuration but is re-run under its
+    // own tag so the table rows stay self-describing in the JSON.
+    for (const std::uint32_t cap : capacities) {
+        const std::string label = "B/c" + std::to_string(cap);
+        specs.push_back(bench::spec(cachedSystem(false, true, cap), mix,
+                                    label + "/Baseline"));
+        specs.push_back(bench::spec(cachedSystem(true, true, cap), mix,
+                                    label + "/IDA-E20"));
+    }
+    const auto out =
+        bench::runMatrixOrDie(specs, bench::batchOptions(argc, argv));
+
+    // Part A: what sector masks expose that page granularity drops.
+    stats::Table ta({"validity", "system", "read_mean_us",
+                     "ida_eligible_wl", "partial_valid_pages",
+                     "trims_dropped", "ida_benefit"});
+    for (int g = 0; g < 2; ++g) {
+        const auto &rb = out.results[static_cast<std::size_t>(2 * g)];
+        const auto &ri = out.results[static_cast<std::size_t>(2 * g + 1)];
+        const char *gran = g == 0 ? "page" : "sector";
+        for (const auto *r : {&rb, &ri}) {
+            ta.addRow({gran, r == &rb ? "Baseline" : "IDA-E20",
+                       stats::Table::num(r->readRespUs, 1),
+                       std::to_string(r->idaEligibleWordlines),
+                       std::to_string(r->partialValidPages),
+                       std::to_string(r->ftl.sector.trimsDroppedPageMode),
+                       r == &rb ? "-"
+                                : stats::Table::pct(
+                                      ri.readImprovement(rb), 1)});
+        }
+    }
+    std::printf("\nPart A - validity granularity (cache off)\n");
+    ta.print(std::cout);
+
+    // Part B: the cache sweep.
+    stats::Table tb({"cache_pages", "system", "read_mean_us", "hit_rate",
+                     "merged_fills", "ida_benefit"});
+    for (std::size_t c = 0; c < capacities.size(); ++c) {
+        const auto &rb = out.results[4 + 2 * c];
+        const auto &ri = out.results[4 + 2 * c + 1];
+        for (const auto *r : {&rb, &ri}) {
+            tb.addRow({std::to_string(capacities[c]),
+                       r == &rb ? "Baseline" : "IDA-E20",
+                       stats::Table::num(r->readRespUs, 1),
+                       stats::Table::pct(hitRate(*r), 1),
+                       std::to_string(r->cache.mergedFills),
+                       r == &rb ? "-"
+                                : stats::Table::pct(
+                                      ri.readImprovement(rb), 1)});
+        }
+    }
+    std::printf("\nPart B - read-cache capacity sweep (sector mode)\n");
+    tb.print(std::cout);
+
+    std::printf("\nexpected shape: sector mode reports more IDA-eligible "
+                "wordlines and nonzero partial_valid_pages (page mode "
+                "drops every sub-page TRIM); the cache lifts hit rate "
+                "with capacity and shrinks — but does not erase — IDA's "
+                "read benefit.\n");
+    bench::exportJson("ablation_cache_sweep", specs, out);
+    return 0;
+}

@@ -33,6 +33,10 @@ Auditor::Auditor(ssd::Ssd &ssd) : ssd_(ssd)
     registerCheck("event-queue", [](Auditor &a) { a.checkEventQueue(); });
     registerCheck("block-accounting",
                   [](Auditor &a) { a.checkBlockAccounting(); });
+    registerCheck("sector-validity",
+                  [](Auditor &a) { a.checkSectorValidity(); });
+    registerCheck("cache-coherence",
+                  [](Auditor &a) { a.checkCacheCoherence(); });
     registerCheck("conservation",
                   [](Auditor &a) { a.checkConservation(); });
     base_ = captureBaseline();
@@ -132,6 +136,7 @@ Auditor::captureBaseline() const
     b.wbFlushes = ws.flushes;
     b.wbTrimmed = ws.trimmed;
     b.wbSize = ssd_.ftl().writeBuffer().size();
+    b.rmwInFlight = ssd_.ftl().rmwInFlight();
     return b;
 }
 
@@ -409,6 +414,96 @@ Auditor::checkBlockAccounting()
 }
 
 void
+Auditor::checkSectorValidity()
+{
+    const auto &chips = ssd_.chips();
+    const auto &geom = chips.geometry();
+    const std::uint32_t ppb = geom.pagesPerBlock;
+    for (flash::BlockId b = 0; b < geom.blocks(); ++b) {
+        const auto &blk = chips.block(b);
+        const flash::SectorMask full = blk.fullSectorMask();
+        for (std::uint32_t p = 0; p < ppb; ++p) {
+            const flash::SectorMask m = blk.sectorMask(p);
+            if ((m & ~full) != 0)
+                fail(cat("block ", b, " page ", p, ": sector mask 0x",
+                         std::hex, m, std::dec,
+                         " has bits beyond sectorsPerPage"));
+            // A page is Valid exactly while it has live sectors; a
+            // partial invalidation that clears the last sector must
+            // have flipped the state (and vice versa for Free/Invalid).
+            if (blk.isValid(p) != (m != 0))
+                fail(cat("block ", b, " page ", p, ": page state ",
+                         blk.isValid(p) ? "Valid" : "not Valid",
+                         " disagrees with sector mask 0x", std::hex, m,
+                         std::dec));
+        }
+    }
+}
+
+void
+Auditor::checkCacheCoherence()
+{
+    const auto &ftl = ssd_.ftl();
+    const auto &rc = ftl.readCache();
+    const auto &wb = ftl.writeBuffer();
+    const auto &map = ftl.mapping();
+    const auto &chips = ssd_.chips();
+    const auto &geom = chips.geometry();
+    const std::uint32_t ppb = geom.pagesPerBlock;
+    const flash::SectorMask full = geom.fullSectorMask();
+
+    if (!rc.enabled()) {
+        if (rc.size() != 0)
+            fail(cat("read cache disabled but holds ", rc.size(),
+                     " lines"));
+        return;
+    }
+    if (rc.size() > rc.config().capacityPages)
+        fail(cat("read cache holds ", rc.size(), " lines, capacity ",
+                 rc.config().capacityPages));
+
+    std::uint64_t lines = 0;
+    rc.forEachLine([&](flash::Lpn lpn, flash::SectorMask cached) {
+        ++lines;
+        if (cached == 0) {
+            fail(cat("cache line lpn ", lpn, " has an empty mask"));
+            return;
+        }
+        if ((cached & ~full) != 0)
+            fail(cat("cache line lpn ", lpn, ": mask 0x", std::hex,
+                     cached, std::dec, " has bits beyond "
+                     "sectorsPerPage"));
+        if (lpn >= map.logicalPages()) {
+            fail(cat("cache line lpn ", lpn, " out of logical range"));
+            return;
+        }
+        if (rc.peek(lpn) != cached) {
+            fail(cat("cache line lpn ", lpn, ": LRU list mask 0x",
+                     std::hex, cached, " != index mask 0x",
+                     rc.peek(lpn), std::dec));
+            return;
+        }
+        // The coherence invariant: a cached sector is backed by the
+        // flash copy or by a dirty write-buffer entry. Anything else
+        // means a write/TRIM ran without invalidating the cache, or a
+        // zero-fill hole was inserted.
+        flash::SectorMask backed = wb.dirtyMask(lpn) & full;
+        const flash::Ppn ppn = map.lookup(lpn);
+        if (ppn != flash::kInvalidPpn)
+            backed |= chips.block(geom.blockOf(ppn))
+                          .sectorMask(
+                              static_cast<std::uint32_t>(ppn % ppb));
+        if ((cached & ~backed) != 0)
+            fail(cat("cache line lpn ", lpn, ": cached mask 0x",
+                     std::hex, cached, " not covered by flash+buffer 0x",
+                     backed, std::dec));
+    });
+    if (lines != rc.size())
+        fail(cat("cache LRU list has ", lines, " lines, index has ",
+                 rc.size()));
+}
+
+void
 Auditor::checkConservation()
 {
     const auto &ftl = ssd_.ftl();
@@ -437,26 +532,37 @@ Auditor::checkConservation()
     const std::uint64_t dRefExtra =
         fs.refresh.extraWrites - base_.refreshExtraWrites;
 
+    // A sub-page write whose surviving sectors need a read-modify-write
+    // merge is counted (host write or buffer destage) when accepted,
+    // but its program is only issued when the merge read completes —
+    // subtract the merges still in flight at this instant.
+    const std::int64_t dRmw =
+        static_cast<std::int64_t>(ftl.rmwInFlight()) -
+        static_cast<std::int64_t>(base_.rmwInFlight);
+
     // Every timed program is a write-through host write, a buffer
     // destage, a GC migration, or a refresh migration/write-back
     // (preloads use programImmediate, which is not a timed program).
-    const std::uint64_t expected = (dWrites - dBuffered - dCoalesced) +
-                                   dFlushes + dGcMig + dRefMig +
-                                   dRefExtra;
+    const std::int64_t expected =
+        static_cast<std::int64_t>((dWrites - dBuffered - dCoalesced) +
+                                  dFlushes + dGcMig + dRefMig +
+                                  dRefExtra) -
+        dRmw;
     if (ftl.config().moveToLsbAlternative) {
         // queueMigration counts the page before flushMigrations may
         // prune it (source invalidated while buffered), so the counter
         // can only overstate the programs actually issued.
-        if (dPrograms > expected)
+        if (static_cast<std::int64_t>(dPrograms) > expected)
             fail(cat("programs ", dPrograms,
                      " exceed accounted writes ", expected,
                      " (move-to-LSB mode)"));
-    } else if (dPrograms != expected) {
+    } else if (static_cast<std::int64_t>(dPrograms) != expected) {
         fail(cat("programs ", dPrograms, " != accounted writes ",
                  expected, " (host ", dWrites, " - buffered ",
                  dBuffered, " - coalesced ", dCoalesced, " + flushes ",
                  dFlushes, " + gc ", dGcMig, " + refresh ", dRefMig,
-                 " + writeback ", dRefExtra, ")"));
+                 " + writeback ", dRefExtra, " - rmw in flight ", dRmw,
+                 ")"));
     }
 
     const std::uint64_t dChipErases = cs.erases - base_.chipErases;

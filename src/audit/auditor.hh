@@ -67,11 +67,21 @@ struct Violation
  *  - block-accounting: BlockManager free pools / active flags / in-use
  *                      counter agree with per-block recount; no clock
  *                      field is ahead of the event clock.
+ *  - sector-validity:  per-page sector masks agree with the page state
+ *                      (Valid ⇔ mask non-empty, Free/Invalid ⇒ empty)
+ *                      and never carry bits outside the geometry's
+ *                      sectors-per-page.
+ *  - cache-coherence:  every read-cache line is non-empty, in range,
+ *                      consistent with the cache's own index, within
+ *                      capacity, and a subset of flash-valid ∪
+ *                      write-buffer-dirty sectors (the cache never
+ *                      invents data and never outlives a write/TRIM).
  *  - conservation:     host writes + preload + GC/refresh migration +
  *                      write-buffer destages account exactly for every
- *                      flash program; erases and write-buffer occupancy
- *                      balance the same way; total valid pages equal
- *                      the mapping's mappedCount.
+ *                      flash program, net of read-modify-write merges
+ *                      still in flight; erases and write-buffer
+ *                      occupancy balance the same way; total valid
+ *                      pages equal the mapping's mappedCount.
  */
 class Auditor
 {
@@ -153,6 +163,7 @@ class Auditor
         std::uint64_t wbFlushes = 0;
         std::uint64_t wbTrimmed = 0;
         std::uint64_t wbSize = 0;
+        std::uint32_t rmwInFlight = 0;
     };
 
     // The default catalog.
@@ -161,6 +172,8 @@ class Auditor
     void checkIdaCoding();
     void checkEventQueue();
     void checkBlockAccounting();
+    void checkSectorValidity();
+    void checkCacheCoherence();
     void checkConservation();
 
     Baseline captureBaseline() const;

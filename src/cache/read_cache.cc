@@ -1,0 +1,66 @@
+#include "cache/read_cache.hh"
+
+#include "sim/log.hh"
+
+namespace ida::cache {
+
+ReadCache::ReadCache(const ReadCacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.dramLatency < sim::Time{})
+        sim::fatal("ReadCache: dramLatency must be non-negative");
+}
+
+flash::SectorMask
+ReadCache::lookup(flash::Lpn lpn)
+{
+    const auto it = lines_.find(lpn);
+    if (it == lines_.end())
+        return 0;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->sectors;
+}
+
+flash::SectorMask
+ReadCache::peek(flash::Lpn lpn) const
+{
+    const auto it = lines_.find(lpn);
+    return it == lines_.end() ? 0 : it->second->sectors;
+}
+
+void
+ReadCache::insert(flash::Lpn lpn, flash::SectorMask sectors)
+{
+    if (!enabled() || sectors == 0)
+        return;
+    const auto it = lines_.find(lpn);
+    if (it != lines_.end()) {
+        it->second->sectors |= sectors;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lines_.size() >= cfg_.capacityPages) {
+        const Line &victim = lru_.back();
+        lines_.erase(victim.lpn);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(Line{lpn, sectors});
+    lines_.emplace(lpn, lru_.begin());
+    ++stats_.fills;
+}
+
+void
+ReadCache::invalidate(flash::Lpn lpn, flash::SectorMask sectors)
+{
+    const auto it = lines_.find(lpn);
+    if (it == lines_.end())
+        return;
+    it->second->sectors &= ~sectors;
+    ++stats_.invalidations;
+    if (it->second->sectors == 0) {
+        lru_.erase(it->second);
+        lines_.erase(it);
+    }
+}
+
+} // namespace ida::cache

@@ -4,15 +4,23 @@
 
 namespace ida::flash {
 
-Block::Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell)
+Block::Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell,
+             std::uint32_t sectors_per_page)
     : bits_(bits_per_cell),
+      sectorsPerPage_(sectors_per_page),
+      fullSectorMask_(sectors_per_page >= 32
+                          ? ~SectorMask{0}
+                          : ((SectorMask{1} << sectors_per_page) - 1)),
       pages_(pages_per_block, PageState::Free),
+      sectorValid_(pages_per_block, 0),
       wlMask_(pages_per_block / bits_per_cell,
               fullMask(static_cast<int>(bits_per_cell))),
       wlInvalid_(pages_per_block / bits_per_cell, 0)
 {
     if (pages_per_block % bits_per_cell != 0)
         sim::panic("Block: pagesPerBlock must divide by bitsPerCell");
+    if (sectors_per_page == 0 || sectors_per_page > 32)
+        sim::panic("Block: sectorsPerPage must be in [1, 32]");
 }
 
 int
@@ -31,10 +39,21 @@ Block::readSensings(std::uint32_t page, const CodingScheme &scheme) const
 std::uint32_t
 Block::programNext(sim::Time now)
 {
+    return programNext(now, fullSectorMask_);
+}
+
+std::uint32_t
+Block::programNext(sim::Time now, SectorMask sectors)
+{
     if (isFull())
         sim::panic("Block::programNext: block is full");
+    if (sectors == 0)
+        sectors = fullSectorMask_;
+    if ((sectors & ~fullSectorMask_) != 0)
+        sim::panic("Block::programNext: sector mask exceeds page");
     const std::uint32_t page = writePtr_++;
     pages_[page] = PageState::Valid;
+    sectorValid_[page] = sectors;
     ++validCount_;
     if (page == 0)
         programTime_ = now;
@@ -47,9 +66,27 @@ Block::invalidate(std::uint32_t page)
     if (pages_[page] != PageState::Valid)
         sim::panic("Block::invalidate: page is not valid");
     pages_[page] = PageState::Invalid;
+    sectorValid_[page] = 0;
     wlInvalid_[page / bits_] |=
         static_cast<LevelMask>(1u << (page % bits_));
     --validCount_;
+}
+
+bool
+Block::invalidateSectors(std::uint32_t page, SectorMask sectors)
+{
+    if (pages_[page] != PageState::Valid)
+        sim::panic("Block::invalidateSectors: page is not valid");
+    if ((sectors & ~fullSectorMask_) != 0)
+        sim::panic("Block::invalidateSectors: sector mask exceeds page");
+    sectorValid_[page] &= ~sectors;
+    if (sectorValid_[page] != 0)
+        return false;
+    pages_[page] = PageState::Invalid;
+    wlInvalid_[page / bits_] |=
+        static_cast<LevelMask>(1u << (page % bits_));
+    --validCount_;
+    return true;
 }
 
 LevelMask
@@ -90,6 +127,7 @@ void
 Block::erase()
 {
     std::fill(pages_.begin(), pages_.end(), PageState::Free);
+    std::fill(sectorValid_.begin(), sectorValid_.end(), SectorMask{0});
     std::fill(wlMask_.begin(), wlMask_.end(),
               fullMask(static_cast<int>(bits_)));
     std::fill(wlInvalid_.begin(), wlInvalid_.end(), LevelMask{0});

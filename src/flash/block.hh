@@ -32,7 +32,8 @@ enum class PageState : std::uint8_t { Free, Valid, Invalid };
 class Block
 {
   public:
-    Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell);
+    Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell,
+          std::uint32_t sectors_per_page = 1);
 
     /** Number of pages. */
     std::uint32_t numPages() const {
@@ -110,14 +111,46 @@ class Block
      */
     int readSensings(std::uint32_t page, const CodingScheme &scheme) const;
 
+    /** Number of sectors per page (1 when sector granularity is off). */
+    std::uint32_t sectorsPerPage() const { return sectorsPerPage_; }
+
+    /** All-sectors-valid mask for this block's page size. */
+    SectorMask fullSectorMask() const { return fullSectorMask_; }
+
+    /**
+     * Valid-sector bitmap of @p page. Invariant: nonzero iff the page is
+     * Valid — the page state is the mask collapsed to one bit, and
+     * invalidateSectors() keeps the two in lockstep.
+     */
+    SectorMask sectorMask(std::uint32_t page) const {
+        return sectorValid_[page];
+    }
+
     /**
      * Program the next in-order page at @p now; returns its index.
      * Programming a full block is a simulator bug (panic).
      */
     std::uint32_t programNext(sim::Time now);
 
+    /**
+     * Program the next in-order page holding only the sectors in
+     * @p sectors valid (0 = whole page). The page is Valid as long as
+     * at least one sector is.
+     */
+    std::uint32_t programNext(sim::Time now, SectorMask sectors);
+
     /** Mark a valid page invalid. */
     void invalidate(std::uint32_t page);
+
+    /**
+     * Clear @p sectors from a valid page's sector mask; when the mask
+     * empties, the page flips to Invalid exactly as invalidate() would
+     * (wordline invalid-mask cache and valid count included). Returns
+     * true when the page died. Clearing sectors that are already
+     * invalid is allowed (idempotent); @p sectors must overlap the page
+     * range but may exceed the currently-valid set.
+     */
+    bool invalidateSectors(std::uint32_t page, SectorMask sectors);
 
     /**
      * Re-program wordline @p wl with the IDA coding for @p validMask.
@@ -144,7 +177,10 @@ class Block
     friend struct ida::audit::testing::BlockPeer;
 
     std::uint32_t bits_;
+    std::uint32_t sectorsPerPage_;
+    SectorMask fullSectorMask_;
     std::vector<PageState> pages_;
+    std::vector<SectorMask> sectorValid_; // valid sectors of each page
     std::vector<LevelMask> wlMask_;
     std::vector<LevelMask> wlInvalid_; // cache: Invalid levels per wordline
     std::uint32_t writePtr_ = 0;

@@ -1,5 +1,6 @@
 #include "flash/chip.hh"
 
+#include <bit>
 #include <utility>
 
 #include "sim/log.hh"
@@ -17,9 +18,19 @@ ChipArray::ChipArray(const Geometry &geom, const FlashTiming &timing,
                    "geometry bitsPerCell");
     blocks_.reserve(geom_.blocks());
     for (std::uint64_t b = 0; b < geom_.blocks(); ++b)
-        blocks_.emplace_back(geom_.pagesPerBlock, geom_.bitsPerCell);
+        blocks_.emplace_back(geom_.pagesPerBlock, geom_.bitsPerCell,
+                             geom_.sectorsPerPage());
     dies_.resize(geom_.dies());
     channelFree_.assign(geom_.channels, sim::Time{});
+}
+
+sim::Time
+ChipArray::transferTimeFor(std::uint32_t sectors) const
+{
+    const std::uint32_t spp = geom_.sectorsPerPage();
+    if (sectors == 0 || sectors >= spp)
+        return timing_.pageTransfer;
+    return timing_.pageTransfer * sectors / spp;
 }
 
 sim::Time
@@ -33,7 +44,8 @@ ChipArray::currentReadLatency(Ppn ppn) const
 
 void
 ChipArray::readPage(Ppn ppn, bool host_read, int extra_rounds,
-                    DoneCallback done, [[maybe_unused]] Lpn lpn)
+                    DoneCallback done, [[maybe_unused]] Lpn lpn,
+                    std::uint32_t sectors)
 {
     const BlockId bid = geom_.blockOf(ppn);
     const Block &blk = blocks_[bid];
@@ -56,6 +68,7 @@ ChipArray::readPage(Ppn ppn, bool host_read, int extra_rounds,
     cmd.hostRead = host_read;
     cmd.senseOrBusyTime = sense;
     cmd.usesChannel = true;
+    cmd.transferTime = transferTimeFor(sectors);
     cmd.postLatency = timing_.eccDecode;
     cmd.done = std::move(done);
 #ifdef IDA_TRACE
@@ -92,19 +105,22 @@ ChipArray::programImmediate(Ppn ppn)
 
 void
 ChipArray::programPage(Ppn ppn, DoneCallback done, [[maybe_unused]] Lpn lpn,
-                       [[maybe_unused]] bool host_data)
+                       [[maybe_unused]] bool host_data, SectorMask sectors)
 {
     const BlockId bid = geom_.blockOf(ppn);
     Block &blk = blocks_[bid];
     const auto page = static_cast<std::uint32_t>(ppn % geom_.pagesPerBlock);
     if (page != blk.writePointer())
         sim::panic("ChipArray::programPage: out-of-order program");
-    blk.programNext(events_.now());
+    blk.programNext(events_.now(), sectors);
 
     Command cmd;
     cmd.op = Command::Op::Program;
     cmd.senseOrBusyTime = timing_.pageProgram;
     cmd.usesChannel = true;
+    cmd.transferTime = transferTimeFor(
+        sectors == 0 ? 0 : static_cast<std::uint32_t>(
+                               std::popcount(sectors)));
     cmd.done = std::move(done);
     const DieId die = geom_.dieOfBlock(bid);
 #ifdef IDA_TRACE
@@ -340,10 +356,10 @@ ChipArray::tryStart(DieId die)
         const sim::Time ch_start = timing_.channelContention
             ? std::max(sense_done, channelFree_[chan])
             : sense_done;
-        const sim::Time ch_end = ch_start + timing_.pageTransfer;
+        const sim::Time ch_end = ch_start + cmd.transferTime;
         if (timing_.channelContention)
             channelFree_[chan] = ch_end;
-        stats_.channelBusy += timing_.pageTransfer;
+        stats_.channelBusy += cmd.transferTime;
         stats_.dieBusy += sense_done - now;
 
         // The read itself completes after transfer + ECC, independent
@@ -375,10 +391,10 @@ ChipArray::tryStart(DieId die)
         const sim::Time ch_start = timing_.channelContention
             ? std::max(now, channelFree_[chan])
             : now;
-        const sim::Time ch_end = ch_start + timing_.pageTransfer;
+        const sim::Time ch_end = ch_start + cmd.transferTime;
         if (timing_.channelContention)
             channelFree_[chan] = ch_end;
-        stats_.channelBusy += timing_.pageTransfer;
+        stats_.channelBusy += cmd.transferTime;
         const sim::Time end = ch_end + cmd.senseOrBusyTime;
         stats_.dieBusy += end - now;
 #ifdef IDA_TRACE

@@ -117,19 +117,29 @@ class ChipArray
      * that FTL work issued synchronously from inside a host operation
      * (e.g. a GC triggered by allocateHostPage) cannot be misattributed
      * to the host IO that happened to trigger it.
+     *
+     * @p sectors is the number of sectors to move off the chip
+     * (0 = the whole page). Sensing always reads the full wordline, but
+     * the channel transfer scales with the sector count — the partial
+     * reads the read cache's hole-merging and GC's valid-sector copies
+     * issue occupy the shared channel proportionally.
      */
     void readPage(Ppn ppn, bool host_read, int extra_rounds,
-                  DoneCallback done, Lpn lpn = kInvalidLpn);
+                  DoneCallback done, Lpn lpn = kInvalidLpn,
+                  std::uint32_t sectors = 0);
 
     /**
      * Program the next in-order page of @p ppn's block; @p ppn must be
      * exactly the block's write pointer (flash programs are sequential).
      * @p lpn / @p host_data are attribution metadata only (see
      * readPage): host_data marks a host write as opposed to a GC /
-     * refresh / destage program.
+     * refresh / destage program. @p sectors is the valid-sector mask of
+     * the new page (0 = whole page); the channel transfer scales with
+     * its population, the cell tPROG stays full-page (conservative: a
+     * partial program still programs the wordline).
      */
     void programPage(Ppn ppn, DoneCallback done, Lpn lpn = kInvalidLpn,
-                     bool host_data = false);
+                     bool host_data = false, SectorMask sectors = 0);
 
     /**
      * Program a page instantly with no timing cost (state change only);
@@ -173,6 +183,8 @@ class ChipArray
         sim::Time senseOrBusyTime{};
         /** True when the op uses the channel (read out / program in). */
         bool usesChannel = false;
+        /** Channel occupancy: pageTransfer scaled by the sector count. */
+        sim::Time transferTime{};
         /** Extra latency after resources are released (ECC pipeline). */
         sim::Time postLatency{};
         DoneCallback done;
@@ -229,6 +241,7 @@ class ChipArray
 
     static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
 
+    sim::Time transferTimeFor(std::uint32_t sectors) const;
     void enqueue(DieId die, Command cmd);
     void trySuspend(DieId die);
     void tryStart(DieId die);

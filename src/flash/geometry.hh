@@ -29,6 +29,15 @@ using DieId = std::uint32_t;
 inline constexpr Ppn kInvalidPpn = ~Ppn{0};
 inline constexpr Lpn kInvalidLpn = ~Lpn{0};
 
+/**
+ * Per-page sector validity bitmap (bit i = sector i of the page is
+ * valid). 32 bits bound sectorsPerPage; the default geometry uses 16
+ * (8 KB page / 512 B sectors). With sector granularity disabled the
+ * whole page is driven through the full mask, so page-granular and
+ * sector-granular code share one representation.
+ */
+using SectorMask = std::uint32_t;
+
 /** Decomposed physical page address. */
 struct PageAddr
 {
@@ -52,6 +61,7 @@ struct Geometry
     std::uint32_t blocksPerPlane = 128; // paper: 5472 (scaled, see DESIGN.md)
     std::uint32_t pagesPerBlock = 192;
     std::uint32_t pageSizeBytes = 8192;
+    std::uint32_t sectorSizeBytes = 512;
     std::uint32_t bitsPerCell = 3;
 
     std::uint32_t chips() const { return channels * chipsPerChannel; }
@@ -67,6 +77,17 @@ struct Geometry
     std::uint32_t wordlinesPerBlock() const {
         return pagesPerBlock / bitsPerCell;
     }
+    std::uint32_t sectorsPerPage() const {
+        return pageSizeBytes / sectorSizeBytes;
+    }
+
+    /** All-sectors-valid mask for this geometry. */
+    SectorMask
+    fullSectorMask() const
+    {
+        const std::uint32_t n = sectorsPerPage();
+        return n >= 32 ? ~SectorMask{0} : ((SectorMask{1} << n) - 1);
+    }
 
     /** Validate internal consistency; fatal() on a bad configuration. */
     void
@@ -81,6 +102,11 @@ struct Geometry
             sim::fatal("Geometry: bitsPerCell must be in [1, 6]");
         if (pagesPerBlock % bitsPerCell != 0)
             sim::fatal("Geometry: pagesPerBlock must divide by bitsPerCell");
+        if (sectorSizeBytes == 0 || pageSizeBytes % sectorSizeBytes != 0)
+            sim::fatal("Geometry: sectorSizeBytes must divide pageSizeBytes");
+        if (sectorsPerPage() > 32)
+            sim::fatal("Geometry: at most 32 sectors per page "
+                       "(SectorMask is 32 bits)");
     }
 
     /** Page level (0 = LSB) of in-block page index @p page. */

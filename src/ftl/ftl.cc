@@ -1,6 +1,7 @@
 #include "ftl/ftl.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "ftl/gc.hh"
@@ -25,7 +26,9 @@ Ftl::Ftl(const flash::Geometry &geom, const FtlConfig &cfg,
       gcRunning_(geom.planes(), false),
       fastQ_(geom.planes()),
       slowQ_(geom.planes()),
-      wbuf_(cfg.writeBuffer)
+      wbuf_(cfg.writeBuffer),
+      rcache_(cfg.readCache),
+      fullMask_(geom.fullSectorMask())
 {
     if (cfg_.enableIda && cfg_.moveToLsbAlternative)
         sim::fatal("FtlConfig: enableIda and moveToLsbAlternative are "
@@ -66,7 +69,51 @@ Ftl::quiescent() const
         if (g)
             return false;
     }
-    return activeRefresh_ == 0 && flushesInFlight_ == 0;
+    return activeRefresh_ == 0 && flushesInFlight_ == 0 &&
+           rmwInFlight_ == 0;
+}
+
+std::uint64_t
+Ftl::countPartialValidPages() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t b = 0; b < geom_.blocks(); ++b) {
+        const auto &blk = chips_.block(b);
+        const flash::SectorMask full = blk.fullSectorMask();
+        for (std::uint32_t p = 0; p < geom_.pagesPerBlock; ++p) {
+            const flash::SectorMask m = blk.sectorMask(p);
+            if (m != 0 && m != full)
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+Ftl::countIdaEligibleWordlines() const
+{
+    // A wordline is IDA-eligible when its LSB-level page is already
+    // invalid while a higher level still holds data (Table I cases
+    // 2/4) — the situation classifyHostRead credits and refresh turns
+    // into a reduced-sensing coding. Valid ⇔ sectorMask ≠ 0 (the block
+    // invariant), so the scan needs no separate page-state probe.
+    std::uint64_t n = 0;
+    const std::uint32_t bits = geom_.bitsPerCell;
+    const std::uint32_t wordlines = geom_.pagesPerBlock / bits;
+    for (std::uint64_t b = 0; b < geom_.blocks(); ++b) {
+        const auto &blk = chips_.block(b);
+        for (std::uint32_t wl = 0; wl < wordlines; ++wl) {
+            if ((blk.invalidLevelMask(wl) & 1u) == 0)
+                continue; // LSB level still valid (or free)
+            for (std::uint32_t level = 1; level < bits; ++level) {
+                if (blk.sectorMask(wl * bits + level) != 0) {
+                    ++n;
+                    break;
+                }
+            }
+        }
+    }
+    return n;
 }
 
 void
@@ -90,8 +137,20 @@ Ftl::classifyHostRead(Ppn ppn)
 void
 Ftl::hostRead(Lpn lpn, PageDone done)
 {
+    hostRead(lpn, 0, std::move(done));
+}
+
+void
+Ftl::hostRead(Lpn lpn, flash::SectorMask sectors, PageDone done)
+{
     ++stats_.hostReads;
-    if (wbuf_.contains(lpn)) {
+    flash::SectorMask need =
+        sectors == 0 ? fullMask_ : (sectors & fullMask_);
+    if (need == 0 || !cfg_.sectorMode)
+        need = fullMask_;
+
+    const flash::SectorMask dirty = wbuf_.dirtyMask(lpn);
+    if ((need & ~dirty) == 0) {
         // The freshest copy is still in controller DRAM. The completion
         // time is known now, so the event captures {done, t} instead of
         // dragging a `this` along just to re-read the clock.
@@ -105,8 +164,38 @@ Ftl::hostRead(Lpn lpn, PageDone done)
         events_.schedule(t, [done = std::move(done), t] { done(t); });
         return;
     }
+
+    const flash::SectorMask cached = rcache_.lookup(lpn);
+    if ((cached & need) != 0 && (need & ~(dirty | cached)) == 0) {
+        // Every requested sector is in controller DRAM and at least one
+        // comes from the read cache: a cache hit at DRAM latency.
+        rcache_.noteHit();
+        const sim::Time t = events_.now() + rcache_.config().dramLatency;
+#ifdef IDA_TRACE
+        if (tracer_)
+            tracer_->recordInstant(trace::SpanKind::CacheReadHit, lpn,
+                                   events_.now(), t);
+#endif
+        events_.schedule(t, [done = std::move(done), t] { done(t); });
+        return;
+    }
+
     const Ppn src = mapping_.lookup(lpn);
     if (src == kInvalidPpn) {
+        if (dirty != 0) {
+            // Part of the page is dirty in the buffer and the rest was
+            // never written: serve from DRAM, zero-filling the holes.
+            ++stats_.sector.zeroFillReads;
+            wbuf_.noteReadHit();
+            const sim::Time t = events_.now() + wbuf_.config().dramLatency;
+#ifdef IDA_TRACE
+            if (tracer_)
+                tracer_->recordInstant(trace::SpanKind::WbufReadHit, lpn,
+                                       events_.now(), t);
+#endif
+            events_.schedule(t, [done = std::move(done), t] { done(t); });
+            return;
+        }
         // Never-written data: served without touching the flash array.
         ++stats_.hostReadsUnmapped;
         const sim::Time t = events_.now();
@@ -119,14 +208,58 @@ Ftl::hostRead(Lpn lpn, PageDone done)
         return;
     }
 
-    classifyHostRead(src);
-    const auto &srcBlk = chips_.block(geom_.blockOf(src));
-    const int rounds = ecc_.retryRounds(
-        srcBlk.eraseCount(), events_.now() - srcBlk.programTime(), rng_);
-
-    // IDA benefit accounting: latency saved vs the conventional coding.
     const auto page = static_cast<std::uint32_t>(src % geom_.pagesPerBlock);
     const auto &blk = chips_.block(geom_.blockOf(src));
+    const flash::SectorMask fv = blk.sectorMask(page);
+    const flash::SectorMask fetch = need & ~(dirty | cached) & fv;
+    if (fetch == 0) {
+        // Everything flash could supply is already resident in DRAM;
+        // the remaining sectors zero-fill (invalidated or never
+        // written), so no flash command is needed.
+        ++stats_.sector.zeroFillReads;
+        sim::Time t = events_.now();
+        if ((cached & need) != 0) {
+            rcache_.noteHit();
+            t += rcache_.config().dramLatency;
+#ifdef IDA_TRACE
+            if (tracer_)
+                tracer_->recordInstant(trace::SpanKind::CacheReadHit, lpn,
+                                       events_.now(), t);
+#endif
+        } else if ((dirty & need) != 0) {
+            wbuf_.noteReadHit();
+            t += wbuf_.config().dramLatency;
+#ifdef IDA_TRACE
+            if (tracer_)
+                tracer_->recordInstant(trace::SpanKind::WbufReadHit, lpn,
+                                       events_.now(), t);
+#endif
+        } else {
+#ifdef IDA_TRACE
+            if (tracer_)
+                tracer_->recordInstant(trace::SpanKind::UnmappedRead, lpn,
+                                       t, t);
+#endif
+        }
+        events_.schedule(t, [done = std::move(done), t] { done(t); });
+        return;
+    }
+
+    if (rcache_.enabled()) {
+        rcache_.noteMiss();
+        if ((need & (dirty | cached)) != 0)
+            rcache_.noteMergedFill();
+    }
+    if ((need & (dirty | cached)) != 0)
+        ++stats_.sector.mergedReads;
+    if ((need & ~(dirty | cached | fv)) != 0)
+        ++stats_.sector.zeroFillReads;
+
+    classifyHostRead(src);
+    const int rounds = ecc_.retryRounds(
+        blk.eraseCount(), events_.now() - blk.programTime(), rng_);
+
+    // IDA benefit accounting: latency saved vs the conventional coding.
     if (blk.isIdaWordline(geom_.wordlineOfPage(page))) {
         auto &rc = stats_.readClass;
         ++rc.idaServed;
@@ -136,15 +269,62 @@ Ftl::hostRead(Lpn lpn, PageDone done)
         rc.idaSavings += (conv - actual) * (1 + rounds);
     }
 
-    chips_.readPage(src, true, rounds, std::move(done), lpn);
+    // Read-allocate at issue time, and only sectors flash or the write
+    // buffer can actually supply — never zero-fill holes — preserving
+    // the audited invariant cached ⊆ flashValid ∪ wbufDirty.
+    rcache_.insert(lpn, need & (fv | dirty));
+
+    chips_.readPage(src, true, rounds, std::move(done), lpn,
+                    static_cast<std::uint32_t>(std::popcount(fetch)));
 }
 
 void
 Ftl::hostWrite(Lpn lpn, PageDone done)
 {
+    hostWrite(lpn, 0, std::move(done));
+}
+
+void
+Ftl::hostWrite(Lpn lpn, flash::SectorMask sectors, PageDone done)
+{
     ++stats_.hostWrites;
-    if (wbuf_.enabled() && wbuf_.insert(lpn)) {
-        // Absorbed in controller DRAM; destaged in the background.
+    flash::SectorMask m = sectors == 0 ? fullMask_ : (sectors & fullMask_);
+    if (m == 0)
+        m = fullMask_;
+    if (m != fullMask_)
+        ++stats_.sector.subPageWrites;
+    if (!cfg_.sectorMode)
+        m = fullMask_; // page-granular FTL pads sub-page writes
+
+    // Coherence first: the cached copy of these sectors is stale the
+    // moment the write is accepted.
+    rcache_.invalidate(lpn, m);
+
+    if (wbuf_.enabled() && wbuf_.insert(lpn, m)) {
+        // Absorbed in controller DRAM; destaged in the background. A
+        // whole-page buffered write leaves the flash copy valid until
+        // the destage supersedes it (lazy, as before); a *sub-page*
+        // buffered write eagerly invalidates the overlapped flash
+        // sectors, since the buffer now owns their freshest data and
+        // the destage will re-program them anyway.
+        if (cfg_.sectorMode && m != fullMask_) {
+            const Ppn old = mapping_.lookup(lpn);
+            if (old != kInvalidPpn) {
+                auto &blk = chips_.block(geom_.blockOf(old));
+                const auto page = static_cast<std::uint32_t>(
+                    old % geom_.pagesPerBlock);
+                const flash::SectorMask fv = blk.sectorMask(page);
+                const flash::SectorMask clear = m & fv;
+                if (clear == fv && fv != 0) {
+                    mapping_.unmap(lpn);
+                    blk.invalidate(page);
+                    ++stats_.sector.pagesDiedPartial;
+                } else if (clear != 0) {
+                    blk.invalidateSectors(page, clear);
+                    ++stats_.sector.partialInvalidations;
+                }
+            }
+        }
         const sim::Time t = events_.now() + wbuf_.config().dramLatency;
 #ifdef IDA_TRACE
         if (tracer_)
@@ -158,36 +338,156 @@ Ftl::hostWrite(Lpn lpn, PageDone done)
         maybeFlushWriteBuffer();
         return;
     }
-    programHostData(lpn, std::move(done), true);
+    programMerged(lpn, m, std::move(done), true);
 }
 
 void
 Ftl::hostTrim(Lpn lpn)
 {
+    hostTrim(lpn, 0);
+}
+
+void
+Ftl::hostTrim(Lpn lpn, flash::SectorMask sectors)
+{
+    flash::SectorMask m = sectors == 0 ? fullMask_ : (sectors & fullMask_);
+    if (m == 0)
+        m = fullMask_;
+    if (!cfg_.sectorMode && m != fullMask_) {
+        // A page-granular FTL has nowhere to record partial
+        // deallocation, so the invalidity is simply lost — the gap the
+        // sector-mask ablation measures. Dropped before any mutation.
+        ++stats_.sector.trimsDroppedPageMode;
+        return;
+    }
     ++stats_.hostTrims;
-    wbuf_.remove(lpn);
-    const Ppn old = mapping_.unmap(lpn);
-    if (old != kInvalidPpn) {
-        chips_.block(geom_.blockOf(old))
-            .invalidate(static_cast<std::uint32_t>(
-                old % geom_.pagesPerBlock));
+    if (m != fullMask_)
+        ++stats_.sector.subPageTrims;
+    rcache_.invalidate(lpn, m);
+    wbuf_.remove(lpn, m);
+    if (m == fullMask_) {
+        const Ppn old = mapping_.unmap(lpn);
+        if (old != kInvalidPpn) {
+            chips_.block(geom_.blockOf(old))
+                .invalidate(static_cast<std::uint32_t>(
+                    old % geom_.pagesPerBlock));
+        }
+        return;
+    }
+    const Ppn old = mapping_.lookup(lpn);
+    if (old == kInvalidPpn)
+        return;
+    auto &blk = chips_.block(geom_.blockOf(old));
+    const auto page =
+        static_cast<std::uint32_t>(old % geom_.pagesPerBlock);
+    const flash::SectorMask fv = blk.sectorMask(page);
+    const flash::SectorMask clear = m & fv;
+    if (clear == fv && fv != 0) {
+        // The TRIM covers every still-valid sector: the page dies.
+        mapping_.unmap(lpn);
+        blk.invalidate(page);
+        ++stats_.sector.pagesDiedPartial;
+    } else if (clear != 0) {
+        blk.invalidateSectors(page, clear);
+        ++stats_.sector.partialInvalidations;
     }
 }
 
 void
-Ftl::programHostData(Lpn lpn, PageDone done, bool host_write)
+Ftl::programHostData(Lpn lpn, flash::SectorMask sectors, PageDone done,
+                     bool host_write)
 {
     const Ppn dst = allocator_.allocateHostPage();
     const Ppn old = mapping_.remap(lpn, dst);
     if (old != kInvalidPpn) {
+        // Whole-page invalidation is correct even for sector-masked
+        // programs: callers merge the surviving flash sectors into
+        // @p sectors first (programMerged), so the new copy supersedes
+        // everything the old page still held.
         chips_.block(geom_.blockOf(old))
             .invalidate(static_cast<std::uint32_t>(
                 old % geom_.pagesPerBlock));
     }
     // host_write distinguishes a synchronous host write from a
     // background write-buffer destage for attribution.
-    chips_.programPage(dst, std::move(done), lpn, host_write);
+    chips_.programPage(dst, std::move(done), lpn, host_write, sectors);
     noteInUse();
+}
+
+void
+Ftl::programMerged(Lpn lpn, flash::SectorMask sectors, PageDone done,
+                   bool host_write)
+{
+    flash::SectorMask keep = 0;
+    const Ppn old = mapping_.lookup(lpn);
+    if (cfg_.sectorMode && old != kInvalidPpn) {
+        keep = chips_.block(geom_.blockOf(old))
+                   .sectorMask(static_cast<std::uint32_t>(
+                       old % geom_.pagesPerBlock)) &
+               ~sectors;
+    }
+    if (keep == 0) {
+        // Nothing valid survives outside the write: program directly
+        // (the only path whole-page writes ever take).
+        programHostData(lpn, sectors, std::move(done), host_write);
+        return;
+    }
+
+    // Read-modify-write: fetch the surviving sectors, then program the
+    // union. State lives in a slab slot so the read's completion
+    // captures only {this, slot} (inside the DoneCallback budget).
+    std::uint32_t slot;
+    if (freeRmwSlot_ != kNilRmw) {
+        slot = freeRmwSlot_;
+        freeRmwSlot_ = pendingRmw_[slot].nextFree;
+    } else {
+        slot = static_cast<std::uint32_t>(pendingRmw_.size());
+        pendingRmw_.emplace_back();
+    }
+    PendingRmw &p = pendingRmw_[slot];
+    p.lpn = lpn;
+    p.expectOld = old;
+    p.sectors = sectors;
+    p.hostWrite = host_write;
+    p.done = std::move(done);
+    p.nextFree = kNilRmw;
+    ++rmwInFlight_;
+    ++stats_.sector.rmwReads;
+    chips_.readPage(old, false, 0,
+                    [this, slot](sim::Time) { finishRmw(slot); },
+                    kInvalidLpn,
+                    static_cast<std::uint32_t>(std::popcount(keep)));
+}
+
+void
+Ftl::finishRmw(std::uint32_t slot)
+{
+    PendingRmw &p = pendingRmw_[slot];
+    const Lpn lpn = p.lpn;
+    const Ppn expect = p.expectOld;
+    const flash::SectorMask sectors = p.sectors;
+    const bool host = p.hostWrite;
+    PageDone done = std::move(p.done);
+    p.nextFree = freeRmwSlot_;
+    freeRmwSlot_ = slot;
+    --rmwInFlight_;
+
+    if (mapping_.lookup(lpn) != expect) {
+        // The mapping moved under the read (GC, refresh, or another
+        // write landed first): retry from scratch so this write still
+        // programs exactly once — no host write is ever dropped.
+        ++stats_.sector.rmwRetries;
+        programMerged(lpn, sectors, std::move(done), host);
+        return;
+    }
+    // Recompute the survivors from the *current* mask: a sub-page TRIM
+    // may have shrunk it while the read was in flight.
+    const flash::SectorMask keep =
+        chips_.block(geom_.blockOf(expect))
+            .sectorMask(
+                static_cast<std::uint32_t>(expect % geom_.pagesPerBlock)) &
+        ~sectors;
+    programHostData(lpn, sectors | keep, std::move(done), host);
 }
 
 void
@@ -198,10 +498,11 @@ Ftl::maybeFlushWriteBuffer()
     constexpr std::uint32_t kMaxFlushInFlight = 8;
     while (flushesInFlight_ < kMaxFlushInFlight && wbuf_.needsFlush()) {
         Lpn lpn;
-        if (!wbuf_.popFlushCandidate(lpn))
+        flash::SectorMask sectors;
+        if (!wbuf_.popFlushCandidate(lpn, sectors))
             return;
         ++flushesInFlight_;
-        programHostData(lpn, [this](sim::Time) {
+        programMerged(lpn, sectors, [this](sim::Time) {
             --flushesInFlight_;
             maybeFlushWriteBuffer();
         }, false);
@@ -254,10 +555,16 @@ Ftl::migrateValidPage(Ppn src, PageDone done)
         return false; // updated or already migrated meanwhile
     const std::uint64_t plane = geom_.planeOfBlock(geom_.blockOf(src));
     const Ppn dst = allocator_.allocateInternalPage(plane);
+    auto &srcBlk = chips_.block(geom_.blockOf(src));
+    const auto srcPage =
+        static_cast<std::uint32_t>(src % geom_.pagesPerBlock);
+    // Capture the source's sector mask before invalidating it: a
+    // partially-valid page stays partially valid across the migration
+    // (GC copies only the live sectors).
+    const flash::SectorMask sectors = srcBlk.sectorMask(srcPage);
     mapping_.remap(lpn, dst);
-    chips_.block(geom_.blockOf(src))
-        .invalidate(static_cast<std::uint32_t>(src % geom_.pagesPerBlock));
-    chips_.programPage(dst, std::move(done));
+    srcBlk.invalidate(srcPage);
+    chips_.programPage(dst, std::move(done), kInvalidLpn, false, sectors);
     noteInUse();
     return true;
 }
@@ -321,11 +628,14 @@ Ftl::flushMigrations(std::uint64_t plane)
                 ++stats_.refresh.displacedFastPages;
         }
         const Lpn lpn = mapping_.reverse(m.src);
+        auto &srcBlk = chips_.block(geom_.blockOf(m.src));
+        const auto srcPage =
+            static_cast<std::uint32_t>(m.src % geom_.pagesPerBlock);
+        const flash::SectorMask sectors = srcBlk.sectorMask(srcPage);
         mapping_.remap(lpn, dst);
-        chips_.block(geom_.blockOf(m.src))
-            .invalidate(static_cast<std::uint32_t>(
-                m.src % geom_.pagesPerBlock));
-        chips_.programPage(dst, std::move(m.done));
+        srcBlk.invalidate(srcPage);
+        chips_.programPage(dst, std::move(m.done), kInvalidLpn, false,
+                           sectors);
         noteInUse();
     }
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/read_cache.hh"
 #include "ecc/ecc_model.hh"
 #include "flash/chip.hh"
 #include "ftl/allocator.hh"
@@ -80,6 +81,22 @@ struct FtlConfig
     WriteBufferConfig writeBuffer;
 
     /**
+     * Controller DRAM read/page cache in front of the flash array (off
+     * by default; see cache/read_cache.hh and docs/CACHING.md).
+     */
+    cache::ReadCacheConfig readCache;
+
+    /**
+     * Track validity per sector instead of per page. Whole-page
+     * operations behave identically either way (they carry the full
+     * mask); with this off, sub-page TRIMs are dropped (a page-granular
+     * FTL cannot record them) and sub-page writes are padded to whole
+     * pages — the "page-granular validity" baseline the sector-mask
+     * ablation compares against.
+     */
+    bool sectorMode = true;
+
+    /**
      * The rejected alternative the paper argues against (Sec. III-C):
      * instead of IDA, refresh migrates would-be IDA target pages into
      * fast LSB positions of the new block, burning the sibling CSB/MSB
@@ -127,12 +144,36 @@ struct GcStats
     std::uint64_t migratedPages = 0;
 };
 
+/** Sector-granularity accounting (tentpole instrumentation). */
+struct SectorStats
+{
+    /** Host writes carrying a sub-page sector mask. */
+    std::uint64_t subPageWrites = 0;
+    /** Host TRIMs carrying a sub-page sector mask (applied). */
+    std::uint64_t subPageTrims = 0;
+    /** Sub-page TRIMs dropped because sectorMode is off. */
+    std::uint64_t trimsDroppedPageMode = 0;
+    /** Read-modify-write flash reads for sub-page programs. */
+    std::uint64_t rmwReads = 0;
+    /** RMW retries after the mapping changed under the read. */
+    std::uint64_t rmwRetries = 0;
+    /** Host reads assembled from flash plus DRAM-resident sectors. */
+    std::uint64_t mergedReads = 0;
+    /** invalidateSectors calls that left the page partially valid. */
+    std::uint64_t partialInvalidations = 0;
+    /** Pages whose last valid sectors died to a sub-page op. */
+    std::uint64_t pagesDiedPartial = 0;
+    /** Host reads touching never-written (zero-fill) sectors. */
+    std::uint64_t zeroFillReads = 0;
+};
+
 /** Top-level FTL statistics. */
 struct FtlStats
 {
     ReadClassStats readClass;
     RefreshStats refresh;
     GcStats gc;
+    SectorStats sector;
     std::uint64_t hostReads = 0;
     std::uint64_t hostWrites = 0;
     std::uint64_t hostReadsUnmapped = 0;
@@ -185,8 +226,24 @@ class Ftl
      */
     void hostRead(Lpn lpn, PageDone done);
 
+    /**
+     * Host read of @p sectors of one page (0 = whole page). Served in
+     * priority order write buffer > read cache > flash; only the
+     * sectors no DRAM tier holds are transferred from flash
+     * (hole-merging; see docs/CACHING.md).
+     */
+    void hostRead(Lpn lpn, flash::SectorMask sectors, PageDone done);
+
     /** Host page write (update-in-place semantics at the LPN level). */
     void hostWrite(Lpn lpn, PageDone done);
+
+    /**
+     * Host write of @p sectors of one page (0 = whole page). A
+     * sub-page write that cannot be absorbed by the write buffer
+     * triggers a read-modify-write: the surviving flash sectors are
+     * read back and the union is programmed.
+     */
+    void hostWrite(Lpn lpn, flash::SectorMask sectors, PageDone done);
 
     /**
      * Host TRIM: drop the mapping of @p lpn and invalidate its flash
@@ -196,6 +253,15 @@ class Ftl
      * that are absorbed by the mapping layer.
      */
     void hostTrim(Lpn lpn);
+
+    /**
+     * Host TRIM of @p sectors of one page (0 = whole page). A sub-page
+     * TRIM clears only those sectors; the page (and its mapping) dies
+     * when the last valid sector goes. With sectorMode off, sub-page
+     * TRIMs are dropped entirely (counted in SectorStats) — the
+     * invalidity a page-granular FTL cannot see.
+     */
+    void hostTrim(Lpn lpn, flash::SectorMask sectors);
 
     /**
      * Instant (zero-time) preload of one logical page, used to install
@@ -215,6 +281,31 @@ class Ftl
     const WriteBufferStats &writeBufferStats() const {
         return wbuf_.stats();
     }
+
+    /** Controller read/page cache (disabled unless configured). */
+    const cache::ReadCache &readCache() const { return rcache_; }
+
+    /** Read-cache accounting (zeros when the cache is disabled). */
+    const cache::ReadCacheStats &readCacheStats() const {
+        return rcache_.stats();
+    }
+
+    /** Sub-page programs currently waiting on their RMW read. */
+    std::uint32_t rmwInFlight() const { return rmwInFlight_; }
+
+    /**
+     * Gauge: valid pages whose sector mask is a strict subset of the
+     * full page — the partially-invalid pages only sector-granular
+     * validity can represent.
+     */
+    std::uint64_t countPartialValidPages() const;
+
+    /**
+     * Gauge: in-use wordlines whose LSB-level page is invalid while at
+     * least one higher level is still valid — exactly the wordlines
+     * classifyHostRead treats as IDA-eligible (Table I cases 2/4).
+     */
+    std::uint64_t countIdaEligibleWordlines() const;
 
     /**
      * Zero the read-classification counters (Fig. 4 instrumentation);
@@ -281,7 +372,17 @@ class Ftl
     friend class RefreshJob;
 
     void classifyHostRead(Ppn ppn);
-    void programHostData(Lpn lpn, PageDone done, bool host_write);
+    void programHostData(Lpn lpn, flash::SectorMask sectors, PageDone done,
+                         bool host_write);
+
+    /**
+     * Program @p sectors of @p lpn, merging in any still-valid flash
+     * sectors outside the mask via a read-modify-write when needed.
+     * The write-through and destage paths both land here.
+     */
+    void programMerged(Lpn lpn, flash::SectorMask sectors, PageDone done,
+                       bool host_write);
+    void finishRmw(std::uint32_t slot);
     void maybeFlushWriteBuffer();
     void maybeStartGc(std::uint64_t plane);
     void refreshScan();
@@ -307,12 +408,34 @@ class Ftl
         PageDone done;
     };
 
+    /**
+     * Slab slot for an in-flight read-modify-write: the RMW read's
+     * completion captures only {this, slot} (inside the 48-byte
+     * DoneCallback budget) and finds everything else here. Free slots
+     * are chained through nextFree.
+     */
+    struct PendingRmw
+    {
+        Lpn lpn;
+        Ppn expectOld;
+        flash::SectorMask sectors;
+        bool hostWrite;
+        PageDone done;
+        std::uint32_t nextFree;
+    };
+    static constexpr std::uint32_t kNilRmw = ~std::uint32_t{0};
+
     std::vector<std::unique_ptr<GcJob>> gcJobs_;
     std::vector<std::unique_ptr<RefreshJob>> refreshJobs_;
     std::vector<bool> gcRunning_; // per plane
     std::vector<std::deque<PendingMigration>> fastQ_; // per plane
     std::vector<std::deque<PendingMigration>> slowQ_; // per plane
     WriteBuffer wbuf_;
+    cache::ReadCache rcache_;
+    flash::SectorMask fullMask_;
+    std::vector<PendingRmw> pendingRmw_;
+    std::uint32_t freeRmwSlot_ = kNilRmw;
+    std::uint32_t rmwInFlight_ = 0;
     trace::Recorder *tracer_ = nullptr;
     std::uint32_t flushesInFlight_ = 0;
     int activeRefresh_ = 0;

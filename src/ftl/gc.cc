@@ -1,5 +1,7 @@
 #include "ftl/gc.hh"
 
+#include <bit>
+
 #include "ftl/ftl.hh"
 #include "sim/log.hh"
 
@@ -23,8 +25,12 @@ GcJob::start()
         if (!blk.isValid(p))
             continue;
         ++pending_;
-        ftl_.chips().readPage(base + p, false, 0,
-                              [this](sim::Time) { opDone(); });
+        // Only the still-valid sectors need the channel: partially
+        // invalid pages transfer proportionally less.
+        ftl_.chips().readPage(
+            base + p, false, 0, [this](sim::Time) { opDone(); },
+            flash::kInvalidLpn,
+            static_cast<std::uint32_t>(std::popcount(blk.sectorMask(p))));
     }
     if (pending_ == 0)
         advance();

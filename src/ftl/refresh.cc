@@ -1,5 +1,7 @@
 #include "ftl/refresh.hh"
 
+#include <bit>
+
 #include "ftl/ftl.hh"
 #include "sim/log.hh"
 
@@ -43,8 +45,11 @@ RefreshJob::start()
         if (!blk.isValid(p))
             continue;
         ++pending_;
-        ftl_.chips().readPage(base + p, false, 0,
-                              [this](sim::Time) { opDone(); });
+        // Partially invalid pages transfer only their valid sectors.
+        ftl_.chips().readPage(
+            base + p, false, 0, [this](sim::Time) { opDone(); },
+            flash::kInvalidLpn,
+            static_cast<std::uint32_t>(std::popcount(blk.sectorMask(p))));
     }
     if (pending_ == 0)
         advance();
@@ -177,7 +182,10 @@ RefreshJob::advance()
                 continue; // host invalidated it meanwhile
             ++pending_;
             ++stats.extraReads;
-            chips.readPage(p, false, 0, [this](sim::Time) { opDone(); });
+            chips.readPage(p, false, 0, [this](sim::Time) { opDone(); },
+                           flash::kInvalidLpn,
+                           static_cast<std::uint32_t>(
+                               std::popcount(blk.sectorMask(page))));
         }
         if (pending_ == 0)
             advance();

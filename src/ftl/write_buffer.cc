@@ -11,11 +11,15 @@ WriteBuffer::WriteBuffer(const WriteBufferConfig &cfg) : cfg_(cfg)
 }
 
 bool
-WriteBuffer::insert(flash::Lpn lpn)
+WriteBuffer::insert(flash::Lpn lpn, flash::SectorMask sectors)
 {
     if (!enabled())
         return false;
-    if (dirty_.count(lpn)) {
+    if (sectors == 0)
+        sim::panic("WriteBuffer::insert: empty sector mask");
+    const auto it = dirty_.find(lpn);
+    if (it != dirty_.end()) {
+        it->second |= sectors;
         ++stats_.coalescedWrites;
         return true;
     }
@@ -24,16 +28,23 @@ WriteBuffer::insert(flash::Lpn lpn)
         return false;
     }
     fifo_.push_back(lpn);
-    dirty_.insert(lpn);
+    dirty_.emplace(lpn, sectors);
     ++stats_.bufferedWrites;
     return true;
 }
 
 bool
-WriteBuffer::remove(flash::Lpn lpn)
+WriteBuffer::remove(flash::Lpn lpn, flash::SectorMask sectors)
 {
-    if (dirty_.erase(lpn) == 0)
+    const auto it = dirty_.find(lpn);
+    if (it == dirty_.end())
         return false;
+    it->second &= ~sectors;
+    if (it->second != 0) {
+        ++stats_.partialTrims;
+        return false;
+    }
+    dirty_.erase(it);
     ++stats_.trimmed;
     return true;
 }
@@ -50,10 +61,20 @@ WriteBuffer::needsFlush() const
 bool
 WriteBuffer::popFlushCandidate(flash::Lpn &lpn)
 {
+    flash::SectorMask sectors;
+    return popFlushCandidate(lpn, sectors);
+}
+
+bool
+WriteBuffer::popFlushCandidate(flash::Lpn &lpn, flash::SectorMask &sectors)
+{
     while (!fifo_.empty()) {
         lpn = fifo_.front();
         fifo_.pop_front();
-        if (dirty_.erase(lpn)) {
+        const auto it = dirty_.find(lpn);
+        if (it != dirty_.end()) {
+            sectors = it->second;
+            dirty_.erase(it);
             ++stats_.flushes;
             return true;
         }

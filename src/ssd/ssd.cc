@@ -70,6 +70,18 @@ Ssd::submit(const HostRequest &req)
         sim::fatal("Ssd::submit: empty request");
     if (req.startPage + req.pageCount > logicalPages())
         sim::fatal("Ssd::submit: request beyond logical capacity");
+    if (req.sectorCount != 0) {
+        // A sub-page request's sector range must stay inside its page
+        // range and touch both the first and the last page, so every
+        // page of the request gets a nonempty mask.
+        const std::uint64_t spp = cfg_.geometry.sectorsPerPage();
+        const std::uint64_t end =
+            std::uint64_t{req.startSector} + req.sectorCount;
+        if (req.startSector >= spp || end > req.pageCount * spp ||
+            end <= (std::uint64_t{req.pageCount} - 1) * spp)
+            sim::fatal("Ssd::submit: sector range does not line up with "
+                       "the request's page range");
+    }
     ++inflightRequests_;
     std::uint32_t slot;
     if (freeSubmit_ != kNilSlot) {
@@ -95,9 +107,42 @@ Ssd::dispatchPending(std::uint32_t slot)
     dispatch(req);
 }
 
+flash::SectorMask
+Ssd::pageMaskOf(const HostRequest &req, std::uint32_t i) const
+{
+    if (req.sectorCount == 0)
+        return 0; // whole page
+    const std::uint64_t spp = cfg_.geometry.sectorsPerPage();
+    const std::uint64_t pageLo = std::uint64_t{i} * spp;
+    const std::uint64_t lo =
+        std::max<std::uint64_t>(pageLo, req.startSector);
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(pageLo + spp,
+                                std::uint64_t{req.startSector} +
+                                    req.sectorCount);
+    const auto n = static_cast<std::uint32_t>(hi - lo);
+    const flash::SectorMask run =
+        n >= 32 ? ~flash::SectorMask{0}
+                : ((flash::SectorMask{1} << n) - 1);
+    return run << (lo - pageLo);
+}
+
 void
 Ssd::dispatch(const HostRequest &req)
 {
+    if (req.isTrim) {
+        // TRIMs are absorbed by the mapping layer: all pages deallocate
+        // synchronously at dispatch, with no simulated flash command
+        // and no response-time sample.
+        for (std::uint32_t i = 0; i < req.pageCount; ++i)
+            ftl_->hostTrim(req.startPage + i, pageMaskOf(req, i));
+        --inflightRequests_;
+        if (req.arrival >= stats_.measureStart)
+            ++stats_.trimRequests;
+        if (req.onComplete)
+            req.onComplete(events_.now());
+        return;
+    }
     // Shared completion context for the request's page operations.
     struct Ctx
     {
@@ -124,8 +169,12 @@ Ssd::dispatch(const HostRequest &req)
         if (r.arrival < st.measureStart)
             return; // warm-up request
         const double resp = sim::toUsec(ctx->lastDone - r.arrival);
-        const std::uint64_t bytes = std::uint64_t{r.pageCount} *
-                                    ssd->cfg_.geometry.pageSizeBytes;
+        const std::uint64_t bytes =
+            r.sectorCount != 0
+                ? std::uint64_t{r.sectorCount} *
+                      ssd->cfg_.geometry.sectorSizeBytes
+                : std::uint64_t{r.pageCount} *
+                      ssd->cfg_.geometry.pageSizeBytes;
         st.lastCompletion = std::max(st.lastCompletion, ctx->lastDone);
         if (r.isRead) {
             ++st.readRequests;
@@ -141,10 +190,11 @@ Ssd::dispatch(const HostRequest &req)
 
     for (std::uint32_t i = 0; i < req.pageCount; ++i) {
         const flash::Lpn lpn = req.startPage + i;
+        const flash::SectorMask mask = pageMaskOf(req, i);
         if (req.isRead)
-            ftl_->hostRead(lpn, pageDone);
+            ftl_->hostRead(lpn, mask, pageDone);
         else
-            ftl_->hostWrite(lpn, pageDone);
+            ftl_->hostWrite(lpn, mask, pageDone);
     }
 }
 

@@ -26,13 +26,23 @@ class Recorder;
 
 namespace ida::ssd {
 
-/** One host I/O request (page-granular, like the paper's simulator). */
+/**
+ * One host I/O request. Page-granular (like the paper's simulator)
+ * unless sectorCount narrows it to a sub-page range; TRIMs are pure
+ * metadata operations that complete at dispatch.
+ */
 struct HostRequest
 {
     sim::Time arrival{};
     bool isRead = true;
+    /** TRIM/deallocate instead of a data transfer (isRead ignored). */
+    bool isTrim = false;
     flash::Lpn startPage = 0;
     std::uint32_t pageCount = 1;
+    /** First sector touched, relative to startPage's first sector. */
+    std::uint32_t startSector = 0;
+    /** Sectors touched; 0 = whole pages (the page-granular default). */
+    std::uint32_t sectorCount = 0;
     /** Optional notification when the whole request completes. */
     std::function<void(sim::Time)> onComplete;
 };
@@ -45,6 +55,7 @@ struct SsdStats
     stats::Histogram readHist{1.0, 1.25, 96};
     std::uint64_t readRequests = 0;  // measured only
     std::uint64_t writeRequests = 0;
+    std::uint64_t trimRequests = 0;  // measured only; no response stats
     std::uint64_t bytesRead = 0;     // measured only
     std::uint64_t bytesWritten = 0;
     sim::Time measureStart{};
@@ -137,6 +148,10 @@ class Ssd
 
     void dispatch(const HostRequest &req);
     void dispatchPending(std::uint32_t slot);
+
+    /** Sector mask of the @p i-th page of @p req (0 = whole page). */
+    flash::SectorMask pageMaskOf(const HostRequest &req,
+                                 std::uint32_t i) const;
 
     SsdConfig cfg_;
     flash::CodingScheme coding_;

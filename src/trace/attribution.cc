@@ -39,6 +39,7 @@ Attribution::add(const Span &s)
       case SpanKind::HostWrite: ++counters_.hostWrites; break;
       case SpanKind::WbufReadHit: ++counters_.wbufReadHits; break;
       case SpanKind::WbufWrite: ++counters_.wbufWrites; break;
+      case SpanKind::CacheReadHit: ++counters_.cacheReadHits; break;
       case SpanKind::UnmappedRead: ++counters_.unmappedReads; break;
       case SpanKind::InternalRead: ++counters_.internalReads; break;
       case SpanKind::InternalProgram: ++counters_.internalPrograms; break;
@@ -121,6 +122,7 @@ writeAttributionJson(stats::JsonWriter &w, const AttributionSummary &s)
     w.field("hostWrites", s.counters.hostWrites);
     w.field("wbufReadHits", s.counters.wbufReadHits);
     w.field("wbufWrites", s.counters.wbufWrites);
+    w.field("cacheReadHits", s.counters.cacheReadHits);
     w.field("unmappedReads", s.counters.unmappedReads);
     w.field("internalReads", s.counters.internalReads);
     w.field("internalPrograms", s.counters.internalPrograms);

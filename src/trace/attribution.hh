@@ -59,6 +59,7 @@ struct AttributionCounters
     std::uint64_t hostWrites = 0;
     std::uint64_t wbufReadHits = 0;
     std::uint64_t wbufWrites = 0;
+    std::uint64_t cacheReadHits = 0;
     std::uint64_t unmappedReads = 0;
     std::uint64_t internalReads = 0;
     std::uint64_t internalPrograms = 0;

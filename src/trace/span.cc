@@ -11,6 +11,7 @@ spanKindName(SpanKind k)
       case SpanKind::HostWrite: return "host_write";
       case SpanKind::WbufReadHit: return "wbuf_read_hit";
       case SpanKind::WbufWrite: return "wbuf_write";
+      case SpanKind::CacheReadHit: return "cache_read_hit";
       case SpanKind::UnmappedRead: return "unmapped_read";
       case SpanKind::InternalRead: return "internal_read";
       case SpanKind::InternalProgram: return "internal_program";

@@ -33,6 +33,7 @@ enum class SpanKind : std::uint8_t {
     HostWrite,       ///< host write programmed straight to flash
     WbufReadHit,     ///< host read served from the controller DRAM buffer
     WbufWrite,       ///< host write absorbed by the DRAM write buffer
+    CacheReadHit,    ///< host read served from the DRAM read cache
     UnmappedRead,    ///< host read of a never-written page (no flash op)
     InternalRead,    ///< GC / refresh / verification read
     InternalProgram, ///< GC / refresh migration or write-buffer destage
@@ -58,8 +59,9 @@ inline constexpr std::uint32_t kNoLane = ~std::uint32_t{0};
  *    complete; the transfer comes first, the cell programming occupies
  *    [channelEnd, complete] (senseEnd == dieStart, unused).
  *  - erase / adjust: die-only, [dieStart, complete].
- *  - instant serves (write-buffer hit, buffered write, unmapped read):
- *    everything collapses to [start, complete] in controller DRAM.
+ *  - instant serves (write-buffer hit, read-cache hit, buffered write,
+ *    unmapped read): everything collapses to [start, complete] in
+ *    controller DRAM.
  */
 struct Span
 {
@@ -96,6 +98,7 @@ struct Span
     isInstant() const
     {
         return kind == SpanKind::WbufReadHit || kind == SpanKind::WbufWrite ||
+               kind == SpanKind::CacheReadHit ||
                kind == SpanKind::UnmappedRead;
     }
 };

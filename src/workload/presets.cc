@@ -117,6 +117,33 @@ buildExtraWorkloads()
         p.paperReadRatioPct = rr;
         out.push_back(std::move(p));
     }
+
+    // Drives the sector-validity + read-cache ablation
+    // (bench/ablation_cache_sweep): a read-mostly mix whose sub-page
+    // writes and TRIMs create partially-invalid pages — invalidity a
+    // page-granular FTL cannot record — and whose Zipf re-references
+    // give a DRAM read cache something to hit. The harness pairs it
+    // with a write-buffer-enabled device config.
+    {
+        WorkloadPreset p;
+        p.name = "fig10-mix";
+        p.synth.seed = 300;
+        p.synth.readRatio = 0.85;
+        p.synth.readSizePagesMean = 4.0;
+        p.synth.writeSizePagesMean = 2.0;
+        p.synth.readZipf = 1.1;
+        p.synth.writeZipf = 0.9;
+        p.synth.writeRegionFraction = 0.4;
+        p.synth.totalRequests = 400'000;
+        p.synth.footprintPages = 60'000;
+        p.synth.duration = 4 * sim::kHour;
+        p.synth.trimFraction = 0.08;
+        p.synth.subPageFraction = 0.25;
+        p.synth.sectorsPerPage = 16;
+        p.refreshPeriod = 2 * p.synth.duration;
+        p.prewriteFraction = 0.5;
+        out.push_back(std::move(p));
+    }
     return out;
 }
 

@@ -59,7 +59,34 @@ RunResult::writeJson(stats::JsonWriter &w, bool include_volatile) const
     w.field("erases", ftl.gc.erases);
     w.field("migratedPages", ftl.gc.migratedPages);
     w.endObject();
+    w.key("sector");
+    w.beginObject();
+    w.field("hostTrims", ftl.hostTrims);
+    w.field("subPageWrites", ftl.sector.subPageWrites);
+    w.field("subPageTrims", ftl.sector.subPageTrims);
+    w.field("trimsDroppedPageMode", ftl.sector.trimsDroppedPageMode);
+    w.field("rmwReads", ftl.sector.rmwReads);
+    w.field("rmwRetries", ftl.sector.rmwRetries);
+    w.field("mergedReads", ftl.sector.mergedReads);
+    w.field("partialInvalidations", ftl.sector.partialInvalidations);
+    w.field("pagesDiedPartial", ftl.sector.pagesDiedPartial);
+    w.field("zeroFillReads", ftl.sector.zeroFillReads);
+    w.field("partialValidPagesEnd", partialValidPages);
+    w.field("idaEligibleWordlinesEnd", idaEligibleWordlines);
     w.endObject();
+    w.endObject();
+
+    w.key("cache");
+    w.beginObject();
+    w.field("hits", cache.hits);
+    w.field("misses", cache.misses);
+    w.field("mergedFills", cache.mergedFills);
+    w.field("fills", cache.fills);
+    w.field("evictions", cache.evictions);
+    w.field("invalidations", cache.invalidations);
+    w.endObject();
+
+    w.field("trimRequests", trimRequests);
 
     w.key("chip");
     w.beginObject();
@@ -158,6 +185,38 @@ makeReport(const RunResult &r)
     rep.add("invocations", r.ftl.gc.invocations);
     rep.add("erases", r.ftl.gc.erases);
     rep.add("migrated_pages", r.ftl.gc.migratedPages);
+
+    // Sector-granularity and cache sections only appear when those
+    // features saw traffic, keeping classic page-granular reports
+    // byte-identical.
+    const auto &sec = r.ftl.sector;
+    if (r.trimRequests != 0 || sec.subPageWrites != 0 ||
+        sec.subPageTrims != 0 || sec.trimsDroppedPageMode != 0 ||
+        r.partialValidPages != 0) {
+        rep.section("sector");
+        rep.add("trim_requests", r.trimRequests);
+        rep.add("host_trims", r.ftl.hostTrims);
+        rep.add("sub_page_writes", sec.subPageWrites);
+        rep.add("sub_page_trims", sec.subPageTrims);
+        rep.add("trims_dropped_page_mode", sec.trimsDroppedPageMode);
+        rep.add("rmw_reads", sec.rmwReads);
+        rep.add("rmw_retries", sec.rmwRetries);
+        rep.add("merged_reads", sec.mergedReads);
+        rep.add("partial_invalidations", sec.partialInvalidations);
+        rep.add("pages_died_partial", sec.pagesDiedPartial);
+        rep.add("zero_fill_reads", sec.zeroFillReads);
+        rep.add("partial_valid_pages_end", r.partialValidPages);
+        rep.add("ida_eligible_wordlines_end", r.idaEligibleWordlines);
+    }
+    if (r.cache.hits != 0 || r.cache.misses != 0) {
+        rep.section("cache");
+        rep.add("hits", r.cache.hits);
+        rep.add("misses", r.cache.misses);
+        rep.add("merged_fills", r.cache.mergedFills);
+        rep.add("fills", r.cache.fills);
+        rep.add("evictions", r.cache.evictions);
+        rep.add("invalidations", r.cache.invalidations);
+    }
 
     rep.section("flash");
     rep.add("reads", r.chip.reads);

@@ -62,7 +62,7 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     if (prewrites) {
         IoRequest w;
         while (prewrites->next(w)) {
-            if (w.isRead)
+            if (w.isRead || w.isTrim)
                 continue;
             const flash::Lpn start =
                 footprint > 0 ? w.startPage % footprint : 0;
@@ -82,6 +82,9 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
         ssd::HostRequest hr;
         hr.arrival = req.arrival;
         hr.isRead = req.isRead;
+        hr.isTrim = req.isTrim;
+        hr.startSector = req.startSector;
+        hr.sectorCount = req.sectorCount;
         // Clamp into the preloaded footprint so every read is mapped.
         hr.startPage = footprint > 0 ? req.startPage % footprint : 0;
         hr.pageCount = req.pageCount;
@@ -123,6 +126,10 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     r.ftl = ssd.ftl().stats();
     r.chip = ssd.chips().stats();
     r.wear = ftl::captureWear(ssd.chips());
+    r.cache = ssd.ftl().readCacheStats();
+    r.trimRequests = st.trimRequests;
+    r.partialValidPages = ssd.ftl().countPartialValidPages();
+    r.idaEligibleWordlines = ssd.ftl().countIdaEligibleWordlines();
     if (ssd.tracer())
         r.attribution = ssd.tracer()->summary();
     r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();
@@ -196,7 +203,7 @@ runClosedLoop(const ssd::SsdConfig &device, const WorkloadPreset &preset,
         SyntheticTrace pre(pc);
         IoRequest w;
         while (pre.next(w)) {
-            if (w.isRead)
+            if (w.isRead || w.isTrim)
                 continue;
             const flash::Lpn start = w.startPage % footprint;
             for (std::uint32_t i = 0; i < w.pageCount; ++i) {
@@ -253,6 +260,9 @@ runClosedLoop(const ssd::SsdConfig &device, const WorkloadPreset &preset,
         ssd::HostRequest hr;
         hr.arrival = ssd.events().now();
         hr.isRead = r.isRead;
+        hr.isTrim = r.isTrim;
+        hr.startSector = r.startSector;
+        hr.sectorCount = r.sectorCount;
         hr.startPage = r.startPage % footprint;
         hr.pageCount = r.pageCount;
         if (hr.startPage + hr.pageCount > footprint)
@@ -284,6 +294,10 @@ runClosedLoop(const ssd::SsdConfig &device, const WorkloadPreset &preset,
     r.ftl = ssd.ftl().stats();
     r.chip = ssd.chips().stats();
     r.wear = ftl::captureWear(ssd.chips());
+    r.cache = ssd.ftl().readCacheStats();
+    r.trimRequests = st.trimRequests;
+    r.partialValidPages = ssd.ftl().countPartialValidPages();
+    r.idaEligibleWordlines = ssd.ftl().countIdaEligibleWordlines();
     if (ssd.tracer())
         r.attribution = ssd.tracer()->summary();
     r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();

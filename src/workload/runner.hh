@@ -36,6 +36,12 @@ struct RunResult
     ftl::FtlStats ftl;       // classification, refresh, GC counters
     flash::ChipStats chip;   // command counts / busy times
     ftl::WearSnapshot wear;  // erase distribution at end of run
+    cache::ReadCacheStats cache; // read/page cache hit/miss/merge counters
+    std::uint64_t trimRequests = 0; // measured TRIM requests
+    /** End-of-run gauge: valid pages with a strict-subset sector mask. */
+    std::uint64_t partialValidPages = 0;
+    /** End-of-run gauge: wordlines IDA could merge (LSB invalid). */
+    std::uint64_t idaEligibleWordlines = 0;
     /**
      * Per-phase latency attribution (src/trace). Populated (enabled ==
      * true) only in IDA_TRACE builds; the JSON schema is identical

@@ -39,6 +39,14 @@ SyntheticTrace::SyntheticTrace(const SyntheticConfig &cfg)
     if (cfg_.writeRegionFraction <= 0.0 || cfg_.writeRegionFraction > 1.0)
         sim::fatal("SyntheticConfig: writeRegionFraction must be in "
                    "(0, 1]");
+    if (cfg_.trimFraction < 0.0 || cfg_.trimFraction > 1.0)
+        sim::fatal("SyntheticConfig: trimFraction must be in [0, 1]");
+    if (cfg_.subPageFraction < 0.0 || cfg_.subPageFraction > 1.0)
+        sim::fatal("SyntheticConfig: subPageFraction must be in [0, 1]");
+    if (cfg_.subPageFraction > 0.0 &&
+        (cfg_.sectorsPerPage < 2 || cfg_.sectorsPerPage > 32))
+        sim::fatal("SyntheticConfig: sectorsPerPage must be in [2, 32] "
+                   "when sub-page requests are enabled");
 
     readMult_ = coprimeMult(cfg_.footprintPages, 0x9E3779B97F4A7C15ull);
     readAdd_ = 0x2545F4914F6CDD1Dull % cfg_.footprintPages;
@@ -114,6 +122,28 @@ SyntheticTrace::next(IoRequest &out)
         out.startPage = cfg_.footprintPages - out.pageCount;
     } else {
         out.startPage = page;
+    }
+
+    // Sector-granularity extensions. The draws below are appended at
+    // the end and strictly guarded by the > 0.0 checks (chance()
+    // consumes a draw), so the default page-granular configuration
+    // replays a byte-identical request stream.
+    out.isTrim = false;
+    out.startSector = 0;
+    out.sectorCount = 0;
+    if (cfg_.trimFraction > 0.0 && rng_.chance(cfg_.trimFraction))
+        out.isTrim = true;
+    if (cfg_.subPageFraction > 0.0 && rng_.chance(cfg_.subPageFraction)) {
+        const std::uint32_t spp = cfg_.sectorsPerPage;
+        out.pageCount = 1;
+        const auto start =
+            static_cast<std::uint32_t>(rng_.uniformInt(0, spp - 1));
+        auto count = static_cast<std::uint32_t>(
+            1 + rng_.uniformInt(0, spp - start - 1));
+        if (start == 0 && count == spp)
+            count = spp - 1; // keep it genuinely sub-page
+        out.startSector = start;
+        out.sectorCount = count;
     }
     return true;
 }

@@ -87,6 +87,24 @@ struct SyntheticConfig
      */
     bool segregateBursts = true;
 
+    /**
+     * Fraction of requests converted into TRIMs of their address range
+     * (0 = none, the page-granular classic). Trims deallocate data the
+     * host no longer needs — the invalidity source the sector-mask
+     * ablation feeds on.
+     */
+    double trimFraction = 0.0;
+
+    /**
+     * Fraction of requests narrowed to a sub-page sector range on a
+     * single page (0 = none). Models the small metadata/log I/O that
+     * partially overwrites or deallocates flash pages.
+     */
+    double subPageFraction = 0.0;
+
+    /** Sectors per page for sub-page narrowing (match the geometry). */
+    std::uint32_t sectorsPerPage = 16;
+
     /** Generator seed (independent of the device seed). */
     std::uint64_t seed = 1;
 };

@@ -13,13 +13,19 @@
 
 namespace ida::workload {
 
-/** One host I/O, page-granular. */
+/** One host I/O; page-granular unless sectorCount narrows it. */
 struct IoRequest
 {
     sim::Time arrival{};
     bool isRead = true;
+    /** TRIM/deallocate instead of a data transfer (isRead ignored). */
+    bool isTrim = false;
     flash::Lpn startPage = 0;
     std::uint32_t pageCount = 1;
+    /** First sector touched, relative to startPage's first sector. */
+    std::uint32_t startSector = 0;
+    /** Sectors touched; 0 = whole pages (the page-granular default). */
+    std::uint32_t sectorCount = 0;
 };
 
 /**

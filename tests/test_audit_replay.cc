@@ -31,6 +31,8 @@ struct Scenario
     std::uint64_t seed = 1;
     bool ida = false;
     bool writeBuffer = false;
+    bool readCache = false;
+    bool subPage = false; ///< sub-page reads/writes/TRIMs in the mix
     std::uint64_t ops = 400;
 };
 
@@ -59,6 +61,9 @@ runScenario(const Scenario &sc)
     cfg.ftl.maxConcurrentRefresh = 2;
     if (sc.writeBuffer)
         cfg.ftl.writeBuffer.capacityPages = 48;
+    if (sc.readCache)
+        cfg.ftl.readCache.capacityPages = 32;
+    const std::uint32_t spp = cfg.geometry.sectorsPerPage();
 
     ssd::Ssd ssd(cfg);
     const std::uint64_t footprint = ssd.logicalPages() * 8 / 10;
@@ -78,10 +83,26 @@ runScenario(const Scenario &sc)
         auto lpn =
             static_cast<flash::Lpn>(rng.uniformInt(0, footprint - 1));
         if (kind < 0.08) {
-            // TRIM is a synchronous FTL metadata op with no device
-            // entry point; fire it as an event at its "arrival" time.
-            ssd.events().schedule(
-                t, [ftl = &ssd.ftl(), lpn] { ftl->hostTrim(lpn); });
+            if (sc.subPage && rng.uniform01() < 0.5) {
+                // Sub-page TRIM through the host interface: partially
+                // invalidates the page (or kills it when the range
+                // covers the last live sectors).
+                ssd::HostRequest tr;
+                tr.arrival = t;
+                tr.isTrim = true;
+                tr.startPage = lpn;
+                tr.pageCount = 1;
+                tr.startSector = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, spp - 1));
+                tr.sectorCount = static_cast<std::uint32_t>(
+                    1 + rng.uniformInt(0, spp - 1 - tr.startSector));
+                ssd.submit(tr);
+            } else {
+                // Whole-page TRIM as a raw FTL metadata op, at its
+                // "arrival" time.
+                ssd.events().schedule(
+                    t, [ftl = &ssd.ftl(), lpn] { ftl->hostTrim(lpn); });
+            }
             continue;
         }
         ssd::HostRequest r;
@@ -89,6 +110,15 @@ runScenario(const Scenario &sc)
         r.isRead = kind < 0.45;
         r.pageCount =
             static_cast<std::uint32_t>(1 + rng.uniformInt(0, 3));
+        if (sc.subPage && rng.uniform01() < 0.4) {
+            // Sub-page data op (single page): exercises the hole-merge
+            // read path and the read-modify-write program path.
+            r.pageCount = 1;
+            r.startSector = static_cast<std::uint32_t>(
+                rng.uniformInt(0, spp - 1));
+            r.sectorCount = static_cast<std::uint32_t>(
+                1 + rng.uniformInt(0, spp - 1 - r.startSector));
+        }
         if (lpn + r.pageCount > footprint)
             lpn = footprint - r.pageCount;
         r.startPage = lpn;
@@ -151,6 +181,8 @@ TEST(AuditReplay, SeededWorkloadsStayClean)
         sc.seed = static_cast<std::uint64_t>(s);
         sc.ida = (s % 2 == 1);
         sc.writeBuffer = (s % 3 == 0);
+        sc.readCache = (s % 2 == 0);
+        sc.subPage = (s >= 2);
         const ReplayResult res = runScenario(sc);
         EXPECT_GE(res.audits, 2u) << "seed " << s
                                   << ": the auditor never ran";
@@ -161,7 +193,9 @@ TEST(AuditReplay, SeededWorkloadsStayClean)
         if (res.violations > 0) {
             ADD_FAILURE()
                 << "seed " << s << " (ida=" << sc.ida
-                << ", wb=" << sc.writeBuffer << "): " << res.summary
+                << ", wb=" << sc.writeBuffer
+                << ", cache=" << sc.readCache
+                << ", subpage=" << sc.subPage << "): " << res.summary
                 << "\nminimal failing op count: " << shrinkFailure(sc)
                 << " (of " << sc.ops << ")";
         }
@@ -178,6 +212,8 @@ TEST(AuditReplay, ReplayIsDeterministic)
     Scenario sc;
     sc.seed = 2;
     sc.ida = true;
+    sc.readCache = true;
+    sc.subPage = true;
     const ReplayResult a = runScenario(sc);
     const ReplayResult b = runScenario(sc);
     EXPECT_EQ(a.executed, b.executed);

@@ -39,7 +39,8 @@ class FixedTrace : public TraceStream
 
 TEST(MsrWriter, EmitsWellFormedRecords)
 {
-    FixedTrace t({{sim::Time{1000}, true, 3, 2}, {sim::Time{2000}, false, 10, 1}});
+    FixedTrace t({{sim::Time{1000}, true, false, 3, 2},
+                  {sim::Time{2000}, false, false, 10, 1}});
     std::ostringstream os;
     const auto n = writeMsrCsv(os, t);
     EXPECT_EQ(n, 2u);

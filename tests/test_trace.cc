@@ -364,8 +364,9 @@ TEST(TraceCrossCheck, PhaseSumsMatchObservedCompletions)
         ASSERT_TRUE(s.traced());
         EXPECT_LE(s.start, s.dieStart);
         EXPECT_LE(s.dieStart, s.senseEnd);
-        if (s.isRead())
+        if (s.isRead()) {
             EXPECT_LE(s.senseEnd, s.channelStart);
+        }
         EXPECT_LE(s.channelStart, s.channelEnd);
         EXPECT_LE(s.channelEnd, s.complete);
         const trace::SpanPhases p = trace::phasesOf(s);

@@ -174,9 +174,12 @@ TEST(Presets, ParametersDerivedFromPaperTable)
 TEST(Presets, ExtraWorkloadsSpanReadRatios)
 {
     const auto &ws = extraWorkloads();
-    ASSERT_EQ(ws.size(), 9u);
+    ASSERT_EQ(ws.size(), 10u); // nine read-ratio bins + fig10-mix
     EXPECT_NEAR(ws.front().synth.readRatio, 0.50, 1e-9);
-    EXPECT_NEAR(ws.back().synth.readRatio, 0.90, 1e-9);
+    EXPECT_NEAR(ws[8].synth.readRatio, 0.90, 1e-9);
+    EXPECT_EQ(ws.back().name, "fig10-mix");
+    EXPECT_GT(ws.back().synth.trimFraction, 0.0);
+    EXPECT_GT(ws.back().synth.subPageFraction, 0.0);
 }
 
 TEST(Presets, ScaledShrinksLengthNotRate)

@@ -53,6 +53,51 @@ TEST(WriteBufferUnit, FullBufferBypasses)
     EXPECT_TRUE(b.insert(1)); // coalescing still allowed when full
 }
 
+TEST(WriteBufferUnit, MaskedInsertsCoalesceByOr)
+{
+    WriteBufferConfig cfg;
+    cfg.capacityPages = 4;
+    WriteBuffer b(cfg);
+    EXPECT_TRUE(b.insert(1, 0x000F));
+    EXPECT_TRUE(b.insert(1, 0x00F0));
+    EXPECT_EQ(b.dirtyMask(1), 0x00FFu);
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(b.stats().coalescedWrites, 1u);
+    // The mask-less legacy entry point means "whole page".
+    EXPECT_TRUE(b.insert(2));
+    EXPECT_EQ(b.dirtyMask(2), kWholePageMask);
+
+    flash::Lpn l;
+    flash::SectorMask m = 0;
+    ASSERT_TRUE(b.popFlushCandidate(l, m));
+    EXPECT_EQ(l, 1u);
+    EXPECT_EQ(m, 0x00FFu);
+}
+
+TEST(WriteBufferUnit, PartialTrimShrinksWithoutCountingTrimmed)
+{
+    WriteBufferConfig cfg;
+    cfg.capacityPages = 4;
+    WriteBuffer b(cfg);
+    EXPECT_TRUE(b.insert(1, 0x00FF));
+
+    // A sub-page TRIM shrinks the mask in place: the entry stays (the
+    // conservation equation size == buffered - flushes - trimmed must
+    // keep balancing), counted separately as a partial trim.
+    EXPECT_FALSE(b.remove(1, 0x000F));
+    EXPECT_EQ(b.dirtyMask(1), 0x00F0u);
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(b.stats().trimmed, 0u);
+    EXPECT_EQ(b.stats().partialTrims, 1u);
+
+    // Clearing the rest fully drops the entry.
+    EXPECT_TRUE(b.remove(1, 0x00F0));
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.stats().trimmed, 1u);
+    EXPECT_FALSE(b.remove(1, 0x000F)); // absent: no-op
+    EXPECT_EQ(b.stats().trimmed, 1u);
+}
+
 TEST(WriteBufferUnit, WatermarkTriggersFlush)
 {
     WriteBufferConfig cfg;

@@ -58,6 +58,7 @@ const std::vector<std::string> kHotPathDirs = {
     "src/sim/",
     "src/flash/",
     "src/ftl/",
+    "src/cache/", // read-cache lookups sit on every host-read dispatch
 };
 
 bool
