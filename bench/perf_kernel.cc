@@ -15,13 +15,25 @@
  *     (queue depth 16, the paper's saturation setup) of the first paper
  *     workload at IDA_PERF_SCALE (default 0.15) of its full length,
  *     counting measured host I/Os against the run's wall clock. This is
- *     the metric every figure/table harness is bound by.
+ *     the metric every figure/table harness is bound by. Two variant
+ *     legs re-run the same workload to price the read-path features a
+ *     page-granular closed loop never touches:
+ *       - sector mode: half the requests narrowed to sub-page sector
+ *         ranges (exercises the mask-merge path and sector validity);
+ *       - rcache: a 4096-page controller read cache enabled (exercises
+ *         the cache probe/fill/invalidate path on every host I/O).
  *
  * Emits $IDA_RESULTS_DIR/BENCH_kernel.json with the schema
  *   { "bench": "perf_kernel", "commit": <IDA_BENCH_COMMIT or "unknown">,
- *     "events_per_sec": N, "ios_per_sec": N, "wall_ms": N }
+ *     "events_per_sec": N, "ios_per_sec": N,
+ *     "ios_per_sec_sector": N, "ios_per_sec_rcache": N,
+ *     "wall_ms": N, "config": { geometry/coding/build fingerprint } }
  * so every PR can record its numbers next to the committed baseline in
- * bench/baselines/ (see docs/PERF.md for the comparison workflow).
+ * bench/baselines/ (see docs/PERF.md for the comparison workflow). The
+ * config fingerprint exists so a baseline diff can distinguish "the
+ * code got slower" from "the benchmark is measuring a different device
+ * or build" — tools/check_bench_json.sh refuses a baseline comparison
+ * when fingerprints disagree.
  *
  * Wall-clock results are machine-dependent by nature; compare only
  * numbers measured on the same machine.
@@ -150,6 +162,86 @@ class ActorBench
     std::uint64_t checksum_ = 0;
 };
 
+const char *
+codingName(ida::ssd::CodingChoice c)
+{
+    using ida::ssd::CodingChoice;
+    switch (c) {
+    case CodingChoice::Tlc124:
+        return "Tlc124";
+    case CodingChoice::Tlc232:
+        return "Tlc232";
+    case CodingChoice::Mlc12:
+        return "Mlc12";
+    case CodingChoice::Qlc1248:
+        return "Qlc1248";
+    }
+    return "unknown";
+}
+
+/** One closed-loop leg; prints and returns its ios/sec. */
+double
+fig10Leg(const char *label, const ida::ssd::SsdConfig &cfg,
+         const ida::workload::WorkloadPreset &preset)
+{
+    const ida::workload::RunResult res =
+        ida::workload::runClosedLoop(cfg, preset, 16);
+    const double ios =
+        static_cast<double>(res.measuredReads + res.measuredWrites);
+    const double per_sec =
+        res.wallSeconds > 0.0 ? ios / res.wallSeconds : 0.0;
+    std::printf("  ios/sec[%s]: %.0f  (%.0f measured IOs in %.2fs "
+                "wall)\n",
+                label, per_sec, ios, res.wallSeconds);
+    return per_sec;
+}
+
+/**
+ * The config/build fingerprint: everything that would make two
+ * BENCH_kernel.json records incomparable even on the same machine.
+ */
+void
+writeFingerprint(ida::stats::JsonWriter &w, const ida::ssd::SsdConfig &cfg)
+{
+    using ida::stats::JsonWriter;
+    const ida::flash::Geometry &g = cfg.geometry;
+    w.key("config");
+    w.beginObject();
+    w.key("geometry");
+    w.beginObject();
+    w.field("channels", std::uint64_t{g.channels});
+    w.field("chips_per_channel", std::uint64_t{g.chipsPerChannel});
+    w.field("dies_per_chip", std::uint64_t{g.diesPerChip});
+    w.field("planes_per_die", std::uint64_t{g.planesPerDie});
+    w.field("blocks_per_plane", std::uint64_t{g.blocksPerPlane});
+    w.field("pages_per_block", std::uint64_t{g.pagesPerBlock});
+    w.field("page_size_bytes", std::uint64_t{g.pageSizeBytes});
+    w.field("sector_size_bytes", std::uint64_t{g.sectorSizeBytes});
+    w.endObject();
+    w.field("coding", codingName(cfg.coding));
+    w.field("system", cfg.systemLabel());
+    w.key("build");
+    w.beginObject();
+    w.field("compiler", __VERSION__);
+#ifdef NDEBUG
+    w.field("ndebug", true);
+#else
+    w.field("ndebug", false);
+#endif
+#ifdef IDA_AUDIT
+    w.field("audit", true);
+#else
+    w.field("audit", false);
+#endif
+#ifdef IDA_TRACE
+    w.field("trace", true);
+#else
+    w.field("trace", false);
+#endif
+    w.endObject();
+    w.endObject();
+}
+
 } // namespace
 
 int
@@ -174,19 +266,28 @@ main()
     std::printf("  events/sec: %.0f  (%llu events)\n", events_per_sec,
                 static_cast<unsigned long long>(raw.executed()));
 
-    // Stage 2: fig10-shaped end-to-end run (closed loop, depth 16).
+    // Stage 2: fig10-shaped end-to-end runs (closed loop, depth 16).
     ssd::SsdConfig cfg = ssd::SsdConfig::paperTlc();
     cfg.ftl.enableIda = true;
     cfg.adjustErrorRate = 0.20;
     const workload::WorkloadPreset preset =
         workload::scaled(workload::paperWorkloads().front(), scale);
-    const workload::RunResult res = workload::runClosedLoop(cfg, preset, 16);
-    const double ios = static_cast<double>(res.measuredReads +
-                                           res.measuredWrites);
-    const double ios_per_sec =
-        res.wallSeconds > 0.0 ? ios / res.wallSeconds : 0.0;
-    std::printf("  ios/sec: %.0f  (%.0f measured IOs in %.2fs wall)\n",
-                ios_per_sec, ios, res.wallSeconds);
+    const double ios_per_sec = fig10Leg("fig10", cfg, preset);
+
+    // Sector-mode leg: half the stream narrowed to sub-page ranges so
+    // the mask-merge and sector-validity paths are priced too.
+    workload::WorkloadPreset sector_preset = preset;
+    sector_preset.synth.subPageFraction = 0.5;
+    sector_preset.synth.sectorsPerPage = cfg.geometry.sectorsPerPage();
+    const double ios_per_sec_sector =
+        fig10Leg("sector", cfg, sector_preset);
+
+    // Read-cache leg: same stream behind a 4096-page controller cache
+    // (every host read probes it; repeated reads hit DRAM).
+    ssd::SsdConfig rcache_cfg = cfg;
+    rcache_cfg.ftl.readCache.capacityPages = 4096;
+    const double ios_per_sec_rcache =
+        fig10Leg("rcache", rcache_cfg, preset);
 
     const double wall_ms = 1000.0 * secondsSince(total_start);
     std::printf("  total wall: %.0f ms\n", wall_ms);
@@ -209,7 +310,10 @@ main()
         w.field("commit", commit);
         w.field("events_per_sec", events_per_sec);
         w.field("ios_per_sec", ios_per_sec);
+        w.field("ios_per_sec_sector", ios_per_sec_sector);
+        w.field("ios_per_sec_rcache", ios_per_sec_rcache);
         w.field("wall_ms", wall_ms);
+        writeFingerprint(w, cfg);
         w.endObject();
         os << "\n";
     }

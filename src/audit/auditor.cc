@@ -380,23 +380,23 @@ Auditor::checkBlockAccounting()
     std::vector<std::uint64_t> freeByPlane(geom.planes(), 0);
     std::uint64_t closed = 0;
     for (flash::BlockId b = 0; b < geom.blocks(); ++b) {
-        const auto &m = bm.meta(b);
+        const auto m = bm.meta(b);
         const auto &blk = chips.block(b);
-        if (m.hostActive && m.internalActive)
+        if (m.hostActive() && m.internalActive())
             fail(cat("block ", b, ": both host- and internal-active"));
-        if (m.inFreePool) {
+        if (m.inFreePool()) {
             ++freeByPlane[geom.planeOfBlock(b)];
-            if (m.hostActive || m.internalActive)
+            if (m.hostActive() || m.internalActive())
                 fail(cat("block ", b, ": pooled but active"));
-            if (m.busyWithJob)
+            if (m.busyWithJob())
                 fail(cat("block ", b, ": pooled but busy with a job"));
             if (!blk.isErased())
                 fail(cat("block ", b, ": pooled but not erased"));
-        } else if (!m.hostActive && !m.internalActive) {
+        } else if (!m.hostActive() && !m.internalActive()) {
             ++closed;
         }
-        if (m.refreshedAt > now + refreshSlack)
-            fail(cat("block ", b, ": refreshedAt ", m.refreshedAt,
+        if (m.refreshedAt() > now + refreshSlack)
+            fail(cat("block ", b, ": refreshedAt ", m.refreshedAt(),
                      " is in the future (now ", now, ")"));
         if (blk.programTime() > now)
             fail(cat("block ", b, ": programTime ", blk.programTime(),

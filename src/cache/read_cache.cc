@@ -8,23 +8,58 @@ ReadCache::ReadCache(const ReadCacheConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.dramLatency < sim::Time{})
         sim::fatal("ReadCache: dramLatency must be non-negative");
+    slots_.reserve(cfg_.capacityPages);
+}
+
+void
+ReadCache::unlink(std::uint32_t s)
+{
+    Line &l = slots_[s];
+    if (l.prev != kNilLine)
+        slots_[l.prev].next = l.next;
+    else
+        head_ = l.next;
+    if (l.next != kNilLine)
+        slots_[l.next].prev = l.prev;
+    else
+        tail_ = l.prev;
+}
+
+void
+ReadCache::pushFront(std::uint32_t s)
+{
+    Line &l = slots_[s];
+    l.prev = kNilLine;
+    l.next = head_;
+    if (head_ != kNilLine)
+        slots_[head_].prev = s;
+    head_ = s;
+    if (tail_ == kNilLine)
+        tail_ = s;
 }
 
 flash::SectorMask
 ReadCache::lookup(flash::Lpn lpn)
 {
+    // Empty covers disabled too: skip the hash probe entirely.
+    if (lines_.empty())
+        return 0;
     const auto it = lines_.find(lpn);
     if (it == lines_.end())
         return 0;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->sectors;
+    const std::uint32_t s = it->second;
+    if (s != head_) {
+        unlink(s);
+        pushFront(s);
+    }
+    return slots_[s].sectors;
 }
 
 flash::SectorMask
 ReadCache::peek(flash::Lpn lpn) const
 {
     const auto it = lines_.find(lpn);
-    return it == lines_.end() ? 0 : it->second->sectors;
+    return it == lines_.end() ? 0 : slots_[it->second].sectors;
 }
 
 void
@@ -34,31 +69,52 @@ ReadCache::insert(flash::Lpn lpn, flash::SectorMask sectors)
         return;
     const auto it = lines_.find(lpn);
     if (it != lines_.end()) {
-        it->second->sectors |= sectors;
-        lru_.splice(lru_.begin(), lru_, it->second);
+        const std::uint32_t s = it->second;
+        slots_[s].sectors |= sectors;
+        if (s != head_) {
+            unlink(s);
+            pushFront(s);
+        }
         return;
     }
     if (lines_.size() >= cfg_.capacityPages) {
-        const Line &victim = lru_.back();
-        lines_.erase(victim.lpn);
-        lru_.pop_back();
+        const std::uint32_t victim = tail_;
+        lines_.erase(slots_[victim].lpn);
+        unlink(victim);
+        slots_[victim].next = freeLine_;
+        freeLine_ = victim;
         ++stats_.evictions;
     }
-    lru_.push_front(Line{lpn, sectors});
-    lines_.emplace(lpn, lru_.begin());
+    std::uint32_t s;
+    if (freeLine_ != kNilLine) {
+        s = freeLine_;
+        freeLine_ = slots_[s].next;
+    } else {
+        s = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(Line{});
+    }
+    slots_[s].lpn = lpn;
+    slots_[s].sectors = sectors;
+    pushFront(s);
+    lines_.emplace(lpn, s);
     ++stats_.fills;
 }
 
 void
 ReadCache::invalidate(flash::Lpn lpn, flash::SectorMask sectors)
 {
+    if (lines_.empty())
+        return;
     const auto it = lines_.find(lpn);
     if (it == lines_.end())
         return;
-    it->second->sectors &= ~sectors;
+    const std::uint32_t s = it->second;
+    slots_[s].sectors &= ~sectors;
     ++stats_.invalidations;
-    if (it->second->sectors == 0) {
-        lru_.erase(it->second);
+    if (slots_[s].sectors == 0) {
+        unlink(s);
+        slots_[s].next = freeLine_;
+        freeLine_ = s;
         lines_.erase(it);
     }
 }

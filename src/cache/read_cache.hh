@@ -25,8 +25,8 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "flash/geometry.hh"
 #include "sim/time.hh"
@@ -100,26 +100,43 @@ class ReadCache
     void noteMiss() { ++stats_.misses; }
     void noteMergedFill() { ++stats_.mergedFills; }
 
-    /** Iterate every cached line (audit checks). */
+    /** Iterate every cached line, MRU first (audit checks). */
     template <typename Fn>
     void
     forEachLine(Fn &&fn) const
     {
-        for (const auto &line : lru_)
-            fn(line.lpn, line.sectors);
+        for (std::uint32_t s = head_; s != kNilLine; s = slots_[s].next)
+            fn(slots_[s].lpn, slots_[s].sectors);
     }
 
   private:
+    /*
+     * The LRU is an index-linked list through a contiguous slot vector
+     * (the seed's std::list allocated a node per line and every
+     * promotion chased list pointers across the heap — this is on the
+     * host-read critical path). Slots recycle through a free list, so
+     * the vector stops growing at capacity.
+     */
     struct Line
     {
         flash::Lpn lpn;
         flash::SectorMask sectors;
+        std::uint32_t prev;
+        std::uint32_t next;
     };
+
+    static constexpr std::uint32_t kNilLine = ~std::uint32_t{0};
+
+    void unlink(std::uint32_t s);
+    void pushFront(std::uint32_t s);
 
     ReadCacheConfig cfg_;
     ReadCacheStats stats_;
-    std::list<Line> lru_; // front = most recently used
-    std::unordered_map<flash::Lpn, std::list<Line>::iterator> lines_;
+    std::vector<Line> slots_;
+    std::uint32_t head_ = kNilLine; // most recently used
+    std::uint32_t tail_ = kNilLine; // eviction victim
+    std::uint32_t freeLine_ = kNilLine;
+    std::unordered_map<flash::Lpn, std::uint32_t> lines_;
 };
 
 } // namespace ida::cache

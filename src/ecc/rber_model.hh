@@ -81,9 +81,28 @@ class RberModel
      * roundsNeeded plus Bernoulli rounding of the fractional part, so
      * a page sitting between thresholds sometimes needs one more round
      * (sub-threshold charge variation across reads).
+     *
+     * Served from the precomputed rounds table: no transcendental math
+     * per read (this sits on the per-read dispatch path).
      */
     int sampleRounds(std::uint32_t pe_cycles, sim::Time retention,
                      sim::Rng &rng) const;
+
+    /**
+     * Fractional extra-rounds requirement
+     * log(rber / hardDecisionLimit) / log(perRoundGain), uncapped;
+     * <= 0 means the hard decode succeeds. Served from the table —
+     * exact at every (pe-bucket, retention-bucket) knot pair, within
+     * ~0.01 rounds between knots (the interpolation error bound the
+     * table property test pins).
+     */
+    double fractionalRounds(std::uint32_t pe_cycles,
+                            sim::Time retention) const;
+
+    /** Knot positions of the table axes (exposed for the table test). */
+    double peKnot(int i) const;
+    sim::Time retentionKnot(int j) const;
+    static constexpr int knotCount() { return kKnots; }
 
     /**
      * Retention age at which a page of @p pe_cycles wear first needs
@@ -92,7 +111,30 @@ class RberModel
     sim::Time retryOnsetRetention(std::uint32_t pe_cycles) const;
 
   private:
+    double fractionalRoundsExact(double pe, double ticks) const;
+
     RberConfig cfg_;
+
+    /*
+     * Amortized retry sampling. k(pe, t) separates into
+     * wear(pe) + ret(t) - offset because RBER is a product of per-axis
+     * powers, so the (pe-bucket x retention-bucket) rounds table stores
+     * one sampled axis each and sampleRounds() reconstructs any cell
+     * with two interpolated loads and an add. Axis span is
+     * kSpanScales x the config scale — beyond it every sane config is
+     * already past maxExtraRounds, but lookups fall back to the closed
+     * form so exotic configs stay exact.
+     */
+    static constexpr int kKnots = 257;
+    static constexpr double kSpanScales = 32.0;
+    double wearK_[kKnots];
+    double retK_[kKnots];
+    double peMax_ = 0.0;
+    double retMax_ = 0.0;
+    double peStepInv_ = 0.0;
+    double retStepInv_ = 0.0;
+    double invLogGain_ = 0.0;
+    double roundsOffset_ = 0.0;
 };
 
 } // namespace ida::ecc

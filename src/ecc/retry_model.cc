@@ -23,7 +23,42 @@ RetryModel::RetryModel(std::vector<double> round_probs)
         sim::fatal("RetryModel: probabilities must sum to 1");
     // Deliberately no cdf_.back() = 1.0 rewrite here: snapping the tail
     // would mask accumulation drift the fatal check above exists to
-    // catch. sampleRounds clamps instead.
+    // catch. The alias build normalizes by the actual sum instead.
+    buildAlias(round_probs, sum);
+}
+
+void
+RetryModel::buildAlias(const std::vector<double> &round_probs, double sum)
+{
+    const std::size_t n = round_probs.size();
+    aliasProb_.assign(n, 1.0);
+    aliasIdx_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        aliasIdx_[i] = static_cast<int>(i);
+    if (n < 2)
+        return;
+    // Vose's method: split mass into n equal columns, each holding at
+    // most two rounds. Deterministic: the worklists fill in ascending
+    // round order and drain LIFO, so equal ladders build equal tables.
+    std::vector<double> scaled(n);
+    std::vector<std::size_t> small;
+    std::vector<std::size_t> large;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = round_probs[i] * static_cast<double>(n) / sum;
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::size_t s = small.back();
+        small.pop_back();
+        const std::size_t l = large.back();
+        large.pop_back();
+        aliasProb_[s] = scaled[s];
+        aliasIdx_[s] = static_cast<int>(l);
+        scaled[l] -= 1.0 - scaled[s];
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Leftovers on either list sit within rounding error of a full
+    // column; their default aliasProb_ of 1.0 is the exact answer.
 }
 
 int
@@ -31,17 +66,15 @@ RetryModel::sampleRounds(sim::Rng &rng) const
 {
     if (cdf_.size() == 1)
         return 0;
-    const double u = rng.uniform01();
-    // upper_bound: a draw exactly equal to a CDF entry belongs to the
-    // *next* round. With lower_bound, u == cdf_[k] (reachable for
-    // exactly-representable entries like lateLife's 0.50) was assigned
-    // to round k, biasing the boundary rounds low.
-    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
-    // Tail drift within the 1e-6 tolerance can leave cdf_.back()
-    // fractionally below a u drawn near 1; clamp to the last round.
-    if (it == cdf_.end())
-        --it;
-    return static_cast<int>(it - cdf_.begin());
+    // One uniform draw selects a column (integer part) and the coin
+    // within it (fractional part): constant-time, no CDF search.
+    const double x =
+        rng.uniform01() * static_cast<double>(aliasProb_.size());
+    std::size_t i = static_cast<std::size_t>(x);
+    if (i >= aliasProb_.size())
+        i = aliasProb_.size() - 1;
+    const double f = x - static_cast<double>(i);
+    return f < aliasProb_[i] ? static_cast<int>(i) : aliasIdx_[i];
 }
 
 double

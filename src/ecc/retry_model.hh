@@ -30,7 +30,12 @@ class RetryModel
      */
     explicit RetryModel(std::vector<double> round_probs);
 
-    /** Draw the number of extra rounds for one read. */
+    /**
+     * Draw the number of extra rounds for one read. One uniform draw
+     * through a Vose alias table: O(1) regardless of ladder length (the
+     * seed's CDF binary search was a measurable per-read cost on the
+     * dispatch path).
+     */
     int sampleRounds(sim::Rng &rng) const;
 
     /** Expected extra rounds per read. */
@@ -57,7 +62,20 @@ class RetryModel
     static RetryModel lifetimePhase(double severity);
 
   private:
+    void buildAlias(const std::vector<double> &round_probs, double sum);
+
+    /** CDF kept for meanRounds()/maxRounds() and introspection. */
     std::vector<double> cdf_;
+
+    /*
+     * Vose alias table: column i covers round i with probability
+     * aliasProb_[i] and donates the rest to round aliasIdx_[i]. The
+     * build normalizes by the ladder's actual sum, so tail drift within
+     * the constructor's 1e-6 tolerance still yields a full partition of
+     * [0, 1) — no end-clamp needed at sample time.
+     */
+    std::vector<double> aliasProb_;
+    std::vector<int> aliasIdx_;
 };
 
 } // namespace ida::ecc

@@ -1,26 +1,58 @@
 #include "flash/block.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace ida::flash {
 
 Block::Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell,
-             std::uint32_t sectors_per_page)
+             std::uint32_t sectors_per_page, sim::Arena &arena)
     : bits_(bits_per_cell),
       sectorsPerPage_(sectors_per_page),
+      numPages_(pages_per_block),
+      numWordlines_(pages_per_block / bits_per_cell),
       fullSectorMask_(sectors_per_page >= 32
                           ? ~SectorMask{0}
-                          : ((SectorMask{1} << sectors_per_page) - 1)),
-      pages_(pages_per_block, PageState::Free),
-      sectorValid_(pages_per_block, 0),
-      wlMask_(pages_per_block / bits_per_cell,
-              fullMask(static_cast<int>(bits_per_cell))),
-      wlInvalid_(pages_per_block / bits_per_cell, 0)
+                          : ((SectorMask{1} << sectors_per_page) - 1))
 {
     if (pages_per_block % bits_per_cell != 0)
         sim::panic("Block: pagesPerBlock must divide by bitsPerCell");
     if (sectors_per_page == 0 || sectors_per_page > 32)
         sim::panic("Block: sectorsPerPage must be in [1, 32]");
+    attachArrays(arena);
+}
+
+Block::Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell,
+             std::uint32_t sectors_per_page)
+    : bits_(bits_per_cell),
+      sectorsPerPage_(sectors_per_page),
+      numPages_(pages_per_block),
+      numWordlines_(pages_per_block / bits_per_cell),
+      fullSectorMask_(sectors_per_page >= 32
+                          ? ~SectorMask{0}
+                          : ((SectorMask{1} << sectors_per_page) - 1)),
+      backing_(std::make_unique<sim::Arena>(
+          // Exactly one chunk: pages + sectors + the two wl arrays.
+          pages_per_block * (sizeof(PageState) + sizeof(SectorMask)) +
+          2 * (pages_per_block / bits_per_cell) * sizeof(LevelMask) + 16))
+{
+    if (pages_per_block % bits_per_cell != 0)
+        sim::panic("Block: pagesPerBlock must divide by bitsPerCell");
+    if (sectors_per_page == 0 || sectors_per_page > 32)
+        sim::panic("Block: sectorsPerPage must be in [1, 32]");
+    attachArrays(*backing_);
+}
+
+void
+Block::attachArrays(sim::Arena &arena)
+{
+    pages_ = arena.allocate<PageState>(numPages_);
+    sectorValid_ = arena.allocate<SectorMask>(numPages_);
+    wlMask_ = arena.allocate<LevelMask>(numWordlines_);
+    wlInvalid_ = arena.allocate<LevelMask>(numWordlines_);
+    std::fill(wlMask_, wlMask_ + numWordlines_,
+              fullMask(static_cast<int>(bits_)));
 }
 
 int
@@ -126,11 +158,11 @@ Block::applyIda(std::uint32_t wl, LevelMask validMask)
 void
 Block::erase()
 {
-    std::fill(pages_.begin(), pages_.end(), PageState::Free);
-    std::fill(sectorValid_.begin(), sectorValid_.end(), SectorMask{0});
-    std::fill(wlMask_.begin(), wlMask_.end(),
+    std::fill(pages_, pages_ + numPages_, PageState::Free);
+    std::fill(sectorValid_, sectorValid_ + numPages_, SectorMask{0});
+    std::fill(wlMask_, wlMask_ + numWordlines_,
               fullMask(static_cast<int>(bits_)));
-    std::fill(wlInvalid_.begin(), wlInvalid_.end(), LevelMask{0});
+    std::fill(wlInvalid_, wlInvalid_ + numWordlines_, LevelMask{0});
     writePtr_ = 0;
     validCount_ = 0;
     ++eraseCount_;

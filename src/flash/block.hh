@@ -13,10 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "flash/coding.hh"
 #include "flash/geometry.hh"
+#include "sim/arena.hh"
 #include "sim/time.hh"
 
 namespace ida::audit::testing {
@@ -28,22 +29,33 @@ namespace ida::flash {
 /** Lifecycle of one physical page. */
 enum class PageState : std::uint8_t { Free, Valid, Invalid };
 
-/** Block-level physical and coding state. */
+/**
+ * Block-level physical and coding state.
+ *
+ * The per-page and per-wordline arrays are *views* into a device-wide
+ * arena (sim::Arena): every block of a ChipArray draws its four arrays
+ * from the same few contiguous chunks, so the read critical path
+ * (page state, wordline mask, wordline invalid-mask cache) walks
+ * cache-line-packed memory instead of one heap vector per block. The
+ * standalone constructor (unit tests, cell-level studies) allocates a
+ * private backing buffer and points the same views at it.
+ */
 class Block
 {
   public:
+    /** Standalone block: owns its backing storage. */
     Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell,
           std::uint32_t sectors_per_page = 1);
 
+    /** Arena-backed block: arrays carved from @p arena by the device. */
+    Block(std::uint32_t pages_per_block, std::uint32_t bits_per_cell,
+          std::uint32_t sectors_per_page, sim::Arena &arena);
+
     /** Number of pages. */
-    std::uint32_t numPages() const {
-        return static_cast<std::uint32_t>(pages_.size());
-    }
+    std::uint32_t numPages() const { return numPages_; }
 
     /** Number of wordlines. */
-    std::uint32_t numWordlines() const {
-        return static_cast<std::uint32_t>(wlMask_.size());
-    }
+    std::uint32_t numWordlines() const { return numWordlines_; }
 
     std::uint32_t bitsPerCell() const { return bits_; }
 
@@ -176,18 +188,25 @@ class Block
     // Fault injection for the auditor's negative tests only.
     friend struct ida::audit::testing::BlockPeer;
 
+    /** Carve the four arrays from @p arena and reset them to erased. */
+    void attachArrays(sim::Arena &arena);
+
     std::uint32_t bits_;
     std::uint32_t sectorsPerPage_;
+    std::uint32_t numPages_;
+    std::uint32_t numWordlines_;
     SectorMask fullSectorMask_;
-    std::vector<PageState> pages_;
-    std::vector<SectorMask> sectorValid_; // valid sectors of each page
-    std::vector<LevelMask> wlMask_;
-    std::vector<LevelMask> wlInvalid_; // cache: Invalid levels per wordline
+    PageState *pages_ = nullptr;
+    SectorMask *sectorValid_ = nullptr; // valid sectors of each page
+    LevelMask *wlMask_ = nullptr;
+    LevelMask *wlInvalid_ = nullptr; // cache: Invalid levels per wordline
     std::uint32_t writePtr_ = 0;
     std::uint32_t validCount_ = 0;
     std::uint32_t eraseCount_ = 0;
     sim::Time programTime_{};
     bool idaBlock_ = false;
+    /** Standalone blocks only; arena-backed blocks leave this empty. */
+    std::unique_ptr<sim::Arena> backing_;
 };
 
 } // namespace ida::flash

@@ -1,5 +1,6 @@
 #include "flash/chip.hh"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -16,10 +17,20 @@ ChipArray::ChipArray(const Geometry &geom, const FlashTiming &timing,
     if (static_cast<std::uint32_t>(coding_.bits()) != geom_.bitsPerCell)
         sim::fatal("ChipArray: coding scheme bit density does not match "
                    "geometry bitsPerCell");
+    // Size the arena's chunk so the whole device's block arrays (and the
+    // FTL tables carved from the same arena later) land in a handful of
+    // contiguous chunks: per-block cost is pages * (state + sector mask)
+    // plus two per-wordline mask bytes.
+    const std::size_t perBlock =
+        geom_.pagesPerBlock * (sizeof(PageState) + sizeof(SectorMask)) +
+        2 * geom_.wordlinesPerBlock() * sizeof(LevelMask) + 16;
+    arena_ = std::make_unique<sim::Arena>(
+        std::max<std::size_t>(std::size_t{1} << 22,
+                              perBlock * geom_.blocks()));
     blocks_.reserve(geom_.blocks());
     for (std::uint64_t b = 0; b < geom_.blocks(); ++b)
         blocks_.emplace_back(geom_.pagesPerBlock, geom_.bitsPerCell,
-                             geom_.sectorsPerPage());
+                             geom_.sectorsPerPage(), *arena_);
     dies_.resize(geom_.dies());
     channelFree_.assign(geom_.channels, sim::Time{});
 }
@@ -232,10 +243,25 @@ ChipArray::enqueue(DieId die, Command cmd)
         d.readQ.push_back(std::move(cmd));
     else
         d.otherQ.push_back(std::move(cmd));
-    if (!d.busy)
+    if (!d.busy) {
         tryStart(die);
-    else if (is_host_read)
+    } else if (!d.endArmed) {
+        // The die is held by a read whose end event was elided. If the
+        // sense window already passed, the die has really been idle
+        // since endTime — start the new command now; otherwise arm the
+        // deferred end event so the command starts at sense completion.
+        if (events_.now() >= d.endTime) {
+            d.busy = false;
+            tryStart(die);
+        } else {
+            const std::uint64_t gen = d.endGen;
+            events_.schedule(d.endTime,
+                             [this, die, gen] { onDieOpEnd(die, gen); });
+            d.endArmed = true;
+        }
+    } else if (is_host_read) {
         trySuspend(die);
+    }
 }
 
 void
@@ -272,6 +298,7 @@ ChipArray::occupyDie(DieId die, sim::Time end, bool suspendable,
     Die &d = dies_[die];
     d.busy = true;
     d.suspendable = suspendable;
+    d.endArmed = true;
     d.endTime = end;
     d.runningDone = std::move(done);
     const std::uint64_t gen = ++d.endGen;
@@ -383,7 +410,19 @@ ChipArray::tryStart(DieId die)
         const std::uint32_t slot =
             acquireReadSlot(std::move(cmd.done), completion);
         events_.schedule(completion, [this, slot] { finishRead(slot); });
-        occupyDie(die, sense_done, false, nullptr);
+        if (d.readQ.empty() && d.otherQ.empty() && !d.hasSuspended) {
+            // Nothing can start at sense completion and a read parks no
+            // completion on the die: elide the die-end event (see
+            // Die::endArmed). Back-to-back reads on an uncontended die
+            // drain with one event each instead of two.
+            d.busy = true;
+            d.suspendable = false;
+            d.endArmed = false;
+            d.endTime = sense_done;
+            ++d.endGen;
+        } else {
+            occupyDie(die, sense_done, false, nullptr);
+        }
         break;
       }
       case Command::Op::Program: {

@@ -32,6 +32,7 @@
 #include "flash/coding.hh"
 #include "flash/geometry.hh"
 #include "flash/timing.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_callback.hh"
 
@@ -102,6 +103,13 @@ class ChipArray
 
     Block &block(BlockId b) { return blocks_[b]; }
     const Block &block(BlockId b) const { return blocks_[b]; }
+
+    /**
+     * The device arena backing every block's hot-state arrays. The FTL
+     * carves its own per-device tables (L2P/P2L, block metadata) from
+     * the same arena so the whole read path walks one allocation pool.
+     */
+    sim::Arena &arena() { return *arena_; }
 
     /**
      * Issue a page read.
@@ -201,6 +209,16 @@ class ChipArray
         bool busy = false;
         /** Generation of the pending die-end event (stale-event guard). */
         std::uint64_t endGen = 0;
+        /**
+         * Whether a die-end event is scheduled for the current
+         * occupancy. A read that starts with both queues empty elides
+         * its end event — it parks nothing on the die, so the event
+         * would only clear `busy` and find no work. enqueue() arms the
+         * event lazily if work arrives during the sense window; if none
+         * does, the occupancy expires by timestamp alone and the read
+         * costs one event (its completion) instead of two.
+         */
+        bool endArmed = false;
         /** End time of the op currently occupying the die. */
         sim::Time endTime{};
         /** Whether the running op may be suspended by a host read. */
@@ -257,6 +275,8 @@ class ChipArray
     const CodingScheme coding_;
     sim::EventQueue &events_;
 
+    /** Declared before blocks_: the views must not outlive the arena. */
+    std::unique_ptr<sim::Arena> arena_;
     std::vector<Block> blocks_;
     std::vector<Die> dies_;
     std::vector<sim::Time> channelFree_;

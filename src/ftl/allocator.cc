@@ -57,12 +57,12 @@ PageAllocator::allocateOn(std::uint64_t plane, bool internal)
     }
     if (b == kNoBlock) {
         b = blocks_.takeFree(plane);
-        BlockMeta &m = blocks_.meta(b);
+        auto m = blocks_.meta(b);
         if (internal)
-            m.internalActive = true;
+            m.internalActive(true);
         else
-            m.hostActive = true;
-        m.refreshedAt = chips_.now();
+            m.hostActive(true);
+        m.refreshedAt(chips_.now());
         open[plane] = b;
         if (lowFree_)
             lowFree_(plane);

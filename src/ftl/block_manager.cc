@@ -10,9 +10,12 @@ namespace ida::ftl {
 BlockManager::BlockManager(const flash::Geometry &geom,
                            flash::ChipArray &chips)
     : geom_(geom), chips_(chips),
-      meta_(geom.blocks()),
+      flags_(chips.arena().allocate<std::uint8_t>(geom.blocks())),
+      refreshedAt_(chips.arena().allocate<sim::Time>(geom.blocks())),
       freePool_(geom.planes())
 {
+    std::fill(flags_, flags_ + geom_.blocks(),
+              static_cast<std::uint8_t>(kInFreePool));
     for (std::uint64_t b = 0; b < geom_.blocks(); ++b)
         freePool_[geom_.planeOfBlock(b)].push_back(b);
 }
@@ -36,21 +39,21 @@ BlockManager::takeFree(std::uint64_t plane)
                    "over-provisioning)");
     const BlockId b = pool.front();
     pool.pop_front();
-    meta_[b].inFreePool = false;
+    flags_[b] &= static_cast<std::uint8_t>(~kInFreePool);
     return b;
 }
 
 void
 BlockManager::release(BlockId b)
 {
-    BlockMeta &m = meta_[b];
-    if (m.inFreePool)
+    const std::uint8_t f = flags_[b];
+    if (f & kInFreePool)
         sim::panic("BlockManager::release: block already free");
-    if (m.hostActive || m.internalActive)
+    if (f & (kHostActive | kInternalActive))
         sim::panic("BlockManager::release: block still active");
     if (!chips_.block(b).isErased())
         sim::panic("BlockManager::release: block not erased");
-    m = BlockMeta{};
+    meta(b).reset();
     freePool_[geom_.planeOfBlock(b)].push_back(b);
     --inUse_;
 }
@@ -58,20 +61,18 @@ BlockManager::release(BlockId b)
 void
 BlockManager::closeActive(BlockId b)
 {
-    BlockMeta &m = meta_[b];
-    if (!m.hostActive && !m.internalActive)
+    const std::uint8_t f = flags_[b];
+    if (!(f & (kHostActive | kInternalActive)))
         sim::panic("BlockManager::closeActive: block was not active");
-    m.hostActive = false;
-    m.internalActive = false;
+    flags_[b] = f & static_cast<std::uint8_t>(
+                        ~(kHostActive | kInternalActive));
     ++inUse_;
 }
 
 bool
 BlockManager::gcEligible(BlockId b) const
 {
-    const BlockMeta &m = meta_[b];
-    return !m.inFreePool && !m.hostActive && !m.internalActive &&
-           !m.busyWithJob && chips_.block(b).isFull();
+    return (flags_[b] & kNotIdle) == 0 && chips_.block(b).isFull();
 }
 
 bool
@@ -104,12 +105,16 @@ BlockManager::refreshCandidates(sim::Time now, sim::Time period) const
 {
     std::vector<BlockId> out;
     for (std::uint64_t b = 0; b < geom_.blocks(); ++b) {
-        if (!gcEligible(b))
+        // Flags-only pre-filter: the common case (free pool, active, or
+        // busy) rejects on the packed byte without touching block state.
+        if ((flags_[b] & kNotIdle) != 0)
             continue;
-        if (chips_.block(b).validCount() == 0)
+        if (now - refreshedAt_[b] < period)
+            continue;
+        const auto &blk = chips_.block(b);
+        if (!blk.isFull() || blk.validCount() == 0)
             continue; // nothing to protect; GC will reclaim it
-        if (now - meta_[b].refreshedAt >= period)
-            out.push_back(b);
+        out.push_back(b);
     }
     return out;
 }

@@ -3,6 +3,13 @@
  * FTL-side block bookkeeping: per-plane free pools, active (open) write
  * blocks, and the per-block metadata the refresh/GC policies need on top
  * of the physical flash::Block state.
+ *
+ * The metadata is stored structure-of-arrays: one packed flags byte per
+ * block plus a parallel refreshed-at timestamp array, both carved from
+ * the device arena (see flash::ChipArray::arena). The GC-victim and
+ * refresh-candidate scans walk the whole device every policy tick, so a
+ * 1-byte-per-block eligibility test keeps those sweeps inside a few KiB
+ * of cache instead of striding a 16-byte AoS record.
  */
 #pragma once
 
@@ -17,27 +24,6 @@ namespace ida::ftl {
 
 using flash::BlockId;
 
-/** FTL metadata attached to every physical block. */
-struct BlockMeta
-{
-    /** Block currently open for host writes on its plane. */
-    bool hostActive = false;
-    /** Block currently open for GC/refresh migration writes. */
-    bool internalActive = false;
-    /** Block sitting in its plane's free pool. */
-    bool inFreePool = true;
-    /** Block has a GC or refresh job operating on it right now. */
-    bool busyWithJob = false;
-    /**
-     * Set after an IDA refresh: the next refresh of this block must
-     * fall back to plain migration so the IDA block gets reclaimed
-     * (paper Sec. III-C, "After the Data Refresh").
-     */
-    bool forceMigrateNextRefresh = false;
-    /** Time the block's current data generation was refreshed/written. */
-    sim::Time refreshedAt{};
-};
-
 /**
  * Per-plane block pools plus per-block FTL metadata.
  *
@@ -47,10 +33,100 @@ struct BlockMeta
 class BlockManager
 {
   public:
+    /** Packed per-block lifecycle flags (SoA alongside refreshedAt_). */
+    enum Flag : std::uint8_t {
+        /** Block currently open for host writes on its plane. */
+        kHostActive = 1u << 0,
+        /** Block currently open for GC/refresh migration writes. */
+        kInternalActive = 1u << 1,
+        /** Block sitting in its plane's free pool. */
+        kInFreePool = 1u << 2,
+        /** Block has a GC or refresh job operating on it right now. */
+        kBusyWithJob = 1u << 3,
+        /**
+         * Set after an IDA refresh: the next refresh of this block must
+         * fall back to plain migration so the IDA block gets reclaimed
+         * (paper Sec. III-C, "After the Data Refresh").
+         */
+        kForceMigrateNextRefresh = 1u << 4,
+    };
+
+    /** Any of the states that make a block ineligible for GC/refresh. */
+    static constexpr std::uint8_t kNotIdle =
+        kHostActive | kInternalActive | kInFreePool | kBusyWithJob;
+
+    /** Mutable view of one block's metadata. */
+    class MetaRef
+    {
+      public:
+        bool hostActive() const { return *flags_ & kHostActive; }
+        bool internalActive() const { return *flags_ & kInternalActive; }
+        bool inFreePool() const { return *flags_ & kInFreePool; }
+        bool busyWithJob() const { return *flags_ & kBusyWithJob; }
+        bool forceMigrateNextRefresh() const {
+            return *flags_ & kForceMigrateNextRefresh;
+        }
+        /** Time the block's data generation was refreshed/written. */
+        sim::Time refreshedAt() const { return *refreshedAt_; }
+
+        void hostActive(bool v) { set(kHostActive, v); }
+        void internalActive(bool v) { set(kInternalActive, v); }
+        void inFreePool(bool v) { set(kInFreePool, v); }
+        void busyWithJob(bool v) { set(kBusyWithJob, v); }
+        void forceMigrateNextRefresh(bool v) {
+            set(kForceMigrateNextRefresh, v);
+        }
+        void refreshedAt(sim::Time t) { *refreshedAt_ = t; }
+
+        /** Back to the freshly-pooled state (free, untouched, young). */
+        void reset() {
+            *flags_ = kInFreePool;
+            *refreshedAt_ = sim::Time{};
+        }
+
+      private:
+        friend class BlockManager;
+        MetaRef(std::uint8_t *flags, sim::Time *refreshed_at)
+            : flags_(flags), refreshedAt_(refreshed_at)
+        {
+        }
+        void set(std::uint8_t bit, bool v) {
+            *flags_ = v ? static_cast<std::uint8_t>(*flags_ | bit)
+                        : static_cast<std::uint8_t>(*flags_ & ~bit);
+        }
+        std::uint8_t *flags_;
+        sim::Time *refreshedAt_;
+    };
+
+    /** Read-only snapshot view of one block's metadata. */
+    class ConstMetaRef
+    {
+      public:
+        bool hostActive() const { return flags_ & kHostActive; }
+        bool internalActive() const { return flags_ & kInternalActive; }
+        bool inFreePool() const { return flags_ & kInFreePool; }
+        bool busyWithJob() const { return flags_ & kBusyWithJob; }
+        bool forceMigrateNextRefresh() const {
+            return flags_ & kForceMigrateNextRefresh;
+        }
+        sim::Time refreshedAt() const { return refreshedAt_; }
+
+      private:
+        friend class BlockManager;
+        ConstMetaRef(std::uint8_t flags, sim::Time refreshed_at)
+            : flags_(flags), refreshedAt_(refreshed_at)
+        {
+        }
+        std::uint8_t flags_;
+        sim::Time refreshedAt_;
+    };
+
     BlockManager(const flash::Geometry &geom, flash::ChipArray &chips);
 
-    BlockMeta &meta(BlockId b) { return meta_[b]; }
-    const BlockMeta &meta(BlockId b) const { return meta_[b]; }
+    MetaRef meta(BlockId b) { return {flags_ + b, refreshedAt_ + b}; }
+    ConstMetaRef meta(BlockId b) const {
+        return {flags_[b], refreshedAt_[b]};
+    }
 
     std::uint32_t planes() const {
         return static_cast<std::uint32_t>(freePool_.size());
@@ -108,7 +184,9 @@ class BlockManager
 
     const flash::Geometry &geom_;
     flash::ChipArray &chips_;
-    std::vector<BlockMeta> meta_;
+    /** SoA metadata, device-arena backed: flags byte + timestamp. */
+    std::uint8_t *flags_;
+    sim::Time *refreshedAt_;
     std::vector<std::deque<BlockId>> freePool_;
     std::uint64_t inUse_ = 0;
 };

@@ -19,7 +19,7 @@ Ftl::Ftl(const flash::Geometry &geom, const FtlConfig &cfg,
       logicalPages_(static_cast<std::uint64_t>(
           std::floor(static_cast<double>(geom.pages()) *
                      (1.0 - cfg.overProvision)))),
-      mapping_(logicalPages_, geom.pages()),
+      mapping_(logicalPages_, geom.pages(), &chips.arena()),
       blocks_(geom, chips),
       allocator_(geom, chips, blocks_,
                  [this](std::uint64_t plane) { maybeStartGc(plane); }),
@@ -536,11 +536,11 @@ Ftl::finalizePreload()
                                   : cfg_.refreshPeriod;
     const auto spread = static_cast<std::uint64_t>(spreadT.count());
     for (std::uint64_t b = 0; b < geom_.blocks(); ++b) {
-        BlockMeta &m = blocks_.meta(b);
-        if (m.inFreePool)
+        auto m = blocks_.meta(b);
+        if (m.inFreePool())
             continue;
-        m.refreshedAt = events_.now() - cfg_.refreshPeriod +
-            sim::Time{rng_.uniformInt(0, spread)};
+        m.refreshedAt(events_.now() - cfg_.refreshPeriod +
+                      sim::Time{rng_.uniformInt(0, spread)});
     }
     noteInUse();
     for (std::uint64_t plane = 0; plane < geom_.planes(); ++plane)
@@ -697,7 +697,8 @@ Ftl::startRefreshCandidates()
     auto cands = blocks_.refreshCandidates(events_.now(),
                                            cfg_.refreshPeriod);
     std::sort(cands.begin(), cands.end(), [this](BlockId a, BlockId b) {
-        return blocks_.meta(a).refreshedAt < blocks_.meta(b).refreshedAt;
+        return blocks_.meta(a).refreshedAt() <
+               blocks_.meta(b).refreshedAt();
     });
     for (BlockId b : cands) {
         if (activeRefresh_ >= cfg_.maxConcurrentRefresh)

@@ -16,7 +16,7 @@ GcJob::start()
 {
     if (phase_ != Phase::Idle)
         sim::panic("GcJob::start: already started");
-    ftl_.blocks().meta(victim_).busyWithJob = true;
+    ftl_.blocks().meta(victim_).busyWithJob(true);
     phase_ = Phase::Read;
     const auto &geom = ftl_.chips().geometry();
     const auto &blk = ftl_.chips().block(victim_);

@@ -1,15 +1,26 @@
 #include "ftl/mapping.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace ida::ftl {
 
 MappingTable::MappingTable(std::uint64_t logical_pages,
-                           std::uint64_t physical_pages)
-    : l2p_(logical_pages, kInvalidPpn), p2l_(physical_pages, kInvalidLpn)
+                           std::uint64_t physical_pages, sim::Arena *arena)
+    : logicalPages_(logical_pages), physicalPages_(physical_pages)
 {
     if (logical_pages == 0 || physical_pages < logical_pages)
         sim::fatal("MappingTable: physical space must cover logical space");
+    if (arena == nullptr) {
+        backing_ = std::make_unique<sim::Arena>(
+            (logical_pages + physical_pages) * sizeof(Ppn) + 16);
+        arena = backing_.get();
+    }
+    l2p_ = arena->allocate<Ppn>(logical_pages);
+    p2l_ = arena->allocate<Lpn>(physical_pages);
+    std::fill(l2p_, l2p_ + logical_pages, kInvalidPpn);
+    std::fill(p2l_, p2l_ + physical_pages, kInvalidLpn);
 }
 
 Ppn

@@ -6,9 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "flash/geometry.hh"
+#include "sim/arena.hh"
 
 namespace ida::ftl {
 
@@ -17,14 +18,22 @@ using flash::Ppn;
 using flash::kInvalidLpn;
 using flash::kInvalidPpn;
 
-/** Flat page-level mapping table with an always-consistent inverse. */
+/**
+ * Flat page-level mapping table with an always-consistent inverse.
+ *
+ * Both directions are flat arrays carved from the device arena when one
+ * is supplied (the SSD passes its ChipArray's arena so the L2P lookup —
+ * the first hop of every host read — shares the block state's allocation
+ * pool); without an arena the table owns a private backing arena.
+ */
 class MappingTable
 {
   public:
-    MappingTable(std::uint64_t logical_pages, std::uint64_t physical_pages);
+    MappingTable(std::uint64_t logical_pages, std::uint64_t physical_pages,
+                 sim::Arena *arena = nullptr);
 
-    std::uint64_t logicalPages() const { return l2p_.size(); }
-    std::uint64_t physicalPages() const { return p2l_.size(); }
+    std::uint64_t logicalPages() const { return logicalPages_; }
+    std::uint64_t physicalPages() const { return physicalPages_; }
 
     /** Physical page of @p lpn, or kInvalidPpn when unmapped. */
     Ppn lookup(Lpn lpn) const { return l2p_[lpn]; }
@@ -49,8 +58,12 @@ class MappingTable
     std::uint64_t mappedCount() const { return mapped_; }
 
   private:
-    std::vector<Ppn> l2p_;
-    std::vector<Lpn> p2l_;
+    /** Declared before the views so they never dangle. */
+    std::unique_ptr<sim::Arena> backing_;
+    std::uint64_t logicalPages_;
+    std::uint64_t physicalPages_;
+    Ppn *l2p_;
+    Lpn *p2l_;
     std::uint64_t mapped_ = 0;
 };
 

@@ -35,7 +35,7 @@ RefreshJob::start()
 {
     if (phase_ != Phase::Idle)
         sim::panic("RefreshJob::start: already started");
-    ftl_.blocks().meta(target_).busyWithJob = true;
+    ftl_.blocks().meta(target_).busyWithJob(true);
     phase_ = Phase::ReadAll;
     const auto &geom = ftl_.chips().geometry();
     const auto &blk = ftl_.chips().block(target_);
@@ -64,7 +64,7 @@ RefreshJob::classify()
     const auto &cfg = ftl_.config();
 
     const bool idaAllowed = cfg.enableIda &&
-        !ftl_.blocks().meta(target_).forceMigrateNextRefresh;
+        !ftl_.blocks().meta(target_).forceMigrateNextRefresh();
 
     for (std::uint32_t wl = 0; wl < geom.wordlinesPerBlock(); ++wl) {
         std::vector<flash::Ppn> validHere;
@@ -233,12 +233,12 @@ void
 RefreshJob::finish(bool applied_ida)
 {
     auto &chips = ftl_.chips();
-    auto &meta = ftl_.blocks().meta(target_);
+    auto meta = ftl_.blocks().meta(target_);
 
     if (chips.block(target_).validCount() == 0) {
         // Everything was migrated (baseline flow, or IDA with every kept
         // page disturbed): reclaim the block right away.
-        meta.busyWithJob = false;
+        meta.busyWithJob(false);
         ftl_.eraseAndRelease(target_, [this] {
             finished_ = true;
             ftl_.onRefreshFinished(target_);
@@ -252,9 +252,9 @@ RefreshJob::finish(bool applied_ida)
     // The target block lives on as an IDA block; force plain migration
     // on its next refresh cycle so it is eventually reclaimed
     // (paper Sec. III-C, "After the Data Refresh").
-    meta.busyWithJob = false;
-    meta.forceMigrateNextRefresh = true;
-    meta.refreshedAt = chips.now();
+    meta.busyWithJob(false);
+    meta.forceMigrateNextRefresh(true);
+    meta.refreshedAt(chips.now());
     finished_ = true;
     ftl_.onRefreshFinished(target_);
 }

@@ -94,6 +94,10 @@ class WriteBuffer
     flash::SectorMask
     dirtyMask(flash::Lpn lpn) const
     {
+        // Probed on every host read: skip the hash when nothing is
+        // dirty (always true with the buffer disabled).
+        if (dirty_.empty())
+            return 0;
         const auto it = dirty_.find(lpn);
         return it == dirty_.end() ? 0 : it->second;
     }

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Device-lifetime bump arena for the simulator's hot-state arrays.
+ *
+ * The read critical path walks per-page and per-wordline arrays that the
+ * seed allocated as one std::vector per Block (tens of thousands of tiny
+ * heap allocations per device, scattered across the heap). The arena
+ * replaces them with a handful of large chunks handed out bump-pointer
+ * style, so every block's page-state array sits contiguously next to its
+ * neighbours and device construction is a few mmap-sized allocations
+ * instead of ~4 per block.
+ *
+ * Allocations are never freed individually — the owning device object
+ * (ChipArray) destroys the arena wholesale. That matches the usage: the
+ * arrays live exactly as long as the device, and erase() recycles their
+ * *contents*, not their storage.
+ */
+// ida-lint: allow-file(IDA002) the arena IS the slab the rule points to;
+// it touches the raw heap only when growing a chunk at construction time.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace ida::sim {
+
+/** Chunked bump allocator; allocations live until the arena dies. */
+class Arena
+{
+  public:
+    /** @p chunk_bytes sizes the growth quantum (default 4 MiB). */
+    explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 22)
+        : chunkBytes_(chunk_bytes)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate a value-initialized array of @p n objects of trivial type
+     * T. Oversized requests get a dedicated chunk, so a single huge
+     * mapping table does not strand the tail of the current chunk.
+     */
+    template <typename T>
+    T *
+    allocate(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors");
+        const std::size_t bytes = n * sizeof(T);
+        void *raw = allocateRaw(bytes, alignof(T));
+        // Value-initialize: all-zero for the trivial types stored here.
+        return new (raw) T[n]();
+    }
+
+    /** Total bytes handed out (excluding alignment padding). */
+    std::size_t bytesAllocated() const { return used_; }
+
+    /** Number of chunks backing the arena. */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    void *
+    allocateRaw(std::size_t bytes, std::size_t align)
+    {
+        const std::size_t pad =
+            (align - (reinterpret_cast<std::uintptr_t>(cur_) % align)) %
+            align;
+        if (bytes + pad > left_) {
+            const std::size_t want = std::max(chunkBytes_, bytes);
+            chunks_.push_back(std::make_unique<std::byte[]>(want));
+            cur_ = chunks_.back().get();
+            left_ = want;
+            return allocateRaw(bytes, align);
+        }
+        cur_ += pad;
+        left_ -= pad;
+        void *out = cur_;
+        cur_ += bytes;
+        left_ -= bytes;
+        used_ += bytes;
+        return out;
+    }
+
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::byte *cur_ = nullptr;
+    std::size_t left_ = 0;
+    std::size_t used_ = 0;
+    std::size_t chunkBytes_;
+};
+
+} // namespace ida::sim

@@ -1,37 +1,22 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
-#include <utility>
+#include <limits>
 
 #include "sim/log.hh"
 
 namespace ida::sim {
 
-namespace {
-
-/** 4-ary heap index arithmetic: children of i are [4i+1, 4i+4]. */
-constexpr std::size_t
-parentOf(std::size_t i)
-{
-    return (i - 1) / 4;
-}
-
-constexpr std::size_t
-firstChildOf(std::size_t i)
-{
-    return 4 * i + 1;
-}
-
-} // namespace
-
 std::uint32_t
 EventQueue::growPool()
 {
-    if (pool_.size() > Entry::kNodeMask)
-        fatal("EventQueue: more than 2^20 events pending");
-    const auto idx = static_cast<std::uint32_t>(pool_.size());
-    pool_.emplace_back();
-    return idx;
+    // Far above any plausible pending population; a runaway scheduler
+    // loop hits this instead of exhausting memory.
+    if (poolCount_ >= (std::uint32_t{1} << 26))
+        fatal("EventQueue: more than 2^26 events pending");
+    if ((poolCount_ & kChunkMask) == 0)
+        chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+    return poolCount_++;
 }
 
 void
@@ -51,92 +36,98 @@ EventQueue::notePastSchedule()
 }
 
 void
-EventQueue::siftUp(std::size_t i)
+EventQueue::appendOverflow(std::uint32_t idx)
 {
-    const Entry e = heap_[i];
-    while (i > 0) {
-        const std::size_t p = parentOf(i);
-        if (!earlier(e, heap_[p]))
-            break;
-        heap_[i] = heap_[p];
-        i = p;
-    }
-    heap_[i] = e;
+    node(idx).next = kNil;
+    if (overflowTail_ == kNil)
+        overflowHead_ = idx;
+    else
+        node(overflowTail_).next = idx;
+    overflowTail_ = idx;
 }
 
 void
-EventQueue::siftDown(std::size_t i)
+EventQueue::cascadeBucket(unsigned level, std::uint32_t slot)
 {
-    const std::size_t size = heap_.size();
-    Entry *const h = heap_.data();
-    const Entry e = h[i];
+    Bucket &b = bucket(level, slot);
+    std::uint32_t idx = b.head;
+    const std::uint32_t tail = b.tail;
+    b.head = kNil;
+    b.tail = kNil;
+    clearOccupied(level, slot);
+    // Re-place in list order: every target bucket receives its nodes in
+    // the same relative order they were appended, keeping each list
+    // sorted by seq (the FIFO-within-a-tick guarantee). The list is
+    // tail-terminated, so read the link before placeNode() relinks the
+    // node and stop at the recorded tail.
     for (;;) {
-        const std::size_t first = firstChildOf(i);
-        if (first + 3 < size) {
-            // Full four-child node (every node above the heap's ragged
-            // edge). Keys are random relative to each other, so a
-            // compare-and-branch scan would mispredict roughly every
-            // other compare; the ternaries below compile to conditional
-            // moves, leaving only the descend-or-stop branch — which is
-            // "descend" nearly every level of a pop. Keys are unique
-            // (seq component), so tie order cannot matter.
-            const std::size_t a =
-                h[first + 1].key < h[first].key ? first + 1 : first;
-            const std::size_t b =
-                h[first + 3].key < h[first + 2].key ? first + 3 : first + 2;
-            const std::size_t best = h[b].key < h[a].key ? b : a;
-            if (!earlier(h[best], e))
-                break;
-            h[i] = h[best];
-            i = best;
-        } else if (first < size) {
-            // Ragged edge: 1-3 children, at most once per sift.
-            std::size_t best = first;
-            for (std::size_t c = first + 1; c < size; ++c) {
-                if (earlier(h[c], h[best]))
-                    best = c;
-            }
-            if (!earlier(h[best], e))
-                break;
-            h[i] = h[best];
-            i = best;
-        } else {
+        const bool last = idx == tail;
+        const std::uint32_t next = last ? kNil : node(idx).next;
+        placeNode(idx);
+        if (last)
             break;
-        }
+        idx = next;
     }
-    h[i] = e;
 }
 
 void
-EventQueue::popTop()
+EventQueue::cascadeOverflow()
 {
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty())
-        siftDown(0);
+    const auto top = static_cast<std::uint64_t>(cur_) >> kTopShift;
+    std::uint32_t idx = overflowHead_;
+    overflowHead_ = kNil;
+    overflowTail_ = kNil;
+    while (idx != kNil) {
+        const std::uint32_t next = node(idx).next;
+        const auto nodeTop =
+            static_cast<std::uint64_t>(node(idx).when) >> kTopShift;
+        if (nodeTop == top)
+            placeNode(idx);
+        else
+            appendOverflow(idx);
+        idx = next;
+    }
 }
 
-void
-EventQueue::dispatchTop()
+bool
+EventQueue::openNextWindow(std::int64_t limit)
 {
-    const Entry top = heap_.front();
-    popTop();
-    now_ = top.when();
-    ++executed_;
-    // Move the callback out and recycle its slot *before* invoking:
-    // the callback may schedule new events, and the common
-    // one-event-schedules-the-next chain then reuses this very slot.
-    const std::uint32_t node = top.node();
-    Callback cb = std::move(pool_[node].cb);
-    releaseSlot(node);
-    cb();
-#ifdef IDA_AUDIT
-    if (auditEvery_ != 0 && executed_ >= nextAuditAt_) {
-        nextAuditAt_ = executed_ + auditEvery_;
-        if (auditHook_)
-            auditHook_();
+    const auto c = static_cast<std::uint64_t>(cur_);
+    // Nearest level first: higher-level slots only ever hold later
+    // times than every remaining lower-level slot.
+    for (unsigned l = 1; l < kLevels; ++l) {
+        std::uint32_t s;
+        if (!findSlot(l, slotOf(cur_, l), s))
+            continue;
+        const unsigned shift = shiftOf(l);
+        const std::uint64_t base =
+            ((c >> (shift + kLevelBits)) << (shift + kLevelBits)) |
+            (std::uint64_t{s} << shift);
+        // Never open a window past the limit: the cursor must not
+        // advance beyond times the caller allowed, or placement of
+        // later schedule() calls would disagree with the contents.
+        if (static_cast<std::int64_t>(base) > limit)
+            return false;
+        cur_ = static_cast<std::int64_t>(base);
+        cascadeBucket(l, s);
+        return true;
     }
-#endif
+    // Wheel empty but events pending: they sit past the wheel's
+    // 2^60-tick horizon. Jump to the earliest overflow top-window.
+    if (overflowHead_ == kNil)
+        return false;
+    auto minTop = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t i = overflowHead_; i != kNil; i = node(i).next) {
+        minTop = std::min(minTop,
+                          static_cast<std::uint64_t>(node(i).when) >>
+                              kTopShift);
+    }
+    const std::uint64_t base = minTop << kTopShift;
+    if (static_cast<std::int64_t>(base) > limit)
+        return false;
+    cur_ = static_cast<std::int64_t>(base);
+    cascadeOverflow();
+    return true;
 }
 
 bool
@@ -148,64 +139,134 @@ EventQueue::validateHeap(std::string *why) const
         return false;
     };
 
-    // Heap order and per-entry field sanity.
-    std::vector<char> referenced(pool_.size(), 0);
-    for (std::size_t i = 0; i < heap_.size(); ++i) {
-        const Entry &e = heap_[i];
-        if (i > 0 && !earlier(heap_[parentOf(i)], e))
-            return fail("heap order violated at index " +
-                        std::to_string(i));
-        if (e.when() < now_)
-            return fail("pending event at index " + std::to_string(i) +
-                        " is behind now()");
-        const std::uint64_t seq =
-            (static_cast<std::uint64_t>(e.key) >> Entry::kNodeBits);
-        if (seq >= nextSeq_)
-            return fail("entry sequence beyond allocation cursor at "
-                        "index " + std::to_string(i));
-        const std::uint32_t node = e.node();
-        if (node >= pool_.size())
-            return fail("entry node index out of pool range at index " +
-                        std::to_string(i));
-        if (referenced[node])
-            return fail("pool slot " + std::to_string(node) +
-                        " referenced by two heap entries");
-        referenced[node] = 1;
+    std::vector<char> referenced(poolCount_, 0);
+    std::size_t inBuckets = 0;
+    for (unsigned l = 0; l < kLevels; ++l) {
+        for (std::uint32_t s = 0; s < slotCount(l); ++s) {
+            const Bucket &b = bucket(l, s);
+            const bool bit =
+                (words_[wordBase(l) + s / 64] >> (s % 64)) & 1;
+            if ((b.head != kNil) != bit)
+                return fail("occupancy bit disagrees with bucket L" +
+                            std::to_string(l) + " slot " +
+                            std::to_string(s));
+            if (b.head == kNil) {
+                if (b.tail != kNil)
+                    return fail("empty bucket with a stale tail");
+                continue;
+            }
+            // Bucket lists are tail-terminated: walk until the node the
+            // tail names (the tail node's link is dead, never kNil).
+            std::uint64_t prevSeq = 0;
+            bool first = true;
+            for (std::uint32_t n = b.head;;) {
+                if (n >= poolCount_)
+                    return fail("bucket link out of pool range");
+                if (referenced[n])
+                    return fail("pool slot " + std::to_string(n) +
+                                " referenced twice");
+                referenced[n] = 1;
+                if (++inBuckets > poolCount_)
+                    return fail("bucket list is cyclic or misses its "
+                                "tail");
+                const Node &nd = node(n);
+                if (Time{nd.when} < now_)
+                    return fail("pending event in L" +
+                                std::to_string(l) + " slot " +
+                                std::to_string(s) + " is behind now()");
+                if (nd.seq >= nextSeq_)
+                    return fail("entry sequence beyond allocation "
+                                "cursor");
+                if (levelOf(nd.when, cur_) != l)
+                    return fail("node level disagrees with the "
+                                "placement rule");
+                if (slotOf(nd.when, l) != s)
+                    return fail("node timestamp does not match its "
+                                "slot");
+                if (!first && nd.seq <= prevSeq)
+                    return fail("bucket list breaks FIFO seq order");
+                prevSeq = nd.seq;
+                first = false;
+                if (n == b.tail)
+                    break;
+                n = nd.next;
+            }
+        }
+        for (std::uint32_t wi = 0; wi < wordCount(l); ++wi) {
+            const bool sbit =
+                (summary_[sumBase(l) + wi / 64] >> (wi % 64)) & 1;
+            if ((words_[wordBase(l) + wi] != 0) != sbit)
+                return fail("summary bit disagrees with occupancy "
+                            "word");
+        }
     }
 
-    // Free-list accounting: together with the heap references, every
+    std::size_t inOverflow = 0;
+    std::uint32_t lastOv = kNil;
+    for (std::uint32_t n = overflowHead_; n != kNil; n = node(n).next) {
+        if (n >= poolCount_)
+            return fail("overflow link out of pool range");
+        if (referenced[n])
+            return fail("pool slot " + std::to_string(n) +
+                        " referenced twice (overflow)");
+        referenced[n] = 1;
+        if (++inOverflow > poolCount_)
+            return fail("overflow list is cyclic");
+        if (levelOf(node(n).when, cur_) < kLevels)
+            return fail("overflow node belongs in the wheel");
+        lastOv = n;
+    }
+    if (lastOv != overflowTail_)
+        return fail("overflow tail does not terminate its list");
+    if (inBuckets + inOverflow != pendingCount_)
+        return fail("pending-count drift: " + std::to_string(inBuckets) +
+                    " in buckets + " + std::to_string(inOverflow) +
+                    " overflow != " + std::to_string(pendingCount_));
+
+    // Free-list accounting: together with the bucket references, every
     // pool slot must be claimed exactly once.
     std::size_t freeLen = 0;
-    for (std::uint32_t n = freeHead_; n != kNil; n = pool_[n].nextFree) {
-        if (n >= pool_.size())
+    for (std::uint32_t n = freeHead_; n != kNil; n = node(n).next) {
+        if (n >= poolCount_)
             return fail("free-list link out of pool range");
         if (referenced[n])
             return fail("pool slot " + std::to_string(n) +
-                        " on the free list and in the heap");
+                        " on the free list and in a bucket");
         referenced[n] = 1;
-        if (++freeLen > pool_.size())
+        if (++freeLen > poolCount_)
             return fail("free list is cyclic");
     }
-    if (heap_.size() + freeLen != pool_.size())
-        return fail("pool slot leak: " + std::to_string(heap_.size()) +
-                    " in heap + " + std::to_string(freeLen) +
-                    " free != " + std::to_string(pool_.size()));
+    if (pendingCount_ + freeLen != poolCount_)
+        return fail("pool slot leak: " + std::to_string(pendingCount_) +
+                    " pending + " + std::to_string(freeLen) +
+                    " free != " + std::to_string(poolCount_));
+    if (cur_ > now_.count())
+        return fail("structural cursor ahead of the clock");
     return true;
 }
 
 Time
 EventQueue::run()
 {
-    while (!heap_.empty())
-        dispatchTop();
+    constexpr auto kForever = std::numeric_limits<std::int64_t>::max();
+    for (;;) {
+        const std::uint32_t idx = popNext(kForever);
+        if (idx == kNil)
+            break;
+        dispatchNode(idx);
+    }
     return now_;
 }
 
 Time
 EventQueue::runUntil(Time limit)
 {
-    while (!heap_.empty() && heap_.front().when() <= limit)
-        dispatchTop();
+    for (;;) {
+        const std::uint32_t idx = popNext(limit.count());
+        if (idx == kNil)
+            break;
+        dispatchNode(idx);
+    }
     if (now_ < limit)
         now_ = limit;
     return now_;

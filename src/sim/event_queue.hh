@@ -17,27 +17,57 @@
  *  - Callbacks are sim::InlineCallback (fixed 64-byte inline storage,
  *    compile-time rejection of oversized captures), not std::function:
  *    zero heap traffic per event, guaranteed statically.
- *  - The priority queue is a hand-rolled 4-ary heap of 16-byte entries
- *    (when, seq and node index packed into one 128-bit key). Sift
- *    compares never touch the callbacks; a 4-ary layout halves the
- *    tree height of a binary heap, and the four children of a node fit
- *    in a single cache line.
+ *  - The priority structure is a hierarchical timing wheel: a wide
+ *    2^14-slot single-tick level 0 (so kernel-scale delays land in the
+ *    open window directly and rarely cascade) topped by four 2^12-slot
+ *    levels, spanning 2^62 ns (~146 years) of absolute simulated time.
+ *    Insert is O(1) (xor + count-leading-zeros picks the level, the
+ *    slot is a shift/mask, the event is appended to an intrusive
+ *    list); pop finds the next occupied slot with a two-level
+ *    occupancy bitmap. An event is touched at most once per level it
+ *    sinks through when its window opens (a "cascade"), so the
+ *    amortized cost per event is a handful of cheap word operations —
+ *    unlike a comparison heap there is no O(log n) sift on the
+ *    dispatch path.
  *  - Callback payloads live in a slab pool recycled through a free list.
- *    A popped node is released *before* its callback runs, so the
- *    schedule-one-more chain that dominates simulation traffic reuses
- *    the same slot over and over; in the steady state neither the heap
- *    nor the pool ever grows.
+ *    The slab grows in fixed-size chunks with stable addresses, so a
+ *    popped node's callback is invoked *in place* — no 64-byte move to
+ *    a stack temporary per dispatch — even though the callback may
+ *    itself grow the pool; in the steady state neither the wheel nor
+ *    the pool ever grows and the same few slots recycle cache-hot.
  *
- * The observable contract is unchanged from the std::priority_queue
- * kernel: (when, seq) ordering, past-time scheduling clamps to now()
- * (counted, and warned about in debug builds), callbacks may freely
- * schedule new events. tests/test_event_order.cc pins the dispatch
- * order byte-for-byte against the old semantics.
+ * # Why dispatch order is bit-identical to a (when, seq) heap
+ *
+ * Placement is *strict-hierarchy*: an event lands at the lowest level
+ * whose window (timestamp prefix) it shares with the structural cursor
+ * `cur_`, and a level-l bucket is redistributed exactly when the cursor
+ * enters its window — before anything inside that window can be
+ * dispatched and before any new event can be appended directly at a
+ * lower level of that window (a new event only places below level l
+ * once the cursor shares the window, which is after the cascade).
+ * Appends happen in schedule order and cascades preserve relative list
+ * order, so every bucket list is sorted by sequence number, and buckets
+ * are drained in strictly increasing time order. Hence dispatch order
+ * is exactly (when, seq) lexicographic — the same order the previous
+ * 4-ary-heap kernel produced, pinned byte-for-byte by
+ * tests/test_event_order.cc and the trace goldens.
+ *
+ * `runUntil(limit)` never advances the structural cursor into a window
+ * whose base lies beyond the limit (the public clock advances to the
+ * limit, the cursor stays put), so placement stays consistent across
+ * incremental runUntil() driving.
+ *
+ * The observable contract is unchanged: (when, seq) ordering, past-time
+ * scheduling clamps to now() (counted, and warned about in debug
+ * builds), callbacks may freely schedule new events.
  */
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,9 +128,12 @@ class EventQueue
             when = now_;
         }
         const std::uint32_t idx = acquireSlot();
-        pool_[idx].cb = std::forward<F>(cb);
-        heap_.push_back(Entry::make(when, nextSeq_++, idx));
-        siftUp(heap_.size() - 1);
+        Node &n = node(idx);
+        n.cb = std::forward<F>(cb);
+        n.when = when.count();
+        n.seq = nextSeq_++;
+        placeNode(idx);
+        ++pendingCount_;
     }
 
     /** Schedule @p cb to run @p delay ticks from now. */
@@ -123,10 +156,10 @@ class EventQueue
     Time runUntil(Time limit);
 
     /** True when no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pendingCount_ == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pendingCount_; }
 
     /** Total events executed since construction (for microbenchmarks). */
     std::uint64_t executed() const { return executed_; }
@@ -135,16 +168,18 @@ class EventQueue
     std::uint64_t pastSchedules() const { return pastSchedules_; }
 
     /** Pool slots currently allocated (high-water mark diagnostics). */
-    std::size_t poolSize() const { return pool_.size(); }
+    std::size_t poolSize() const { return poolCount_; }
 
     /**
-     * Full structural verification of the packed-heap representation,
-     * used by the cross-layer auditor (src/audit): 4-ary heap order on
-     * the packed keys, no pending timestamp behind now(), sequence
-     * numbers below the allocation cursor, and exact node-slot
-     * accounting (every pool slot is referenced by exactly one heap
-     * entry or one free-list link). O(pending + pool); never called on
-     * the dispatch path.
+     * Full structural verification of the timing-wheel representation,
+     * used by the cross-layer auditor (src/audit): occupancy bitmaps
+     * agree with the bucket lists, every node sits in the exact slot
+     * and level the placement rule assigns it, bucket lists are sorted
+     * by sequence number (the FIFO guarantee), no pending timestamp is
+     * behind now(), sequence numbers stay below the allocation cursor,
+     * and exact node-slot accounting (every pool slot is referenced by
+     * exactly one bucket, the overflow list, or one free-list link).
+     * O(pending + pool + slots); never called on the dispatch path.
      *
      * Returns true when every invariant holds; otherwise false, with a
      * description of the first failure in @p why (when non-null).
@@ -170,65 +205,242 @@ class EventQueue
 
   private:
     friend struct ida::audit::testing::EventQueuePeer;
+
     /**
-     * Heap entry: exactly 16 bytes — one unsigned 128-bit key laid out
-     * as (when << 64) | (seq << 20) | node. Ordering needs only
-     * (when, seq) lexicographic; seqs are unique, so the node bits in
-     * the lowest 20 never decide a comparison and ride along for free.
-     * Each sift comparison is then a single sub/sbb instead of two
-     * data-dependent branches, and the four children of a 4-ary heap
-     * level span a single cache line. Valid because event times are
-     * never negative (schedule clamps to now() >= 0).
-     *
-     * Field widths: when 64 bits, seq 44 bits (~17e12 events before
-     * wrap; debug-asserted), node 20 bits (1M simultaneously pending
-     * events; growPool checks the cap).
+     * Wheel geometry: a wide 2^14-slot single-tick level 0 plus four
+     * 2^12-slot upper levels — 14 + 4×12 = 62 timestamp bits. Level 0
+     * is wider than the upper levels on purpose: kernel-scale delays
+     * (flash command phases, same-burst completions — a few thousand
+     * ticks) then land directly in the open window instead of parking
+     * one level up, cutting the cascade (touch-twice) fraction of the
+     * dispatch loop by ~4× for nothing but bucket memory.
      */
-    struct Entry
+    static constexpr unsigned kLevel0Bits = 14;
+    static constexpr unsigned kLevelBits = 12;
+    static constexpr unsigned kLevels = 5;
+    static constexpr std::uint32_t kSlots0 = 1u << kLevel0Bits;
+    static constexpr std::uint32_t kSlotsUp = 1u << kLevelBits;
+    /** Bits below level @p level (i.e. its slot field's shift). */
+    static constexpr unsigned
+    shiftOf(unsigned level)
     {
-        unsigned __int128 key;
+        return level == 0 ? 0 : kLevel0Bits + kLevelBits * (level - 1);
+    }
+    /** The overflow boundary: timestamp bits the whole wheel resolves. */
+    static constexpr unsigned kTopShift =
+        kLevel0Bits + kLevelBits * (kLevels - 1);
+    static constexpr std::uint32_t
+    slotCount(unsigned level)
+    {
+        return level == 0 ? kSlots0 : kSlotsUp;
+    }
+    static constexpr std::uint32_t
+    slotMask(unsigned level)
+    {
+        return slotCount(level) - 1;
+    }
+    /** Flat per-level array bases (buckets / bitmap words / summary). */
+    static constexpr std::uint32_t
+    bucketBase(unsigned level)
+    {
+        return level == 0 ? 0 : kSlots0 + (level - 1) * kSlotsUp;
+    }
+    static constexpr std::uint32_t kBucketTotal =
+        kSlots0 + (kLevels - 1) * kSlotsUp;
+    /** Occupancy bitmap: 64 slots per word, one summary bit per word. */
+    static constexpr std::uint32_t
+    wordCount(unsigned level)
+    {
+        return slotCount(level) / 64;
+    }
+    static constexpr std::uint32_t
+    wordBase(unsigned level)
+    {
+        return level == 0 ? 0 : wordCount(0) + (level - 1) * wordCount(1);
+    }
+    static constexpr std::uint32_t kWordTotal =
+        kSlots0 / 64 + (kLevels - 1) * (kSlotsUp / 64);
+    /** Summary words per level: level 0 has 256 words, so 4 of them. */
+    static constexpr std::uint32_t
+    sumCount(unsigned level)
+    {
+        return wordCount(level) / 64;
+    }
+    static constexpr std::uint32_t
+    sumBase(unsigned level)
+    {
+        return level == 0 ? 0 : sumCount(0) + (level - 1) * sumCount(1);
+    }
+    static constexpr std::uint32_t kSumTotal =
+        kSlots0 / (64 * 64) + (kLevels - 1);
+    /**
+     * Slab chunking: nodes live in fixed 2^10-node chunks whose
+     * addresses never change, so a callback body can run from its slot
+     * while growing the pool (a flat vector would reallocate under it).
+     */
+    static constexpr unsigned kChunkBits = 10;
+    static constexpr std::uint32_t kChunkNodes = 1u << kChunkBits;
+    static constexpr std::uint32_t kChunkMask = kChunkNodes - 1;
 
-        static constexpr unsigned kNodeBits = 20;
-        static constexpr std::uint64_t kNodeMask =
-            (std::uint64_t{1} << kNodeBits) - 1;
-
-        static Entry
-        make(Time when, std::uint64_t seq, std::uint32_t node)
-        {
-            assert(seq < (std::uint64_t{1} << (64 - kNodeBits)));
-            return Entry{(static_cast<unsigned __int128>(
-                              static_cast<std::uint64_t>(when.count()))
-                          << 64) |
-                         (seq << kNodeBits) | node};
-        }
-
-        Time when() const {
-            return Time{static_cast<std::int64_t>(
-                static_cast<std::uint64_t>(key >> 64))};
-        }
-
-        std::uint32_t node() const {
-            return static_cast<std::uint32_t>(
-                static_cast<std::uint64_t>(key) & kNodeMask);
-        }
-    };
-
-    /** Pooled payload; `nextFree` threads the free list when idle. */
+    /**
+     * Pooled event: callback payload plus the (when, seq) key and the
+     * intrusive bucket link. `next` doubles as the free-list link when
+     * the slot is idle. Bucket lists are *tail-terminated* — iteration
+     * stops at the node the bucket's tail names, and the tail node's
+     * `next` is never read — so appending needs no terminator store
+     * (the overflow and free lists, off the hot path, stay
+     * kNil-terminated).
+     */
     struct Node
     {
+        // Key and link first: list walks (bucket drains, cascades, the
+        // free list) touch only this leading slice, not the 72-byte
+        // callback behind it.
+        std::int64_t when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t next = kNil;
         Callback cb;
-        std::uint32_t nextFree = kNil;
+    };
+
+    /** Intrusive FIFO of pool indices (append at tail, pop at head). */
+    struct Bucket
+    {
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
     };
 
     static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 
-    static bool
-    earlier(const Entry &a, const Entry &b)
+    Node &
+    node(std::uint32_t idx)
     {
-        // (when, seq) lexicographic — FIFO within a tick — via the
-        // packed key.
-        return a.key < b.key;
+        return chunks_[idx >> kChunkBits][idx & kChunkMask];
     }
+
+    const Node &
+    node(std::uint32_t idx) const
+    {
+        return chunks_[idx >> kChunkBits][idx & kChunkMask];
+    }
+
+    /**
+     * Strict-hierarchy placement: the lowest level whose window
+     * (timestamp prefix above that level) @p when shares with @p cur.
+     * kLevels and above means the 2^62 top window differs (overflow).
+     * Requires when >= cur, which schedule()'s past clamp guarantees.
+     */
+    static unsigned
+    levelOf(std::int64_t when, std::int64_t cur)
+    {
+        const auto x = static_cast<std::uint64_t>(when) ^
+                       static_cast<std::uint64_t>(cur);
+        if (x == 0)
+            return 0;
+        const unsigned msb = 63u - std::countl_zero(x);
+        return msb < kLevel0Bits
+                   ? 0
+                   : 1 + (msb - kLevel0Bits) / kLevelBits;
+    }
+
+    static std::uint32_t
+    slotOf(std::int64_t when, unsigned level)
+    {
+        return static_cast<std::uint32_t>(
+                   static_cast<std::uint64_t>(when) >> shiftOf(level)) &
+               slotMask(level);
+    }
+
+    Bucket &
+    bucket(unsigned level, std::uint32_t slot)
+    {
+        return buckets_[bucketBase(level) + slot];
+    }
+
+    const Bucket &
+    bucket(unsigned level, std::uint32_t slot) const
+    {
+        return buckets_[bucketBase(level) + slot];
+    }
+
+    void
+    markOccupied(unsigned level, std::uint32_t slot)
+    {
+        words_[wordBase(level) + slot / 64] |= std::uint64_t{1}
+                                              << (slot % 64);
+        summary_[sumBase(level) + slot / (64 * 64)] |=
+            std::uint64_t{1} << ((slot / 64) % 64);
+    }
+
+    void
+    clearOccupied(unsigned level, std::uint32_t slot)
+    {
+        auto &w = words_[wordBase(level) + slot / 64];
+        w &= ~(std::uint64_t{1} << (slot % 64));
+        if (w == 0)
+            summary_[sumBase(level) + slot / (64 * 64)] &=
+                ~(std::uint64_t{1} << ((slot / 64) % 64));
+    }
+
+    /**
+     * Lowest occupied slot >= @p from at @p level (no wraparound:
+     * slots behind the cursor belong to drained windows and are empty).
+     * The summary scan is a loop only for level 0 (4 summary words);
+     * upper levels constant-fold to the single-word probe.
+     */
+    bool
+    findSlot(unsigned level, std::uint32_t from, std::uint32_t &out) const
+    {
+        const std::uint64_t *w = words_.data() + wordBase(level);
+        std::uint32_t wi = from / 64;
+        std::uint64_t word = w[wi] & (~std::uint64_t{0} << (from % 64));
+        if (word != 0) {
+            out = wi * 64 +
+                  static_cast<std::uint32_t>(std::countr_zero(word));
+            return true;
+        }
+        if (wi + 1 >= wordCount(level))
+            return false;
+        const std::uint64_t *sum = summary_.data() + sumBase(level);
+        std::uint32_t si = (wi + 1) / 64;
+        std::uint64_t sw = sum[si] & (~std::uint64_t{0} << ((wi + 1) % 64));
+        for (;;) {
+            if (sw != 0) {
+                wi = si * 64 +
+                     static_cast<std::uint32_t>(std::countr_zero(sw));
+                out = wi * 64 +
+                      static_cast<std::uint32_t>(std::countr_zero(w[wi]));
+                return true;
+            }
+            if (++si >= sumCount(level))
+                return false;
+            sw = sum[si];
+        }
+    }
+
+    /** Append node @p idx to the bucket its (when, cur_) placement picks. */
+    void
+    placeNode(std::uint32_t idx)
+    {
+        Node &n = node(idx);
+        const unsigned level = levelOf(n.when, cur_);
+        if (level >= kLevels) {
+            appendOverflow(idx);
+            return;
+        }
+        const std::uint32_t slot = slotOf(n.when, level);
+        Bucket &b = bucket(level, slot);
+        // Branch-free append (both selects compile to cmov): lists are
+        // tail-terminated, so the empty bucket needs no special path —
+        // the self-link stored for it is never read — and re-marking an
+        // occupied slot is an idempotent OR.
+        const bool wasEmpty = b.tail == kNil;
+        node(wasEmpty ? idx : b.tail).next = idx;
+        b.head = wasEmpty ? idx : b.head;
+        b.tail = idx;
+        markOccupied(level, slot);
+    }
+
+    void appendOverflow(std::uint32_t idx);
 
     /** Grab a pool slot: free-list head, else grow the slab. */
     std::uint32_t
@@ -236,37 +448,134 @@ class EventQueue
     {
         if (freeHead_ != kNil) {
             const std::uint32_t idx = freeHead_;
-            freeHead_ = pool_[idx].nextFree;
+            freeHead_ = node(idx).next;
             return idx;
         }
         return growPool();
     }
 
-    /** Slow path: append a pool slot, enforcing the node-index width. */
+    /** Slow path: append a pool slot, enforcing the index width. */
     std::uint32_t growPool();
 
     void
     releaseSlot(std::uint32_t idx)
     {
-        pool_[idx].nextFree = freeHead_;
+        node(idx).next = freeHead_;
         freeHead_ = idx;
     }
 
     void notePastSchedule();
-    void siftUp(std::size_t i);
-    void siftDown(std::size_t i);
-    /** Remove the root entry (heap must be non-empty). */
-    void popTop();
-    /** Pop the root, release its node, and run its callback at when. */
-    void dispatchTop();
 
-    std::vector<Entry> heap_;
-    std::vector<Node> pool_;
+    /**
+     * Redistribute every node of bucket (@p level, @p slot) to lower
+     * levels after the cursor entered its window, preserving list
+     * order (which keeps every target bucket sorted by seq).
+     */
+    void cascadeBucket(unsigned level, std::uint32_t slot);
+
+    /** Move overflow nodes sharing cur_'s top window into the wheel. */
+    void cascadeOverflow();
+
+    /**
+     * Advance the structural cursor to the earliest pending event and
+     * unlink it, or return kNil if that event (or any window on the way
+     * to it) lies beyond @p limit. On success now_ == cur_ == its time.
+     *
+     * Inline so run()/runUntil() fuse the level-0 fast path (the next
+     * event is in the current window — the overwhelmingly common case)
+     * into their dispatch loop; the cascade machinery stays in the .cc.
+     */
+    std::uint32_t
+    popNext(std::int64_t limit)
+    {
+        if (pendingCount_ == 0)
+            return kNil;
+        for (;;) {
+            const auto c = static_cast<std::uint64_t>(cur_);
+            std::uint32_t s;
+            if (findSlot(0, static_cast<std::uint32_t>(c) & slotMask(0),
+                         s)) {
+                // Level-0 slots resolve single ticks: the event time is
+                // the window base plus the slot, no list scan needed.
+                const auto t = static_cast<std::int64_t>(
+                    (c & ~std::uint64_t{slotMask(0)}) | s);
+                if (t > limit)
+                    return kNil;
+                Bucket &b = bucket(0, s);
+                const std::uint32_t idx = b.head;
+                // Singleton pop (the overwhelmingly common case — most
+                // ticks carry one event) never loads the node's link;
+                // the stale `next` is dead either way, releaseSlot()
+                // overwrites it with the free-list link.
+                if (idx == b.tail) {
+                    b.head = kNil;
+                    b.tail = kNil;
+                    clearOccupied(0, s);
+                } else {
+                    b.head = node(idx).next;
+                }
+                cur_ = t;
+                now_ = Time{t};
+                --pendingCount_;
+                return idx;
+            }
+            if (!openNextWindow(limit))
+                return kNil;
+        }
+    }
+
+    /**
+     * The current level-0 window is drained: cascade the nearest
+     * occupied higher-level (or overflow) window whose base is within
+     * @p limit into the wheel. False when nothing reachable remains.
+     */
+    bool openNextWindow(std::int64_t limit);
+
+    /** Run @p idx's callback in place, then recycle the slot. */
+    void
+    dispatchNode(std::uint32_t idx)
+    {
+        ++executed_;
+        // Invoke straight from the pooled slot: chunk addresses are
+        // stable, so the callback can grow the pool (schedule into a
+        // full slab) without moving the storage it is executing from.
+        // The slot returns to the free list only after the callback
+        // finishes, so a schedule() inside it can never clobber it.
+        Node &n = node(idx);
+        n.cb();
+        n.cb = nullptr;
+        releaseSlot(idx);
+#ifdef IDA_AUDIT
+        if (auditEvery_ != 0 && executed_ >= nextAuditAt_) {
+            nextAuditAt_ = executed_ + auditEvery_;
+            if (auditHook_)
+                auditHook_();
+        }
+#endif
+    }
+
+    /** Slab chunks (stable addresses; see kChunkBits) + live count. */
+    std::vector<std::unique_ptr<Node[]>> chunks_;
+    std::uint32_t poolCount_ = 0;
+    /** All levels' intrusive bucket lists, flat (~256 KiB, one alloc). */
+    std::vector<Bucket> buckets_{std::size_t{kBucketTotal}};
+    std::array<std::uint64_t, kWordTotal> words_{};
+    std::array<std::uint64_t, kSumTotal> summary_{};
     std::uint32_t freeHead_ = kNil;
+    std::uint32_t overflowHead_ = kNil;
+    std::uint32_t overflowTail_ = kNil;
     Time now_{};
+    /**
+     * Structural cursor: the wheel position placement is relative to.
+     * Always <= now_ — runUntil() may advance the public clock to an
+     * idle limit, but the cursor only moves through cascades, so bucket
+     * contents never need re-placement when the clock idles forward.
+     */
+    std::int64_t cur_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t pastSchedules_ = 0;
+    std::size_t pendingCount_ = 0;
 #ifdef IDA_AUDIT
     // ida-lint: allow(IDA001) audit-only hook; compiled out of default builds
     std::function<void()> auditHook_;

@@ -64,11 +64,11 @@ Ssd::enableTracing(bool retain_spans)
 }
 
 void
-Ssd::submit(const HostRequest &req)
+Ssd::validateRequest(const HostRequest &req) const
 {
     if (req.pageCount == 0)
         sim::fatal("Ssd::submit: empty request");
-    if (req.startPage + req.pageCount > logicalPages())
+    if (req.startPage + req.pageCount > ftl_->logicalPages())
         sim::fatal("Ssd::submit: request beyond logical capacity");
     if (req.sectorCount != 0) {
         // A sub-page request's sector range must stay inside its page
@@ -82,44 +82,99 @@ Ssd::submit(const HostRequest &req)
             sim::fatal("Ssd::submit: sector range does not line up with "
                        "the request's page range");
     }
-    ++inflightRequests_;
+}
+
+std::uint32_t
+Ssd::acquireSlot(const HostRequest &req)
+{
     std::uint32_t slot;
-    if (freeSubmit_ != kNilSlot) {
-        slot = freeSubmit_;
-        freeSubmit_ = pendingSubmits_[slot].nextFree;
-        pendingSubmits_[slot].req = req;
+    if (freeSlot_ != kNilSlot) {
+        slot = freeSlot_;
+        freeSlot_ = requestSlots_[slot].link;
+        requestSlots_[slot].req = req;
     } else {
-        slot = static_cast<std::uint32_t>(pendingSubmits_.size());
-        pendingSubmits_.push_back(PendingSubmit{req, kNilSlot});
+        slot = static_cast<std::uint32_t>(requestSlots_.size());
+        requestSlots_.push_back(RequestSlot{req, 0, sim::Time{}, kNilSlot});
     }
-    events_.schedule(req.arrival, [this, slot] { dispatchPending(slot); });
+    RequestSlot &rs = requestSlots_[slot];
+    rs.pending = 0;
+    rs.lastDone = sim::Time{};
+    rs.link = kNilSlot;
+    return slot;
 }
 
 void
-Ssd::dispatchPending(std::uint32_t slot)
+Ssd::releaseSlot(std::uint32_t slot)
 {
-    // Move the request out and recycle the slot first: dispatch() may
-    // complete synchronously-chained completions that submit again.
-    const HostRequest req = std::move(pendingSubmits_[slot].req);
-    pendingSubmits_[slot].req = HostRequest{};
-    pendingSubmits_[slot].nextFree = freeSubmit_;
-    freeSubmit_ = slot;
-    dispatch(req);
+    RequestSlot &rs = requestSlots_[slot];
+    rs.req = HostRequest{};
+    rs.link = freeSlot_;
+    freeSlot_ = slot;
+}
+
+void
+Ssd::submit(const HostRequest &req)
+{
+    validateRequest(req);
+    ++inflightRequests_;
+    const std::uint32_t slot = acquireSlot(req);
+    events_.schedule(req.arrival, [this, slot] { dispatchSlot(slot); });
+}
+
+void
+Ssd::submitBatch(std::span<const HostRequest> reqs)
+{
+    std::size_t i = 0;
+    while (i < reqs.size()) {
+        validateRequest(reqs[i]);
+        ++inflightRequests_;
+        const sim::Time arrival = reqs[i].arrival;
+        const std::uint32_t head = acquireSlot(reqs[i]);
+        std::uint32_t tail = head;
+        ++i;
+        while (i < reqs.size() && reqs[i].arrival == arrival) {
+            validateRequest(reqs[i]);
+            ++inflightRequests_;
+            const std::uint32_t next = acquireSlot(reqs[i]);
+            requestSlots_[tail].link = next;
+            tail = next;
+            ++i;
+        }
+        if (head == tail)
+            events_.schedule(arrival,
+                             [this, head] { dispatchSlot(head); });
+        else
+            events_.schedule(arrival,
+                             [this, head] { dispatchRun(head); });
+    }
+}
+
+void
+Ssd::dispatchRun(std::uint32_t head)
+{
+    // Read each link before dispatching its slot: a slot that completes
+    // synchronously is recycled and its link re-aimed at the free list.
+    for (std::uint32_t slot = head; slot != kNilSlot;) {
+        const std::uint32_t next = requestSlots_[slot].link;
+        dispatchSlot(slot);
+        slot = next;
+    }
 }
 
 flash::SectorMask
-Ssd::pageMaskOf(const HostRequest &req, std::uint32_t i) const
+Ssd::pageMaskOf(std::uint32_t start_sector, std::uint32_t sector_count,
+                std::uint32_t i) const
 {
-    if (req.sectorCount == 0)
+    if (sector_count == 0)
         return 0; // whole page
     const std::uint64_t spp = cfg_.geometry.sectorsPerPage();
     const std::uint64_t pageLo = std::uint64_t{i} * spp;
     const std::uint64_t lo =
-        std::max<std::uint64_t>(pageLo, req.startSector);
+        std::max<std::uint64_t>(pageLo, start_sector);
     const std::uint64_t hi =
         std::min<std::uint64_t>(pageLo + spp,
-                                std::uint64_t{req.startSector} +
-                                    req.sectorCount);
+                                std::uint64_t{start_sector} +
+                                    sector_count);
     const auto n = static_cast<std::uint32_t>(hi - lo);
     const flash::SectorMask run =
         n >= 32 ? ~flash::SectorMask{0}
@@ -128,73 +183,88 @@ Ssd::pageMaskOf(const HostRequest &req, std::uint32_t i) const
 }
 
 void
-Ssd::dispatch(const HostRequest &req)
+Ssd::dispatchSlot(std::uint32_t slot)
 {
-    if (req.isTrim) {
+    // Copy the fan-out parameters: page completions can re-enter
+    // submit() (closed-loop pumps) and grow the slab under any
+    // reference held across the loop below.
+    const RequestSlot &rs = requestSlots_[slot];
+    const bool isRead = rs.req.isRead;
+    const flash::Lpn startPage = rs.req.startPage;
+    const std::uint32_t pageCount = rs.req.pageCount;
+    const std::uint32_t startSector = rs.req.startSector;
+    const std::uint32_t sectorCount = rs.req.sectorCount;
+
+    if (rs.req.isTrim) {
         // TRIMs are absorbed by the mapping layer: all pages deallocate
         // synchronously at dispatch, with no simulated flash command
         // and no response-time sample.
-        for (std::uint32_t i = 0; i < req.pageCount; ++i)
-            ftl_->hostTrim(req.startPage + i, pageMaskOf(req, i));
+        for (std::uint32_t i = 0; i < pageCount; ++i)
+            ftl_->hostTrim(startPage + i,
+                           pageMaskOf(startSector, sectorCount, i));
+        RequestSlot &trimmed = requestSlots_[slot];
+        const sim::Time arrival = trimmed.req.arrival;
+        std::function<void(sim::Time)> onComplete =
+            std::move(trimmed.req.onComplete);
+        releaseSlot(slot);
         --inflightRequests_;
-        if (req.arrival >= stats_.measureStart)
+        if (arrival >= stats_.measureStart)
             ++stats_.trimRequests;
-        if (req.onComplete)
-            req.onComplete(events_.now());
+        if (onComplete)
+            onComplete(events_.now());
         return;
     }
-    // Shared completion context for the request's page operations.
-    struct Ctx
-    {
-        Ssd *ssd;
-        HostRequest req;
-        std::uint32_t pending;
-        sim::Time lastDone{};
-    };
-    auto ctx = std::make_shared<Ctx>();
-    ctx->ssd = this;
-    ctx->req = req;
-    ctx->pending = req.pageCount;
 
-    auto pageDone = [ctx](sim::Time when) {
-        ctx->lastDone = std::max(ctx->lastDone, when);
-        if (--ctx->pending > 0)
-            return;
-        Ssd *ssd = ctx->ssd;
-        --ssd->inflightRequests_;
-        SsdStats &st = ssd->stats_;
-        const HostRequest &r = ctx->req;
-        if (r.onComplete)
-            r.onComplete(ctx->lastDone);
-        if (r.arrival < st.measureStart)
-            return; // warm-up request
-        const double resp = sim::toUsec(ctx->lastDone - r.arrival);
-        const std::uint64_t bytes =
-            r.sectorCount != 0
-                ? std::uint64_t{r.sectorCount} *
-                      ssd->cfg_.geometry.sectorSizeBytes
-                : std::uint64_t{r.pageCount} *
-                      ssd->cfg_.geometry.pageSizeBytes;
-        st.lastCompletion = std::max(st.lastCompletion, ctx->lastDone);
-        if (r.isRead) {
-            ++st.readRequests;
-            st.readResponseUs.add(resp);
-            st.readHist.add(resp);
-            st.bytesRead += bytes;
-        } else {
-            ++st.writeRequests;
-            st.writeResponseUs.add(resp);
-            st.bytesWritten += bytes;
-        }
-    };
-
-    for (std::uint32_t i = 0; i < req.pageCount; ++i) {
-        const flash::Lpn lpn = req.startPage + i;
-        const flash::SectorMask mask = pageMaskOf(req, i);
-        if (req.isRead)
-            ftl_->hostRead(lpn, mask, pageDone);
+    requestSlots_[slot].pending = pageCount;
+    for (std::uint32_t i = 0; i < pageCount; ++i) {
+        const flash::Lpn lpn = startPage + i;
+        const flash::SectorMask mask =
+            pageMaskOf(startSector, sectorCount, i);
+        ftl::PageDone done{[this, slot](sim::Time when) {
+            pageDone(slot, when);
+        }};
+        if (isRead)
+            ftl_->hostRead(lpn, mask, std::move(done));
         else
-            ftl_->hostWrite(lpn, mask, pageDone);
+            ftl_->hostWrite(lpn, mask, std::move(done));
+    }
+}
+
+void
+Ssd::pageDone(std::uint32_t slot, sim::Time when)
+{
+    RequestSlot &rs = requestSlots_[slot];
+    rs.lastDone = std::max(rs.lastDone, when);
+    if (--rs.pending > 0)
+        return;
+    // Move the request out and recycle the slot before any callback
+    // runs: the completion may submit again and reuse this very slot.
+    const HostRequest req = std::move(rs.req);
+    const sim::Time lastDone = rs.lastDone;
+    releaseSlot(slot);
+    --inflightRequests_;
+    if (req.onComplete)
+        req.onComplete(lastDone);
+    if (req.arrival < stats_.measureStart)
+        return; // warm-up request
+    const double resp = sim::toUsec(lastDone - req.arrival);
+    const std::uint64_t bytes =
+        req.sectorCount != 0
+            ? std::uint64_t{req.sectorCount} *
+                  cfg_.geometry.sectorSizeBytes
+            : std::uint64_t{req.pageCount} *
+                  cfg_.geometry.pageSizeBytes;
+    SsdStats &st = stats_;
+    st.lastCompletion = std::max(st.lastCompletion, lastDone);
+    if (req.isRead) {
+        ++st.readRequests;
+        st.readResponseUs.add(resp);
+        st.readHist.add(resp);
+        st.bytesRead += bytes;
+    } else {
+        ++st.writeRequests;
+        st.writeResponseUs.add(resp);
+        st.bytesWritten += bytes;
     }
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ecc/ecc_model.hh"
@@ -106,6 +107,17 @@ class Ssd
      */
     void submit(const HostRequest &req);
 
+    /**
+     * Enqueue many host requests in submission order. Consecutive
+     * requests sharing one arrival tick are admitted through a single
+     * arrival event that dispatches the whole run in order — the event
+     * stream the device produces is identical to submitting them one by
+     * one (dispatch order is preserved and nothing else observes the
+     * arrival events), but a same-tick burst costs one event instead of
+     * one per request.
+     */
+    void submitBatch(std::span<const HostRequest> reqs);
+
     /** Statistics only count requests arriving at or after this time. */
     void setMeasureStart(sim::Time t) { stats_.measureStart = t; }
 
@@ -132,25 +144,41 @@ class Ssd
 
   private:
     /**
-     * A submitted request waiting for its arrival tick. Slab-pooled so
-     * the arrival event captures {this, slot} (16 bytes) instead of a
-     * full HostRequest, which would not fit the event queue's inline
-     * callback budget — and so submissions allocate nothing in the
-     * steady state.
+     * A host request's whole device-side lifetime: submitted and
+     * waiting for its arrival tick, then acting as the shared
+     * completion context while its page operations are in flight.
+     * Slab-pooled so the arrival event and every page-completion
+     * callback capture {this, slot} (16 bytes) instead of a full
+     * HostRequest — and so requests allocate nothing in the steady
+     * state (the seed heap-allocated a shared_ptr context per request).
+     * `link` chains a same-tick admission batch while pending, then the
+     * free list after completion.
      */
-    struct PendingSubmit
+    struct RequestSlot
     {
         HostRequest req;
-        std::uint32_t nextFree = kNilSlot;
+        std::uint32_t pending = 0;
+        sim::Time lastDone{};
+        std::uint32_t link = kNilSlot;
     };
 
     static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
 
-    void dispatch(const HostRequest &req);
-    void dispatchPending(std::uint32_t slot);
+    std::uint32_t acquireSlot(const HostRequest &req);
+    void releaseSlot(std::uint32_t slot);
+    void validateRequest(const HostRequest &req) const;
+    void dispatchSlot(std::uint32_t slot);
+    void dispatchRun(std::uint32_t head);
+    void pageDone(std::uint32_t slot, sim::Time when);
 
-    /** Sector mask of the @p i-th page of @p req (0 = whole page). */
-    flash::SectorMask pageMaskOf(const HostRequest &req,
+    /**
+     * Sector mask of the @p i-th page of a request with the given
+     * sector range (0 = whole page). Takes the range by value so the
+     * fan-out loop holds no reference into the request slab — page
+     * completions may re-enter submit() and grow it.
+     */
+    flash::SectorMask pageMaskOf(std::uint32_t start_sector,
+                                 std::uint32_t sector_count,
                                  std::uint32_t i) const;
 
     SsdConfig cfg_;
@@ -161,8 +189,8 @@ class Ssd
     std::unique_ptr<ftl::Ftl> ftl_;
     std::unique_ptr<trace::Recorder> tracer_;
     SsdStats stats_;
-    std::vector<PendingSubmit> pendingSubmits_;
-    std::uint32_t freeSubmit_ = kNilSlot;
+    std::vector<RequestSlot> requestSlots_;
+    std::uint32_t freeSlot_ = kNilSlot;
     std::uint64_t inflightRequests_ = 0;
 };
 

@@ -19,42 +19,63 @@
 
 namespace ida::audit::testing {
 
-/** Reaches into EventQueue's packed heap and slab pool. */
+/** Reaches into EventQueue's timing wheel and slab pool. */
 struct EventQueuePeer
 {
     static std::size_t
     heapSize(const sim::EventQueue &q)
     {
-        return q.heap_.size();
+        return q.pendingCount_;
     }
 
-    /** Break heap order by swapping two entries in place. */
+    /**
+     * Pool index of the @p i-th pending node, walking buckets in
+     * (level, slot, list) order and the overflow list last — i.e. the
+     * order the wheel would drain same-window events.
+     */
+    static std::uint32_t
+    nthPending(const sim::EventQueue &q, std::size_t i)
+    {
+        for (unsigned l = 0; l < sim::EventQueue::kLevels; ++l) {
+            for (std::uint32_t s = 0; s < sim::EventQueue::slotCount(l);
+                 ++s) {
+                // Bucket lists are tail-terminated (see EventQueue::Node).
+                for (std::uint32_t n = q.bucket(l, s).head;
+                     n != sim::EventQueue::kNil;) {
+                    if (i-- == 0)
+                        return n;
+                    n = n == q.bucket(l, s).tail ? sim::EventQueue::kNil
+                                                 : q.node(n).next;
+                }
+            }
+        }
+        for (std::uint32_t n = q.overflowHead_;
+             n != sim::EventQueue::kNil; n = q.node(n).next) {
+            if (i-- == 0)
+                return n;
+        }
+        return sim::EventQueue::kNil;
+    }
+
+    /**
+     * Break dispatch order by swapping the (when, seq) keys of two
+     * pending nodes in place: distinct-tick nodes end up in the wrong
+     * slot, same-tick nodes break the list's seq monotonicity.
+     */
     static void
     swapEntries(sim::EventQueue &q, std::size_t a, std::size_t b)
     {
-        std::swap(q.heap_[a], q.heap_[b]);
+        auto &na = q.node(nthPending(q, a));
+        auto &nb = q.node(nthPending(q, b));
+        std::swap(na.when, nb.when);
+        std::swap(na.seq, nb.seq);
     }
 
-    /** Rewrite entry @p i's timestamp, keeping its seq and node. */
+    /** Rewrite node @p i's timestamp, keeping its seq and position. */
     static void
     setEntryWhen(sim::EventQueue &q, std::size_t i, sim::Time when)
     {
-        auto &e = q.heap_[i];
-        const auto low = static_cast<std::uint64_t>(e.key);
-        e.key = (static_cast<unsigned __int128>(
-                     static_cast<std::uint64_t>(when.count()))
-                 << 64) |
-                low;
-    }
-
-    /** Point entry @p i at pool node @p node (duplicate/range faults). */
-    static void
-    setEntryNode(sim::EventQueue &q, std::size_t i, std::uint32_t node)
-    {
-        auto &e = q.heap_[i];
-        e.key = (e.key & ~static_cast<unsigned __int128>(
-                             sim::EventQueue::Entry::kNodeMask)) |
-                node;
+        q.node(nthPending(q, i)).when = when.count();
     }
 
     /** Drop the free list, leaking every idle pool slot. */

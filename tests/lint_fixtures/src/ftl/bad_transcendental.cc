@@ -1,0 +1,23 @@
+// Fixture: IDA009 no-transcendental-hot-path. Never compiled; scanned
+// by tests/test_lint.cc.
+#include <cmath>
+
+namespace ida::ftl {
+
+double
+perReadPenalty(double rber, double gain)
+{
+    return std::log(rber) / std::log(gain);
+}
+
+double
+wearCurve(double pe, double k)
+{
+    return std::pow(pe / 3000.0, k) * std::exp(-k);
+}
+
+// A blessed construction-time use must stay silent.
+// ida-lint: allow(IDA009)
+const double kLogTwo = std::log(2.0);
+
+} // namespace ida::ftl

@@ -104,8 +104,8 @@ TEST(Allocator, HostAndInternalUseSeparateBlocks)
     const flash::Ppn i = f.allocator.allocateInternalPage(plane);
     f.chips.programImmediate(i);
     EXPECT_NE(f.geom.blockOf(h), f.geom.blockOf(i));
-    EXPECT_TRUE(f.mgr.meta(f.geom.blockOf(h)).hostActive);
-    EXPECT_TRUE(f.mgr.meta(f.geom.blockOf(i)).internalActive);
+    EXPECT_TRUE(f.mgr.meta(f.geom.blockOf(h)).hostActive());
+    EXPECT_TRUE(f.mgr.meta(f.geom.blockOf(i)).internalActive());
 }
 
 TEST(Allocator, LowFreeCallbackFires)
@@ -137,7 +137,8 @@ TEST(Allocator, RefreshedAtStampedWhenBlockOpens)
     f.events.runUntil(sim::Time{12345});
     const flash::Ppn p = f.allocator.allocateHostPage();
     f.chips.programImmediate(p);
-    EXPECT_EQ(f.mgr.meta(f.geom.blockOf(p)).refreshedAt, sim::Time{12345});
+    EXPECT_EQ(f.mgr.meta(f.geom.blockOf(p)).refreshedAt(),
+              sim::Time{12345});
 }
 
 } // namespace

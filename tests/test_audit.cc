@@ -231,7 +231,7 @@ TEST(AuditorNegative, BlockAccountingCheckCatchesPoolFlagDrift)
     const flash::Ppn ppn = w.ssd.ftl().mapping().lookup(0);
     ASSERT_NE(ppn, flash::kInvalidPpn);
     const flash::BlockId b = w.ssd.chips().geometry().blockOf(ppn);
-    w.ssd.ftl().blocks().meta(b).inFreePool = true; // holds data!
+    w.ssd.ftl().blocks().meta(b).inFreePool(true); // holds data!
 
     Auditor a(w.ssd);
     EXPECT_GT(a.runAll(), 0u);

@@ -50,9 +50,9 @@ TEST(BlockManager, TakeCloseReleaseLifecycle)
     Fixture f;
     const flash::BlockId b = f.mgr.takeFree(0);
     EXPECT_EQ(f.mgr.freeCount(0), 3u);
-    EXPECT_FALSE(f.mgr.meta(b).inFreePool);
+    EXPECT_FALSE(f.mgr.meta(b).inFreePool());
 
-    f.mgr.meta(b).hostActive = true;
+    f.mgr.meta(b).hostActive(true);
     f.fill(b);
     f.mgr.closeActive(b);
     EXPECT_EQ(f.mgr.inUseBlocks(), 1u);
@@ -61,7 +61,7 @@ TEST(BlockManager, TakeCloseReleaseLifecycle)
     f.mgr.release(b);
     EXPECT_EQ(f.mgr.freeCount(0), 4u);
     EXPECT_EQ(f.mgr.inUseBlocks(), 0u);
-    EXPECT_TRUE(f.mgr.meta(b).inFreePool);
+    EXPECT_TRUE(f.mgr.meta(b).inFreePool());
 }
 
 TEST(BlockManager, TakeFreeComesFromRequestedPlane)
@@ -80,7 +80,7 @@ TEST(BlockManager, GcVictimIsFewestValidThenLeastWorn)
     flash::BlockId ids[3];
     for (int i = 0; i < 3; ++i) {
         ids[i] = f.mgr.takeFree(0);
-        f.mgr.meta(ids[i]).hostActive = true;
+        f.mgr.meta(ids[i]).hostActive(true);
         f.fill(ids[i]);
         f.mgr.closeActive(ids[i]);
     }
@@ -97,17 +97,17 @@ TEST(BlockManager, GcVictimSkipsActiveBusyAndPartialBlocks)
 {
     Fixture f;
     const flash::BlockId open = f.mgr.takeFree(0);
-    f.mgr.meta(open).hostActive = true;
+    f.mgr.meta(open).hostActive(true);
     f.fill(open); // full but still marked active
 
     const flash::BlockId busy = f.mgr.takeFree(0);
-    f.mgr.meta(busy).hostActive = true;
+    f.mgr.meta(busy).hostActive(true);
     f.fill(busy);
     f.mgr.closeActive(busy);
-    f.mgr.meta(busy).busyWithJob = true;
+    f.mgr.meta(busy).busyWithJob(true);
 
     const flash::BlockId partial = f.mgr.takeFree(0);
-    f.mgr.meta(partial).hostActive = true;
+    f.mgr.meta(partial).hostActive(true);
     f.chips.programImmediate(f.geom.firstPpnOf(partial));
     f.mgr.closeActive(partial); // closed but not full (edge case)
 
@@ -119,22 +119,22 @@ TEST(BlockManager, RefreshCandidatesRespectAgeAndValidity)
 {
     Fixture f;
     const flash::BlockId young = f.mgr.takeFree(0);
-    f.mgr.meta(young).hostActive = true;
+    f.mgr.meta(young).hostActive(true);
     f.fill(young);
     f.mgr.closeActive(young);
-    f.mgr.meta(young).refreshedAt = sim::Time{900};
+    f.mgr.meta(young).refreshedAt(sim::Time{900});
 
     const flash::BlockId old1 = f.mgr.takeFree(0);
-    f.mgr.meta(old1).hostActive = true;
+    f.mgr.meta(old1).hostActive(true);
     f.fill(old1);
     f.mgr.closeActive(old1);
-    f.mgr.meta(old1).refreshedAt = sim::Time{};
+    f.mgr.meta(old1).refreshedAt(sim::Time{});
 
     const flash::BlockId empty = f.mgr.takeFree(1);
-    f.mgr.meta(empty).hostActive = true;
+    f.mgr.meta(empty).hostActive(true);
     f.fill(empty);
     f.mgr.closeActive(empty);
-    f.mgr.meta(empty).refreshedAt = sim::Time{};
+    f.mgr.meta(empty).refreshedAt(sim::Time{});
     for (std::uint32_t p = 0; p < f.geom.pagesPerBlock; ++p)
         f.chips.block(empty).invalidate(p); // nothing valid to protect
 
@@ -147,7 +147,7 @@ TEST(BlockManagerDeath, ReleaseUnerasedBlockPanics)
 {
     Fixture f;
     const flash::BlockId b = f.mgr.takeFree(0);
-    f.mgr.meta(b).hostActive = true;
+    f.mgr.meta(b).hostActive(true);
     f.fill(b);
     f.mgr.closeActive(b);
     EXPECT_DEATH(f.mgr.release(b), "not erased");

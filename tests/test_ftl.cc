@@ -79,12 +79,12 @@ TEST(Ftl, PreloadStaggersBlockAges)
     sim::Time min{INT64_MAX}, max{INT64_MIN};
     int seen = 0;
     for (std::uint64_t b = 0; b < f.geom.blocks(); ++b) {
-        const auto &m = f.ftl.blocks().meta(b);
-        if (m.inFreePool)
+        const auto m = f.ftl.blocks().meta(b);
+        if (m.inFreePool())
             continue;
         ++seen;
-        min = std::min(min, m.refreshedAt);
-        max = std::max(max, m.refreshedAt);
+        min = std::min(min, m.refreshedAt());
+        max = std::max(max, m.refreshedAt());
     }
     EXPECT_GT(seen, 1);
     EXPECT_LT(min, max); // ages actually spread

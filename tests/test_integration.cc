@@ -62,8 +62,8 @@ checkGlobalInvariants(ssd::Ssd &dev)
     std::uint64_t validPages = 0;
     for (std::uint64_t b = 0; b < geom.blocks(); ++b) {
         const auto &blk = dev.chips().block(b);
-        const auto &meta = dev.ftl().blocks().meta(b);
-        if (meta.inFreePool) {
+        const auto meta = dev.ftl().blocks().meta(b);
+        if (meta.inFreePool()) {
             EXPECT_TRUE(blk.isErased()) << "free block " << b;
         }
         for (std::uint32_t p = 0; p < geom.pagesPerBlock; ++p) {

@@ -101,7 +101,8 @@ TEST(Lint, ListRulesNamesTheWholePack)
     const LintRun r = runLint("--list-rules");
     EXPECT_EQ(r.exitCode, 0);
     for (const char *id : {"IDA001", "IDA002", "IDA003", "IDA004",
-                           "IDA005", "IDA006", "IDA007", "IDA008"})
+                           "IDA005", "IDA006", "IDA007", "IDA008",
+                           "IDA009"})
         EXPECT_NE(r.out.find(id), std::string::npos) << id;
 }
 
@@ -163,6 +164,15 @@ TEST(Lint, ConsoleIoInLibrary)
 {
     expectFindings("src/stats/bad_console.cc",
                    {{12, "IDA008"}, {13, "IDA008"}});
+}
+
+TEST(Lint, TranscendentalMathInHotPath)
+{
+    // Line 21's blessed construction-time std::log must NOT appear:
+    // the rule targets per-event dispatch math, and the allow() escape
+    // hatch is how amortized table builds opt out.
+    expectFindings("src/ftl/bad_transcendental.cc",
+                   {{10, "IDA009"}, {16, "IDA009"}});
 }
 
 TEST(Lint, SuppressionsSilenceEveryForm)

@@ -2,6 +2,8 @@
  * @file
  * Tests for the physical RBER/retry model.
  */
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "ecc/ecc_model.hh"
@@ -115,6 +117,51 @@ TEST(EccModelRber, LadderModeIgnoresPageContext)
     const EccModel ladder(0.0, RetryModel::earlyLife());
     EXPECT_FALSE(ladder.usesRber());
     EXPECT_EQ(ladder.retryRounds(50'000, 365 * sim::kDay, rng), 0);
+}
+
+/*
+ * The amortized sampler serves k from the precomputed
+ * (pe-bucket x retention-bucket) table. At every bucket-boundary pair
+ * the table must agree with the closed form within one round — in fact
+ * the knots are exact up to floating-point noise, and the off-table
+ * fallback must agree too.
+ */
+TEST(Rber, RoundsTableMatchesClosedFormAtEveryBucketBoundary)
+{
+    const RberModel m;
+    const auto closedForm = [&m](std::uint32_t pe, sim::Time t) {
+        return std::log(m.rber(pe, t) /
+                        m.config().hardDecisionLimit) /
+               std::log(m.config().perRoundGain);
+    };
+    for (int i = 0; i < RberModel::knotCount(); ++i) {
+        const auto pe = static_cast<std::uint32_t>(m.peKnot(i));
+        for (int j = 0; j < RberModel::knotCount(); ++j) {
+            const sim::Time t = m.retentionKnot(j);
+            const double table = m.fractionalRounds(pe, t);
+            const double exact = closedForm(pe, t);
+            ASSERT_LT(std::abs(table - exact), 1.0)
+                << "pe knot " << i << " retention knot " << j;
+            // Knots are where the table should be *exact*; allow only
+            // the truncation of peKnot() to an integer cycle count.
+            ASSERT_NEAR(table, exact, 1e-3)
+                << "pe knot " << i << " retention knot " << j;
+        }
+    }
+    // Interior points: interpolation error stays well under one round.
+    for (std::uint32_t pe = 500; pe <= 90'000; pe += 7'919) {
+        for (std::int64_t d = 1; d <= 900; d += 89) {
+            const sim::Time t = d * sim::kDay;
+            ASSERT_NEAR(m.fractionalRounds(pe, t), closedForm(pe, t),
+                        0.05)
+                << "pe " << pe << " day " << d;
+        }
+    }
+    // Beyond the table span the exact fallback serves the query.
+    const std::uint32_t farPe = 5'000'000;
+    const sim::Time farT = 10'000 * sim::kDay;
+    EXPECT_NEAR(m.fractionalRounds(farPe, farT),
+                closedForm(farPe, farT), 1e-9);
 }
 
 TEST(RberDeath, BadConfigIsFatal)

@@ -3,6 +3,9 @@
  * Device-level tests: request dispatch, response accounting, warm-up
  * windows, and configuration validation.
  */
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "ssd/ssd.hh"
@@ -131,6 +134,73 @@ TEST(Ssd, ThroughputComputedOverMeasuredWindow)
     ssd.submit(r);
     ssd.events().run();
     EXPECT_GT(ssd.stats().readThroughputMBps(), 0.0);
+}
+
+/*
+ * Batched admission must be an event-count optimization only: a device
+ * fed through submitBatch() produces exactly the same completion
+ * stream — per-request completion times included — as one fed the same
+ * requests through submit() one by one.
+ */
+TEST(Ssd, BatchedAdmissionIsIdenticalToUnbatched)
+{
+    // Mixed workload with same-tick bursts, writes, trims, sub-page
+    // reads, and multi-page requests.
+    std::vector<HostRequest> reqs;
+    const std::uint32_t spp =
+        SsdConfig::tiny().geometry.sectorsPerPage();
+    for (int i = 0; i < 200; ++i) {
+        HostRequest r;
+        // Bursts of 5 share an arrival tick.
+        r.arrival = sim::Time{(i / 5) * 700};
+        r.isRead = (i % 4) != 0;
+        r.isTrim = (i % 37) == 0;
+        r.startPage = static_cast<flash::Lpn>((i * 13) % 90);
+        r.pageCount = 1 + (i % 3);
+        if (i % 7 == 0) {
+            r.startSector = 1;
+            r.sectorCount = r.pageCount * spp - 2;
+        }
+        reqs.push_back(r);
+    }
+
+    auto run = [&reqs](bool batched) {
+        Ssd ssd(SsdConfig::tiny());
+        ssd.preloadSequential(100);
+        std::vector<sim::Time> completions(reqs.size());
+        std::vector<HostRequest> tagged = reqs;
+        for (std::size_t i = 0; i < tagged.size(); ++i) {
+            tagged[i].onComplete = [&completions, i](sim::Time t) {
+                completions[i] = t;
+            };
+        }
+        if (batched) {
+            ssd.submitBatch(tagged);
+        } else {
+            for (const HostRequest &r : tagged)
+                ssd.submit(r);
+        }
+        ssd.events().run();
+        EXPECT_TRUE(ssd.drained());
+        return std::pair{completions, ssd.stats()};
+    };
+
+    const auto [unbatchedDone, unbatchedStats] = run(false);
+    const auto [batchedDone, batchedStats] = run(true);
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        ASSERT_EQ(batchedDone[i].count(), unbatchedDone[i].count())
+            << "request " << i;
+    EXPECT_EQ(batchedStats.readRequests, unbatchedStats.readRequests);
+    EXPECT_EQ(batchedStats.writeRequests, unbatchedStats.writeRequests);
+    EXPECT_EQ(batchedStats.trimRequests, unbatchedStats.trimRequests);
+    EXPECT_EQ(batchedStats.bytesRead, unbatchedStats.bytesRead);
+    EXPECT_EQ(batchedStats.bytesWritten, unbatchedStats.bytesWritten);
+    EXPECT_EQ(batchedStats.readResponseUs.mean(),
+              unbatchedStats.readResponseUs.mean());
+    EXPECT_EQ(batchedStats.writeResponseUs.mean(),
+              unbatchedStats.writeResponseUs.mean());
+    EXPECT_EQ(batchedStats.lastCompletion.count(),
+              unbatchedStats.lastCompletion.count());
 }
 
 TEST(SsdDeath, RequestBeyondCapacityIsFatal)

@@ -335,6 +335,13 @@ buildRules()
         "\\bfprintf\\s*\\(|\\bputs\\s*\\(",
         Rule::Scope::Library);
 
+    add("IDA009", "no-transcendental-hot-path",
+        "per-event transcendental math (std::pow/log/exp) is banned on "
+        "dispatch paths; precompute a table at construction instead "
+        "(see ecc/rber_model's factored rounds table)",
+        "\\bstd::\\s*(pow|log|log2|log10|log1p|exp|exp2|expm1)\\s*\\(",
+        Rule::Scope::HotPath);
+
     return rules;
 }
 
