@@ -57,9 +57,15 @@
  * limit, the cursor stays put), so placement stays consistent across
  * incremental runUntil() driving.
  *
- * The observable contract is unchanged: (when, seq) ordering, past-time
- * scheduling clamps to now() (counted, and warned about in debug
- * builds), callbacks may freely schedule new events.
+ * The observable contract is unchanged: (when, seq) ordering, callbacks
+ * may freely schedule new events. Past-time scheduling is governed by a
+ * PastSchedulePolicy: it is always *counted* (pastSchedules()), and
+ * either clamped to now() (the legacy behaviour, default in regular
+ * builds) or treated as a hard simulator bug via sim::panic (the
+ * default under IDA_AUDIT). The panic policy exists for the sharded
+ * fleet layer (src/fleet): a cross-shard lookahead-horizon violation
+ * manifests exactly as a schedule() into the past, and a silent clamp
+ * would absorb it and quietly change results instead of failing loudly.
  */
 #pragma once
 
@@ -86,10 +92,25 @@ struct EventQueuePeer;
 namespace ida::sim {
 
 /**
+ * How schedule() treats a timestamp behind now().
+ *
+ * Clamp is the legacy single-device behaviour: the event fires at now()
+ * and the occurrence is counted (pastSchedules()). Panic turns the same
+ * occurrence into a sim::panic naming both times — the mode every
+ * IDA_AUDIT build defaults to, because a past-time schedule is either a
+ * model bug or, in a sharded fleet run, a conservative-lookahead
+ * horizon violation that must never be absorbed silently.
+ */
+enum class PastSchedulePolicy { Clamp, Panic };
+
+/**
  * Discrete-event queue with a simulated clock.
  *
- * Not thread safe; the simulator is single threaded by design (determinism
- * matters more than wall-clock speed at this scale).
+ * Not thread safe *within one queue*; each simulated device owns its
+ * queue and is single threaded by design (determinism matters more than
+ * wall-clock speed at this scale). Distinct queues may be driven from
+ * distinct threads — the sharded fleet layer (src/fleet) runs one
+ * device per shard-owned queue and synchronizes only at epoch barriers.
  */
 class EventQueue
 {
@@ -110,10 +131,13 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute time @p when.
      *
-     * Scheduling in the past is a programming error and fires immediately
-     * at the current time instead (never rewinds the clock). Each
-     * occurrence increments pastSchedules() and, in debug builds, emits
-     * a sim::warn so the offending flow is visible.
+     * Scheduling in the past is a programming error. Under the Clamp
+     * policy the event fires immediately at the current time instead
+     * (never rewinds the clock); each occurrence increments
+     * pastSchedules() and, in debug builds, emits a sim::warn so the
+     * offending flow is visible. Under the Panic policy (the IDA_AUDIT
+     * default) the occurrence is a sim::panic naming both timestamps —
+     * see PastSchedulePolicy.
      *
      * Templated so a lambda is constructed directly inside its pooled
      * slot (one placement-new) instead of materializing a Callback and
@@ -124,7 +148,7 @@ class EventQueue
     schedule(Time when, F &&cb)
     {
         if (when < now_) {
-            notePastSchedule();
+            notePastSchedule(when);
             when = now_;
         }
         const std::uint32_t idx = acquireSlot();
@@ -166,6 +190,16 @@ class EventQueue
 
     /** Times schedule() was handed a past timestamp (clamped to now). */
     std::uint64_t pastSchedules() const { return pastSchedules_; }
+
+    /**
+     * Change how past-time schedules are handled. The default is
+     * PastSchedulePolicy::Panic in IDA_AUDIT builds and Clamp otherwise;
+     * tests that deliberately exercise the clamp path must select Clamp
+     * explicitly so they stay meaningful in audit builds.
+     */
+    void setPastSchedulePolicy(PastSchedulePolicy p) { pastPolicy_ = p; }
+
+    PastSchedulePolicy pastSchedulePolicy() const { return pastPolicy_; }
 
     /** Pool slots currently allocated (high-water mark diagnostics). */
     std::size_t poolSize() const { return poolCount_; }
@@ -464,7 +498,7 @@ class EventQueue
         freeHead_ = idx;
     }
 
-    void notePastSchedule();
+    void notePastSchedule(Time when);
 
     /**
      * Redistribute every node of bucket (@p level, @p slot) to lower
@@ -576,6 +610,11 @@ class EventQueue
     std::uint64_t executed_ = 0;
     std::uint64_t pastSchedules_ = 0;
     std::size_t pendingCount_ = 0;
+#ifdef IDA_AUDIT
+    PastSchedulePolicy pastPolicy_ = PastSchedulePolicy::Panic;
+#else
+    PastSchedulePolicy pastPolicy_ = PastSchedulePolicy::Clamp;
+#endif
 #ifdef IDA_AUDIT
     // ida-lint: allow(IDA001) audit-only hook; compiled out of default builds
     std::function<void()> auditHook_;

@@ -84,6 +84,19 @@ Histogram::quantile(double q) const
 }
 
 void
+Histogram::merge(const Histogram &o)
+{
+    if (lo_ != o.lo_ || logGrowth_ != o.logGrowth_ ||
+        counts_.size() != o.counts_.size())
+        sim::fatal("Histogram::merge: bucket layouts differ");
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+        counts_[b] += o.counts_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    nonFinite_ += o.nonFinite_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);

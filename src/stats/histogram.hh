@@ -44,6 +44,14 @@ class Histogram
 
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
 
+    /**
+     * Fold another histogram into this one, bucket by bucket. Both must
+     * share the exact bucket layout (lo, growth, bucket count) — a
+     * mismatch is a caller bug (sim::fatal). Merging is commutative and
+     * associative, so a fleet-wide merge is order-independent.
+     */
+    void merge(const Histogram &o);
+
     void reset();
 
   private:

@@ -170,11 +170,35 @@ runMatrix(const std::vector<RunSpec> &specs, const BatchOptions &opts)
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> failures{0};
 
+    // Reject duplicate non-empty tags up front: the tag names the run in
+    // every export, and the tag-derived device seeds (determinism
+    // contract point 2) would collide, silently turning intended
+    // replicas into identical runs. Failure-isolation style: the later
+    // duplicates land in `errors` and the rest of the batch runs.
+    {
+        std::vector<std::string> seen;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const std::string &tag = specs[i].tag;
+            if (tag.empty())
+                continue;
+            if (std::find(seen.begin(), seen.end(), tag) != seen.end()) {
+                out.errors[i] = "duplicate tag '" + tag +
+                                "' (tag-derived seeds would collide)";
+                failures.fetch_add(1);
+                progress.failed(tag, out.errors[i]);
+            } else {
+                seen.push_back(tag);
+            }
+        }
+    }
+
     auto worker = [&] {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= specs.size())
                 return;
+            if (!out.errors[i].empty())
+                continue; // rejected up front (duplicate tag)
             const RunSpec &spec = specs[i];
             try {
                 out.results[i] = runOne(spec, opts.reseedFromTag);

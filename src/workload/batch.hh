@@ -44,7 +44,10 @@
  * A spec that throws (bad configuration, std::bad_alloc, ...) is
  * captured: its error string lands in BatchOutcome::errors at the
  * spec's index, its RunResult slot stays default-constructed, and every
- * other run completes normally. Note that sim::panic/sim::fatal still
+ * other run completes normally. Duplicate non-empty tags are rejected
+ * the same way before anything runs: the first occurrence executes,
+ * later ones get an error — their tag-derived seeds would collide,
+ * silently turning intended replicas into copies of one run. Note that sim::panic/sim::fatal still
  * abort the whole process — they flag simulator bugs and user errors
  * respectively, which no batch should paper over.
  */

@@ -131,6 +131,10 @@ RunResult::writeJson(stats::JsonWriter &w, bool include_volatile) const
     w.key("attribution");
     trace::writeAttributionJson(w, attribution);
 
+    // Causality gauge, always present: CI asserts it is zero, so a
+    // model flow that schedules into the past (and is clamped in
+    // non-audit builds) cannot pass silently.
+    w.field("pastSchedules", pastSchedules);
     w.field("simulatedSec", sim::toSec(simulatedTime));
     if (include_volatile)
         w.field("wallSeconds", wallSeconds);
@@ -258,6 +262,7 @@ makeReport(const RunResult &r)
     rep.section("meta");
     rep.add("trace_malformed_lines", r.traceMalformedLines);
     rep.add("trace_out_of_order_lines", r.traceOutOfOrderLines);
+    rep.add("past_schedules", r.pastSchedules);
     rep.add("simulated_s", sim::toSec(r.simulatedTime), 1);
     rep.add("wall_s", r.wallSeconds, 2);
     return rep;

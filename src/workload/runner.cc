@@ -133,11 +133,24 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     if (!ssd.drained())
         sim::warn("runner: device did not drain within the limit");
 
-    RunResult r;
-    r.workload = label;
+    RunResult r = harvestResult(ssd, label, footprint);
     r.traceMalformedLines = trace.malformedLines();
     r.traceOutOfOrderLines = trace.outOfOrderLines();
-    r.system = cfg.systemLabel();
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+    return r;
+}
+
+} // namespace
+
+RunResult
+harvestResult(const ssd::Ssd &ssd, const std::string &workload_label,
+              std::uint64_t footprint_pages)
+{
+    RunResult r;
+    r.workload = workload_label;
+    r.system = ssd.config().systemLabel();
     const ssd::SsdStats &st = ssd.stats();
     r.readRespUs = st.readResponseUs.mean();
     r.readP99Us = st.readHist.quantile(0.99);
@@ -150,21 +163,17 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     r.wear = ftl::captureWear(ssd.chips());
     r.cache = ssd.ftl().readCacheStats();
     r.trimRequests = st.trimRequests;
+    r.pastSchedules = ssd.events().pastSchedules();
     r.partialValidPages = ssd.ftl().countPartialValidPages();
     r.idaEligibleWordlines = ssd.ftl().countIdaEligibleWordlines();
     if (ssd.tracer())
         r.attribution = ssd.tracer()->summary();
     r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();
-    r.totalBlocks = cfg.geometry.blocks();
-    r.footprintPages = footprint;
+    r.totalBlocks = ssd.config().geometry.blocks();
+    r.footprintPages = footprint_pages;
     r.simulatedTime = ssd.events().now();
-    r.wallSeconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - wall0)
-                        .count();
     return r;
 }
-
-} // namespace
 
 RunResult
 runPreset(const ssd::SsdConfig &device, const WorkloadPreset &preset)
@@ -303,29 +312,7 @@ runClosedLoop(const ssd::SsdConfig &device, const WorkloadPreset &preset,
         ssd.events().runUntil(ssd.events().now() + sim::kSec);
     }
 
-    RunResult r;
-    r.workload = preset.name;
-    r.system = cfg.systemLabel();
-    const ssd::SsdStats &st = ssd.stats();
-    r.readRespUs = st.readResponseUs.mean();
-    r.readP99Us = st.readHist.quantile(0.99);
-    r.writeRespUs = st.writeResponseUs.mean();
-    r.throughputMBps = st.readThroughputMBps();
-    r.measuredReads = st.readRequests;
-    r.measuredWrites = st.writeRequests;
-    r.ftl = ssd.ftl().stats();
-    r.chip = ssd.chips().stats();
-    r.wear = ftl::captureWear(ssd.chips());
-    r.cache = ssd.ftl().readCacheStats();
-    r.trimRequests = st.trimRequests;
-    r.partialValidPages = ssd.ftl().countPartialValidPages();
-    r.idaEligibleWordlines = ssd.ftl().countIdaEligibleWordlines();
-    if (ssd.tracer())
-        r.attribution = ssd.tracer()->summary();
-    r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();
-    r.totalBlocks = cfg.geometry.blocks();
-    r.footprintPages = footprint;
-    r.simulatedTime = ssd.events().now();
+    RunResult r = harvestResult(ssd, preset.name, footprint);
     r.wallSeconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - wall0)
                         .count();

@@ -38,6 +38,15 @@ struct RunResult
     ftl::WearSnapshot wear;  // erase distribution at end of run
     cache::ReadCacheStats cache; // read/page cache hit/miss/merge counters
     std::uint64_t trimRequests = 0; // measured TRIM requests
+    /**
+     * Event-kernel causality gauge: schedule() calls handed a past
+     * timestamp (sim::EventQueue::pastSchedules). Always serialized so
+     * CI can assert it is zero — a nonzero value means a model flow
+     * scheduled into the past and was silently clamped (or, in a fleet
+     * run, a cross-shard lookahead horizon was violated). IDA_AUDIT
+     * builds panic on the first occurrence instead.
+     */
+    std::uint64_t pastSchedules = 0;
     /** End-of-run gauge: valid pages with a strict-subset sector mask. */
     std::uint64_t partialValidPages = 0;
     /** End-of-run gauge: wordlines IDA could merge (LSB invalid). */
@@ -105,5 +114,17 @@ RunResult runTrace(const ssd::SsdConfig &device, TraceStream &trace,
  */
 RunResult runClosedLoop(const ssd::SsdConfig &device,
                         const WorkloadPreset &preset, int queue_depth);
+
+/**
+ * Read every end-of-run measurement out of @p ssd into a RunResult.
+ *
+ * Shared by the single-device runners above and the fleet layer
+ * (src/fleet), which harvests one result per member device. Fills
+ * everything except the trace-hygiene counters and wallSeconds, which
+ * only the caller knows.
+ */
+RunResult harvestResult(const ssd::Ssd &ssd,
+                        const std::string &workload_label,
+                        std::uint64_t footprint_pages);
 
 } // namespace ida::workload

@@ -127,11 +127,43 @@ TEST(Batch, ClosedLoopSpecsRunThroughTheMatrix)
     s.kind = RunKind::ClosedLoop;
     s.queueDepth = 4;
 
-    const auto a = runMatrix({s, s}, quiet(2));
+    // Identical spec through two separate matrices (a single matrix
+    // would reject the duplicate tag): same tag => same derived seed =>
+    // bit-identical measurements.
+    const auto a = runMatrix({s}, quiet(1));
+    const auto b = runMatrix({s}, quiet(1));
     ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
     EXPECT_GT(a.results[0].throughputMBps, 0.0);
-    // Identical specs (same tag => same derived seed) agree bit for bit.
-    EXPECT_EQ(a.results[0].toJson(false), a.results[1].toJson(false));
+    EXPECT_EQ(a.results[0].toJson(false), b.results[0].toJson(false));
+}
+
+TEST(Batch, DuplicateTagsAreRejectedNotSilentlyReplayed)
+{
+    auto specs = tinyMatrix();
+    specs.push_back(specs[0]); // same tag, would collide on seed
+    RunSpec untagged;
+    untagged.device = ssd::SsdConfig::tiny();
+    untagged.preset = tinyPreset("u", 0.9, 33);
+    // Empty tags never collide (they keep the configured seed), so two
+    // of them coexist.
+    specs.push_back(untagged);
+    specs.push_back(untagged);
+
+    const auto out = runMatrix(specs, quiet(2));
+    EXPECT_FALSE(out.ok());
+    EXPECT_EQ(out.failed, 1u);
+    ASSERT_EQ(out.errors.size(), specs.size());
+    const std::size_t dup = specs.size() - 3;
+    EXPECT_NE(out.errors[dup].find("duplicate tag"), std::string::npos);
+    EXPECT_NE(out.errors[dup].find(specs[0].tag), std::string::npos);
+    // The duplicate never ran; the first occurrence and everyone else
+    // completed normally.
+    EXPECT_EQ(out.results[dup].measuredReads, 0u);
+    EXPECT_GT(out.results[0].measuredReads, 0u);
+    EXPECT_TRUE(out.errors[specs.size() - 2].empty());
+    EXPECT_TRUE(out.errors[specs.size() - 1].empty());
+    EXPECT_GT(out.results[specs.size() - 1].measuredReads, 0u);
 }
 
 TEST(Batch, SeedFromTagIsStableAndTagSensitive)

@@ -60,12 +60,31 @@ TEST(EventQueue, CallbacksCanScheduleMoreEvents)
 TEST(EventQueue, SchedulingInThePastClampsToNow)
 {
     EventQueue q;
+    // Exercise the Clamp policy explicitly: audit builds default to
+    // Panic, where this flow would (rightly) abort.
+    q.setPastSchedulePolicy(PastSchedulePolicy::Clamp);
     Time fired_at{-1};
     q.schedule(Time{100}, [&] {
         q.schedule(Time{50}, [&] { fired_at = q.now(); }); // in the past
     });
     q.run();
     EXPECT_EQ(fired_at, Time{100});
+}
+
+TEST(EventQueueDeathTest, PastScheduleUnderPanicPolicyDies)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // A deliberately mis-horizoned event: under the Panic policy (the
+    // IDA_AUDIT default) the kernel must abort instead of absorbing the
+    // causality violation by clamping.
+    EXPECT_DEATH(
+        {
+            EventQueue q;
+            q.setPastSchedulePolicy(PastSchedulePolicy::Panic);
+            q.schedule(Time{100}, [&q] { q.schedule(Time{50}, [] {}); });
+            q.run();
+        },
+        "past-time event");
 }
 
 TEST(EventQueue, RunUntilStopsAtLimit)

@@ -7,6 +7,13 @@
 #   config (geometry/coding/build fingerprint object).
 # Grep-based on purpose: runs anywhere the tier-1 gate runs, no jq.
 #
+# The numeric field list above is perf_kernel's; other benches override
+# it via IDA_BENCH_FIELDS (space-separated names) and pick their gate
+# rate via IDA_BENCH_RATE_FIELD (default events_per_sec) — e.g.
+# fleet_throughput passes
+#   IDA_BENCH_FIELDS="fleet_ios_per_sec scaling_shards8 wall_ms"
+#   IDA_BENCH_RATE_FIELD=fleet_ios_per_sec
+#
 # With a baseline argument the script is also the perf regression gate:
 # the fresh record's events_per_sec must be no more than MAX_REGRESS_PCT
 # (default 20) percent below the baseline's. The comparison only runs
@@ -37,8 +44,8 @@ done
 
 # Numeric fields must be present and positive (a zero rate means the
 # benchmark's timer or counter is broken).
-for key in events_per_sec ios_per_sec ios_per_sec_sector \
-           ios_per_sec_rcache wall_ms; do
+FIELDS="${IDA_BENCH_FIELDS:-events_per_sec ios_per_sec ios_per_sec_sector ios_per_sec_rcache wall_ms}"
+for key in $FIELDS; do
     grep -Eq "\"$key\": [0-9]*\.?[0-9]+" "$FILE" || \
         fail "missing numeric field '$key'"
     grep -Eq "\"$key\": 0(\.0*)?[,}\n ]*\$" "$FILE" && \
@@ -64,22 +71,26 @@ fi
 fingerprint() {
     sed -n '/"config": {/,$p' "$1"
 }
+# A self-skip must be loud: CI logs get one unmissable line naming the
+# reason, so a silently-never-run gate can't masquerade as a pass.
 if [ "$(fingerprint "$FILE")" != "$(fingerprint "$BASELINE")" ]; then
-    echo "check_bench_json: gate SKIPPED - config fingerprint differs" \
-         "from baseline ($BASELINE); rates are not comparable" >&2
+    echo "check_bench_json: gate SKIPPED (fingerprint mismatch) -" \
+         "config fingerprint differs from baseline ($BASELINE);" \
+         "rates are not comparable"
     exit 0
 fi
 
+RATE_FIELD="${IDA_BENCH_RATE_FIELD:-events_per_sec}"
 rate() {
-    grep -Eo '"events_per_sec": [0-9.eE+-]+' "$1" | awk '{print $2}'
+    grep -Eo "\"$RATE_FIELD\": [0-9.eE+-]+" "$1" | awk '{print $2}'
 }
 FRESH="$(rate "$FILE")"
 BASE="$(rate "$BASELINE")"
-[ -n "$FRESH" ] && [ -n "$BASE" ] || fail "cannot extract events_per_sec"
+[ -n "$FRESH" ] && [ -n "$BASE" ] || fail "cannot extract $RATE_FIELD"
 
 if awk -v f="$FRESH" -v b="$BASE" -v p="$MAX_REGRESS_PCT" \
        'BEGIN { exit !(f < b * (1.0 - p / 100.0)) }'; then
-    fail "events_per_sec regression: $FRESH vs baseline $BASE (>${MAX_REGRESS_PCT}% below)"
+    fail "$RATE_FIELD regression: $FRESH vs baseline $BASE (>${MAX_REGRESS_PCT}% below)"
 fi
 echo "check_bench_json: gate OK ($FRESH vs baseline $BASE," \
      "limit -${MAX_REGRESS_PCT}%)"

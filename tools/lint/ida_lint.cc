@@ -59,6 +59,7 @@ const std::vector<std::string> kHotPathDirs = {
     "src/flash/",
     "src/ftl/",
     "src/cache/", // read-cache lookups sit on every host-read dispatch
+    "src/fleet/", // staging/merge runs once per host IO per epoch
 };
 
 bool

@@ -2,8 +2,11 @@
 # Tier-1 smoke gate: configure, build the batch layer, and run one tiny
 # experiment matrix through workload::runMatrix at two parallelism
 # levels, requiring byte-identical output (the determinism contract of
-# src/workload/batch.hh). Then run the perf harness at smoke scale
-# (bench_smoke target: perf_kernel + BENCH_kernel.json schema check).
+# src/workload/batch.hh). The fleet layer gets the same treatment one
+# level up: fleet_demo at --shards 1 vs --shards 2 must be
+# byte-identical and must report pastSchedules == 0 (src/fleet/fleet.hh
+# determinism contract). Then run the perf harness at smoke scale
+# (bench_smoke target: perf_kernel + fleet_throughput + schema checks).
 #
 # Usage: tools/run_smoke.sh [build-dir]   (default: build)
 set -eu
@@ -12,7 +15,7 @@ BUILD_DIR="${1:-build}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR"
-cmake --build "$BUILD_DIR" --parallel --target batch_demo
+cmake --build "$BUILD_DIR" --parallel --target batch_demo fleet_demo
 
 # Lint first: the scanner gate is seconds, so a violation fails fast
 # before the minutes of build/run below. Format gate is diff-only and
@@ -45,6 +48,26 @@ fi
 
 echo "smoke: OK (matrix deterministic across -j1/-j2)"
 cat "$OUT_DIR/stdout_j1"
+
+# Fleet determinism: the sharded multi-device loop must emit
+# byte-identical archive JSON at any shard count, and a run that ever
+# clamped a past-time event is a causality bug, not a pass.
+"$BUILD_DIR/examples/fleet_demo" --shards 1 > "$OUT_DIR/fleet_s1" 2> /dev/null
+"$BUILD_DIR/examples/fleet_demo" --shards 2 > "$OUT_DIR/fleet_s2" 2> /dev/null
+if ! cmp -s "$OUT_DIR/fleet_s1" "$OUT_DIR/fleet_s2"; then
+    echo "smoke: FAIL - fleet_demo output differs between --shards 1 and 2" >&2
+    diff "$OUT_DIR/fleet_s1" "$OUT_DIR/fleet_s2" >&2 || true
+    exit 1
+fi
+# The gauge appears once per fleet and once per member device; every
+# occurrence must be zero.
+if ! grep -q '"pastSchedules": 0' "$OUT_DIR/fleet_s1" || \
+   grep -Eq '"pastSchedules": [1-9]' "$OUT_DIR/fleet_s1"; then
+    echo "smoke: FAIL - fleet run clamped past-time events (pastSchedules != 0)" >&2
+    grep '"pastSchedules"' "$OUT_DIR/fleet_s1" >&2 || true
+    exit 1
+fi
+echo "smoke: OK (fleet deterministic across --shards 1/2, pastSchedules == 0)"
 
 cmake --build "$BUILD_DIR" --parallel --target bench_smoke
 
