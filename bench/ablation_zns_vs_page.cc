@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Invalidation-regime ablation: how much of IDA's sensing reduction
+ * survives when invalidation comes from whole-zone resets (ZNS)
+ * instead of page-granular host overwrites (docs/BACKENDS.md)?
+ *
+ * The paper's IDA win depends on *partially-invalid wordlines*: a TLC
+ * wordline whose lower page(s) were invalidated by an overwrite can be
+ * re-coded at refresh time to fewer program levels, cutting read
+ * sensing 2->1 / 4->2 / 4->1. Page-granular updates produce exactly
+ * that state. A host-managed ZNS device never does: data dies a whole
+ * zone at a time (reset), so every wordline is either fully live or
+ * fully erased and the IDA-eligible population is zero by construction.
+ *
+ * Four legs on the same TLC geometry, all closed-loop at the same
+ * queue depth:
+ *
+ *   page/Baseline, page/IDA-E20 : page-mapped backend, fig10-mix
+ *       overwrite churn (runMatrix cells, tag-seeded).
+ *   zns/Baseline,  zns/IDA-E20  : ZNS backend, the log-structured
+ *       zone-append/reset host of workload::runZnsWorkload.
+ *
+ * Expected shape: the page legs report nonzero ida_eligible_wl,
+ * ida_served and sensing_saved (and a read-latency improvement); the
+ * ZNS legs report zeros — enabling IDA buys nothing under whole-zone
+ * resets. That asymmetry is the ablation's headline number.
+ */
+#include "bench_util.hh"
+#include "workload/zns_workload.hh"
+
+namespace {
+
+/** The paper's TLC device on the ZNS backend (default zone shape). */
+ida::ssd::SsdConfig
+znsSystem(bool enable_ida)
+{
+    ida::ssd::SsdConfig cfg = ida::bench::tlcSystem(enable_ida, 0.20);
+    cfg.backend = ida::ftl::BackendKind::Zns;
+    // Two-block zones: small enough that the host's append stream
+    // cycles whole zones (fill -> full -> reset) within a bench-scale
+    // run, which is the invalidation behavior under study.
+    cfg.zns.blocksPerZone = 2;
+    return cfg;
+}
+
+double
+sensingSavedFraction(const ida::workload::RunResult &r)
+{
+    const double conv =
+        static_cast<double>(r.chip.sensingOpsConventional);
+    return conv > 0.0
+               ? static_cast<double>(r.chip.sensingOpsSaved) / conv
+               : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ida;
+    bench::banner("Ablation - IDA under page-granular vs ZNS zone-reset "
+                  "invalidation",
+                  "IDA needs partially-invalid wordlines; whole-zone "
+                  "resets never create them, so the benefit collapses "
+                  "to zero on ZNS");
+
+    constexpr int kQueueDepth = 16;
+    const workload::WorkloadPreset mix =
+        workload::presetByName("fig10-mix");
+
+    // Page-mapped legs: overwrite churn through the matrix runner.
+    std::vector<workload::RunSpec> pageSpecs;
+    pageSpecs.push_back(bench::closedLoopSpec(
+        bench::tlcSystem(false), mix, "page/Baseline", kQueueDepth));
+    pageSpecs.push_back(bench::closedLoopSpec(
+        bench::tlcSystem(true, 0.20), mix, "page/IDA-E20", kQueueDepth));
+    const auto pageOut =
+        bench::runMatrixOrDie(pageSpecs, bench::batchOptions(argc, argv));
+
+    // ZNS legs: the zone-append/reset host, request count at the same
+    // bench scale as the page trace.
+    workload::ZnsWorkloadConfig wl;
+    wl.totalRequests = static_cast<std::uint64_t>(
+        20'000 * bench::benchScale());
+    wl.queueDepth = kQueueDepth;
+    // Run the device nearly full (the runner clamps to capacity minus
+    // the active-zone headroom): every new zone the log-structured
+    // host acquires must first *reset* an old one, which is the
+    // whole-zone invalidation regime this ablation is about. A
+    // write-heavier mix than the page legs' trace keeps zones cycling
+    // within the run (reads still dominate the latency measurement).
+    wl.utilizationTarget = 1.0;
+    wl.readFraction = 0.6;
+    std::vector<workload::RunResult> znsResults;
+    for (const bool ida : {false, true}) {
+        const std::string tag =
+            std::string("zns/") + (ida ? "IDA-E20" : "Baseline");
+        znsResults.push_back(
+            workload::runZnsWorkload(znsSystem(ida), wl, tag));
+        std::fprintf(stderr, "%-32s %10.3f\n", tag.c_str(),
+                     znsResults.back().wallSeconds);
+    }
+
+    const workload::RunResult &pb = pageOut.results[0];
+    const workload::RunResult &pi = pageOut.results[1];
+    const workload::RunResult &zb = znsResults[0];
+    const workload::RunResult &zi = znsResults[1];
+
+    stats::Table t({"invalidation", "system", "read_mean_us",
+                    "sensing_saved", "ida_served", "ida_eligible_wl",
+                    "ida_benefit"});
+    const auto row = [&](const char *regime,
+                         const workload::RunResult &r,
+                         const workload::RunResult *base) {
+        t.addRow({regime, base ? "IDA-E20" : "Baseline",
+                  stats::Table::num(r.readRespUs, 1),
+                  stats::Table::pct(sensingSavedFraction(r), 2),
+                  std::to_string(r.ftl.readClass.idaServed),
+                  std::to_string(r.idaEligibleWordlines),
+                  base ? stats::Table::pct(r.readImprovement(*base), 1)
+                       : "-"});
+    };
+    row("page-overwrite", pb, nullptr);
+    row("page-overwrite", pi, &pb);
+    row("zone-reset", zb, nullptr);
+    row("zone-reset", zi, &zb);
+    t.print(std::cout);
+
+    std::printf("\nzns leg detail: appends=%llu resets=%llu "
+                "reset_pages=%llu refresh_migrated=%llu\n",
+                static_cast<unsigned long long>(zi.zns.appendedPages),
+                static_cast<unsigned long long>(zi.zns.resets),
+                static_cast<unsigned long long>(zi.zns.resetPages),
+                static_cast<unsigned long long>(
+                    zi.ftl.refresh.migratedPages));
+    std::printf("\nexpected shape: page-overwrite shows nonzero "
+                "sensing_saved / ida_served / ida_eligible_wl and a "
+                "positive ida_benefit; zone-reset shows zeros for all "
+                "three — whole-zone invalidation leaves IDA nothing to "
+                "merge.\n");
+
+    // One combined archive: the page cells plus the zns cells, in leg
+    // order, through the standard exporter (zns specs carry the tag
+    // and device only; there is no preset to record).
+    std::vector<workload::RunSpec> specs = pageSpecs;
+    workload::BatchOutcome out = pageOut;
+    for (const bool ida : {false, true}) {
+        workload::RunSpec s;
+        s.device = znsSystem(ida);
+        s.tag = std::string("zns/") + (ida ? "IDA-E20" : "Baseline");
+        specs.push_back(s);
+    }
+    out.results.push_back(zb);
+    out.results.push_back(zi);
+    out.errors.emplace_back();
+    out.errors.emplace_back();
+    bench::exportJson("ablation_zns_vs_page", specs, out);
+    return 0;
+}

@@ -82,6 +82,25 @@ struct Violation
  *                      still in flight; erases and write-buffer
  *                      occupancy balance the same way; total valid
  *                      pages equal the mapping's mappedCount.
+ *
+ * The catalog is backend-parameterized: the checks above that read the
+ * page-mapped FTL's structures (mapping-block, block-accounting,
+ * cache-coherence, conservation) register only on page-mapped devices.
+ * The flash-level checks (wordline-cache, ida-coding, event-queue,
+ * sector-validity) are backend-agnostic and always register. ZNS
+ * devices additionally get:
+ *
+ *  - zns-zone-state:   every zone's state/write-pointer/programmed
+ *                      triple is internally consistent (EMPTY <=> wp=0,
+ *                      FULL <=> wp=capacity, otherwise wp==programmed),
+ *                      the programmed count matches the zone's blocks'
+ *                      write pointers and Valid-page prefix exactly,
+ *                      the OPEN count matches recount and respects the
+ *                      open-zone budget, spare-pool blocks are erased,
+ *                      and no physical block is owned twice.
+ *  - zns-conservation: flash programs equal appended pages plus refresh
+ *                      migration; erases equal reset plus refresh
+ *                      erases (preload uses untimed programImmediate).
  */
 class Auditor
 {
@@ -164,6 +183,9 @@ class Auditor
         std::uint64_t wbTrimmed = 0;
         std::uint64_t wbSize = 0;
         std::uint32_t rmwInFlight = 0;
+        std::uint64_t znsAppendedPages = 0;
+        std::uint64_t znsResetErases = 0;
+        std::uint64_t znsRefreshErases = 0;
     };
 
     // The default catalog.
@@ -175,6 +197,8 @@ class Auditor
     void checkSectorValidity();
     void checkCacheCoherence();
     void checkConservation();
+    void checkZnsZoneState();
+    void checkZnsConservation();
 
     Baseline captureBaseline() const;
 

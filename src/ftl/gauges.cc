@@ -1,0 +1,50 @@
+#include "ftl/gauges.hh"
+
+namespace ida::ftl {
+
+std::uint64_t
+countPartialValidPages(const flash::Geometry &geom,
+                       const flash::ChipArray &chips)
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t b = 0; b < geom.blocks(); ++b) {
+        const auto &blk = chips.block(b);
+        const flash::SectorMask full = blk.fullSectorMask();
+        for (std::uint32_t p = 0; p < geom.pagesPerBlock; ++p) {
+            const flash::SectorMask m = blk.sectorMask(p);
+            if (m != 0 && m != full)
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+countIdaEligibleWordlines(const flash::Geometry &geom,
+                          const flash::ChipArray &chips)
+{
+    // A wordline is IDA-eligible when its LSB-level page is already
+    // invalid while a higher level still holds data (Table I cases
+    // 2/4) — the situation the read classifier credits and refresh
+    // turns into a reduced-sensing coding. Valid ⇔ sectorMask ≠ 0 (the
+    // block invariant), so the scan needs no separate page-state probe.
+    std::uint64_t n = 0;
+    const std::uint32_t bits = geom.bitsPerCell;
+    const std::uint32_t wordlines = geom.pagesPerBlock / bits;
+    for (std::uint64_t b = 0; b < geom.blocks(); ++b) {
+        const auto &blk = chips.block(b);
+        for (std::uint32_t wl = 0; wl < wordlines; ++wl) {
+            if ((blk.invalidLevelMask(wl) & 1u) == 0)
+                continue; // LSB level still valid (or free)
+            for (std::uint32_t level = 1; level < bits; ++level) {
+                if (blk.sectorMask(wl * bits + level) != 0) {
+                    ++n;
+                    break;
+                }
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace ida::ftl

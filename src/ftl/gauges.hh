@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Backend-independent end-of-run gauges over the physical flash state.
+ *
+ * Both FTL backends (the page-mapped FTL and the ZNS FTL) report the
+ * same two figures — partially-valid pages and IDA-eligible wordlines —
+ * and both are pure functions of the chip array's per-page sector masks
+ * and per-wordline invalid-level caches, so they live here rather than
+ * on either backend. They are O(pages) sweeps for harvest time, never
+ * hot-path code.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "flash/chip.hh"
+#include "flash/geometry.hh"
+#include "ftl/ftl.hh"
+
+namespace ida::ftl {
+
+/**
+ * Classify one host read into the Fig. 4 level/lower-invalid counters.
+ * Shared by both backends' read paths: one invalid-level-mask probe
+ * against the block's incrementally maintained cache (flash/block.hh),
+ * no loop over the lower page levels.
+ */
+inline void
+classifyReadLevels(const flash::Geometry &geom,
+                   const flash::ChipArray &chips, flash::Ppn ppn,
+                   ReadClassStats &rc)
+{
+    const auto page = static_cast<std::uint32_t>(ppn % geom.pagesPerBlock);
+    const std::uint32_t level = geom.levelOfPage(page);
+    const std::uint32_t wl = geom.wordlineOfPage(page);
+    const auto &blk = chips.block(geom.blockOf(ppn));
+
+    ++rc.byLevel[level];
+    const auto below = static_cast<flash::LevelMask>((1u << level) - 1);
+    if ((blk.invalidLevelMask(wl) & below) != 0)
+        ++rc.byLevelLowerInvalid[level];
+}
+
+/**
+ * Valid pages whose sector mask is a strict subset of the full page —
+ * the partially-invalid pages only sector-granular validity can
+ * represent.
+ */
+std::uint64_t countPartialValidPages(const flash::Geometry &geom,
+                                     const flash::ChipArray &chips);
+
+/**
+ * In-use wordlines whose LSB-level page is invalid while at least one
+ * higher level is still valid — exactly the wordlines the read
+ * classifier treats as IDA-eligible (paper Table I cases 2/4).
+ */
+std::uint64_t countIdaEligibleWordlines(const flash::Geometry &geom,
+                                        const flash::ChipArray &chips);
+
+} // namespace ida::ftl

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ZNS backend configuration. The shared FTL knobs (IDA switch, refresh
+ * period/interval, over-provision, preload age spread) stay in
+ * ftl::FtlConfig so one SsdConfig drives either backend; this struct
+ * only holds the zone-shape knobs that have no page-mapped meaning.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ida::ftl::zns {
+
+/** Zone-shape knobs (see docs/BACKENDS.md for the zone layout). */
+struct ZnsConfig
+{
+    /**
+     * Physical blocks per zone. Zones are carved from consecutive
+     * global block ids; zone capacity = blocksPerZone x pagesPerBlock
+     * pages. The paper-scale geometries divide evenly; leftover blocks
+     * join the spare pool.
+     */
+    std::uint32_t blocksPerZone = 4;
+
+    /**
+     * Maximum zones in OPEN state at once (NVMe's max-open-zones
+     * resource limit). Appends to a non-open zone implicitly open it;
+     * when the budget is exhausted that append is an illegal operation.
+     */
+    std::uint32_t maxOpenZones = 8;
+
+    /**
+     * Allow appends to implicitly open an EMPTY/CLOSED zone (NVMe
+     * implicit open). Off = appends to non-OPEN zones are illegal,
+     * which the zone state-machine property tests exercise.
+     */
+    bool implicitOpen = true;
+};
+
+} // namespace ida::ftl::zns

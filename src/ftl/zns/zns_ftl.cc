@@ -1,0 +1,596 @@
+#include "ftl/zns/zns_ftl.hh"
+
+#include <bit>
+#include <string>
+
+#include "ftl/gauges.hh"
+#include "sim/log.hh"
+#include "trace/recorder.hh"
+
+namespace ida::ftl::zns {
+
+ZnsFtl::ZnsFtl(const flash::Geometry &geom, const FtlConfig &cfg,
+               const ZnsConfig &zcfg, flash::ChipArray &chips,
+               ecc::EccModel ecc, sim::EventQueue &events, sim::Rng &rng)
+    : geom_(geom), cfg_(cfg), zcfg_(zcfg), chips_(chips),
+      ecc_(std::move(ecc)), events_(events), rng_(rng)
+{
+    if (zcfg_.blocksPerZone == 0)
+        sim::fatal("ZnsConfig: blocksPerZone must be nonzero");
+    if (zcfg_.maxOpenZones == 0)
+        sim::fatal("ZnsConfig: maxOpenZones must be nonzero");
+    if (cfg_.overProvision <= 0.0 || cfg_.overProvision >= 0.9)
+        sim::fatal("FtlConfig: overProvision out of range");
+
+    // Zone layout: consecutive global block ids, with the
+    // over-provisioned tail (plus any remainder that does not fill a
+    // whole zone) forming the spare pool refresh migrates through.
+    const std::uint64_t totalBlocks = geom.blocks();
+    const auto zoneBlocks = static_cast<std::uint64_t>(
+        static_cast<double>(totalBlocks) * (1.0 - cfg_.overProvision));
+    zones_ = static_cast<std::uint32_t>(zoneBlocks / zcfg_.blocksPerZone);
+    if (zones_ == 0)
+        sim::fatal("ZnsFtl: geometry too small for one zone");
+    zoneCap_ = std::uint64_t{zcfg_.blocksPerZone} * geom.pagesPerBlock;
+
+    const std::uint64_t assigned =
+        std::uint64_t{zones_} * zcfg_.blocksPerZone;
+    zoneTable_.reserve(assigned);
+    for (std::uint64_t b = 0; b < assigned; ++b)
+        zoneTable_.push_back(b);
+    for (std::uint64_t b = assigned; b < totalBlocks; ++b)
+        sparePool_.push_back(b);
+
+    state_.assign(zones_, ZoneState::Empty);
+    wp_.assign(zones_, 0);
+    programmed_.assign(zones_, 0);
+    refreshing_.assign(zones_, false);
+    refreshedAt_.assign(zones_, sim::Time{});
+    resetQueued_.assign(zones_, false);
+    queuedResetDone_.resize(zones_);
+
+    stats_.readClass.byLevel.assign(geom.bitsPerCell, 0);
+    stats_.readClass.byLevelLowerInvalid.assign(geom.bitsPerCell, 0);
+}
+
+Ppn
+ZnsFtl::ppnOf(std::uint32_t zone, std::uint64_t off) const
+{
+    const BlockId b = zoneBlock(
+        zone, static_cast<std::uint32_t>(off / geom_.pagesPerBlock));
+    return geom_.firstPpnOf(b) + off % geom_.pagesPerBlock;
+}
+
+void
+ZnsFtl::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    events_.scheduleAfter(cfg_.refreshCheckInterval,
+                          [this] { refreshScan(); });
+}
+
+void
+ZnsFtl::resetReadClassification()
+{
+    stats_.readClass = ReadClassStats{};
+    stats_.readClass.byLevel.assign(geom_.bitsPerCell, 0);
+    stats_.readClass.byLevelLowerInvalid.assign(geom_.bitsPerCell, 0);
+    stats_.hostReads = 0;
+    stats_.hostWrites = 0;
+    stats_.hostReadsUnmapped = 0;
+}
+
+bool
+ZnsFtl::quiescent() const
+{
+    return activeRefresh_ == 0 && resetsInFlight_ == 0;
+}
+
+void
+ZnsFtl::completeNow(PageDone done)
+{
+    if (!done)
+        return;
+    const sim::Time t = events_.now();
+    events_.schedule(t, [done = std::move(done), t] { done(t); });
+}
+
+void
+ZnsFtl::illegalOp(const char *what, std::uint32_t zone,
+                  [[maybe_unused]] PageDone done)
+{
+#ifdef IDA_AUDIT
+    sim::panic(std::string("ZnsFtl: illegal zone op: ") + what +
+               " (zone " + std::to_string(zone) + ", state " +
+               zoneStateName(state_[zone]) + ")");
+#else
+    (void)what;
+    (void)zone;
+    ++zstats_.illegalOps;
+    completeNow(std::move(done));
+#endif
+}
+
+void
+ZnsFtl::classifyHostRead(Ppn ppn)
+{
+    classifyReadLevels(geom_, chips_, ppn, stats_.readClass);
+}
+
+void
+ZnsFtl::hostRead(Lpn lpn, flash::SectorMask sectors, PageDone done)
+{
+    ++stats_.hostReads;
+    const std::uint32_t z = zoneOf(lpn);
+    const std::uint64_t off = lpn % zoneCap_;
+    if (off >= programmed_[z]) {
+        // Beyond the programmed prefix (or an EMPTY zone): never-written
+        // data, served without touching the flash array — same contract
+        // as the page-mapped backend's unmapped read.
+        ++stats_.hostReadsUnmapped;
+        const sim::Time t = events_.now();
+#ifdef IDA_TRACE
+        if (tracer_)
+            tracer_->recordInstant(trace::SpanKind::UnmappedRead, lpn, t,
+                                   t);
+#endif
+        events_.schedule(t, [done = std::move(done), t] { done(t); });
+        return;
+    }
+
+    const Ppn src = ppnOf(z, off);
+    const auto page =
+        static_cast<std::uint32_t>(src % geom_.pagesPerBlock);
+    const auto &blk = chips_.block(geom_.blockOf(src));
+
+    classifyHostRead(src);
+    const int rounds = ecc_.retryRounds(
+        blk.eraseCount(), events_.now() - blk.programTime(), rng_);
+
+    // Same IDA benefit accounting as the page-mapped backend. Under
+    // pure zone-append/zone-reset traffic no wordline is ever IDA-coded
+    // (nothing creates partial wordline invalidity), so this stays
+    // zero — which is precisely what bench/ablation_zns_vs_page
+    // measures against the page-granular regime.
+    if (blk.isIdaWordline(geom_.wordlineOfPage(page))) {
+        auto &rc = stats_.readClass;
+        ++rc.idaServed;
+        const sim::Time conv = chips_.timing().conventionalReadLatency(
+            chips_.coding(), static_cast<int>(geom_.levelOfPage(page)));
+        const sim::Time actual = chips_.currentReadLatency(src);
+        rc.idaSavings += (conv - actual) * (1 + rounds);
+    }
+
+    const flash::SectorMask full = geom_.fullSectorMask();
+    const flash::SectorMask need =
+        sectors == 0 ? full : (sectors & full);
+    chips_.readPage(src, true, rounds, std::move(done), lpn,
+                    static_cast<std::uint32_t>(
+                        std::popcount(need == 0 ? full : need)));
+}
+
+bool
+ZnsFtl::openZone(std::uint32_t zone, bool implicit)
+{
+    if (openZones_ >= zcfg_.maxOpenZones)
+        return false;
+    state_[zone] = ZoneState::Open;
+    ++openZones_;
+    zstats_.maxOpenZones =
+        std::max<std::uint64_t>(zstats_.maxOpenZones, openZones_);
+    if (implicit)
+        ++zstats_.implicitOpens;
+    else
+        ++zstats_.opens;
+    return true;
+}
+
+void
+ZnsFtl::zoneAppend(std::uint32_t zone, PageDone done)
+{
+    if (refreshing_[zone] || resetQueued_[zone]) {
+        // Candidates are FULL zones, so an append here is already
+        // illegal by state; keep the guard anyway (defense against a
+        // future policy widening refresh to CLOSED zones).
+        illegalOp("append to zone under refresh", zone, std::move(done));
+        return;
+    }
+    if (state_[zone] == ZoneState::Full) {
+        illegalOp("append to FULL zone", zone, std::move(done));
+        return;
+    }
+    if (state_[zone] != ZoneState::Open) {
+        if (!zcfg_.implicitOpen) {
+            illegalOp("append to non-OPEN zone (implicit open disabled)",
+                      zone, std::move(done));
+            return;
+        }
+        if (!openZone(zone, /*implicit=*/true)) {
+            illegalOp("append exceeds the open-zone limit", zone,
+                      std::move(done));
+            return;
+        }
+    }
+
+    const std::uint64_t off = wp_[zone];
+    const Ppn dst = ppnOf(zone, off);
+    wp_[zone] = off + 1;
+    programmed_[zone] = wp_[zone];
+    ++zstats_.appends;
+    ++zstats_.appendedPages;
+    ++stats_.hostWrites;
+    if (wp_[zone] == zoneCap_) {
+        state_[zone] = ZoneState::Full;
+        --openZones_;
+    }
+    const Lpn lpn = std::uint64_t{zone} * zoneCap_ + off;
+    chips_.programPage(dst, std::move(done), lpn, /*host_data=*/true);
+}
+
+void
+ZnsFtl::applyReset(std::uint32_t zone, PageDone done)
+{
+    if (state_[zone] == ZoneState::Open)
+        --openZones_;
+    state_[zone] = ZoneState::Empty;
+    wp_[zone] = 0;
+    programmed_[zone] = 0;
+    ++zstats_.resets;
+
+    // Whole-zone invalidation: every programmed page of every backing
+    // block dies at once — the invalidation regime that never leaves a
+    // partially-invalid wordline behind for IDA to exploit.
+    std::uint32_t erases = 0;
+    for (std::uint32_t i = 0; i < zcfg_.blocksPerZone; ++i) {
+        auto &blk = chips_.block(zoneBlock(zone, i));
+        for (std::uint32_t p = 0; p < blk.writePointer(); ++p) {
+            if (blk.sectorMask(p) != 0) {
+                blk.invalidate(p);
+                ++zstats_.resetPages;
+            }
+        }
+        if (!blk.isErased())
+            ++erases;
+    }
+    if (erases == 0) {
+        completeNow(std::move(done));
+        return;
+    }
+
+    // Track the reset's erases through a slab slot so the completion
+    // events capture {this, slot} and the host callback fires exactly
+    // once, when the last block erase lands.
+    std::uint32_t slot;
+    if (freePendingReset_ != kNilSlot) {
+        slot = freePendingReset_;
+        freePendingReset_ = pendingResets_[slot].nextFree;
+    } else {
+        slot = static_cast<std::uint32_t>(pendingResets_.size());
+        pendingResets_.emplace_back();
+    }
+    PendingReset &pr = pendingResets_[slot];
+    pr.remaining = erases;
+    pr.done = std::move(done);
+    ++resetsInFlight_;
+
+    for (std::uint32_t i = 0; i < zcfg_.blocksPerZone; ++i) {
+        const BlockId b = zoneBlock(zone, i);
+        if (chips_.block(b).isErased())
+            continue;
+        ++zstats_.resetErases;
+        ++stats_.gc.erases;
+        chips_.eraseBlock(b, flash::DoneCallback{
+            [this, slot](sim::Time when) {
+                PendingReset &r = pendingResets_[slot];
+                if (--r.remaining > 0)
+                    return;
+                PageDone d = std::move(r.done);
+                r.nextFree = freePendingReset_;
+                freePendingReset_ = slot;
+                --resetsInFlight_;
+                if (d)
+                    d(when);
+            }});
+    }
+}
+
+void
+ZnsFtl::zoneReset(std::uint32_t zone, PageDone done)
+{
+    if (refreshing_[zone]) {
+        if (resetQueued_[zone]) {
+            illegalOp("second reset queued behind a refresh", zone,
+                      std::move(done));
+            return;
+        }
+        resetQueued_[zone] = true;
+        queuedResetDone_[zone] = std::move(done);
+        ++zstats_.deferredResets;
+        ++resetsInFlight_;
+        return;
+    }
+    applyReset(zone, std::move(done));
+}
+
+void
+ZnsFtl::zoneOpen(std::uint32_t zone, PageDone done)
+{
+    if (state_[zone] == ZoneState::Open) {
+        completeNow(std::move(done)); // already open: legal no-op
+        return;
+    }
+    if (state_[zone] == ZoneState::Full || refreshing_[zone] ||
+        resetQueued_[zone]) {
+        illegalOp("open", zone, std::move(done));
+        return;
+    }
+    if (!openZone(zone, /*implicit=*/false)) {
+        illegalOp("open exceeds the open-zone limit", zone,
+                  std::move(done));
+        return;
+    }
+    completeNow(std::move(done));
+}
+
+void
+ZnsFtl::zoneClose(std::uint32_t zone, PageDone done)
+{
+    if (state_[zone] == ZoneState::Closed) {
+        completeNow(std::move(done)); // already closed: legal no-op
+        return;
+    }
+    if (state_[zone] != ZoneState::Open) {
+        illegalOp("close of a non-OPEN zone", zone, std::move(done));
+        return;
+    }
+    --openZones_;
+    // A zone with nothing appended returns to EMPTY (it holds no data
+    // generation to age); anything else parks as CLOSED.
+    state_[zone] =
+        wp_[zone] == 0 ? ZoneState::Empty : ZoneState::Closed;
+    ++zstats_.closes;
+    completeNow(std::move(done));
+}
+
+void
+ZnsFtl::zoneFinish(std::uint32_t zone, PageDone done)
+{
+    if (state_[zone] == ZoneState::Full) {
+        completeNow(std::move(done)); // already full: legal no-op
+        return;
+    }
+    if (refreshing_[zone] || resetQueued_[zone]) {
+        illegalOp("finish of a zone under refresh", zone,
+                  std::move(done));
+        return;
+    }
+    if (state_[zone] == ZoneState::Open)
+        --openZones_;
+    state_[zone] = ZoneState::Full;
+    wp_[zone] = zoneCap_; // programmed_ keeps the real prefix
+    ++zstats_.finishes;
+    // Stamp the generation: a finished zone ages from now, even when
+    // its data was appended long before.
+    if (refreshedAt_[zone] == sim::Time{})
+        refreshedAt_[zone] = events_.now();
+    completeNow(std::move(done));
+}
+
+void
+ZnsFtl::preloadFill(std::uint64_t pages)
+{
+    if (pages > logicalPages())
+        sim::fatal("ZnsFtl::preloadFill: footprint exceeds logical "
+                   "capacity");
+    std::uint64_t remaining = pages;
+    for (std::uint32_t z = 0; z < zones_ && remaining > 0; ++z) {
+        const std::uint64_t fill = std::min(remaining, zoneCap_);
+        for (std::uint64_t off = 0; off < fill; ++off)
+            chips_.programImmediate(ppnOf(z, off));
+        wp_[z] = fill;
+        programmed_[z] = fill;
+        state_[z] = fill == zoneCap_ ? ZoneState::Full : ZoneState::Closed;
+        stats_.preloadWrites += fill;
+        zstats_.preloadPages += fill;
+        remaining -= fill;
+    }
+}
+
+void
+ZnsFtl::finalizePreload()
+{
+    // Mirror Ftl::finalizePreload: spread the apparent data ages so
+    // preloaded zones become refresh-eligible uniformly over
+    // preloadAgeSpread (defaulting to the refresh period) instead of
+    // storming at one instant.
+    const sim::Time spreadT = cfg_.preloadAgeSpread > sim::Time{}
+                                  ? cfg_.preloadAgeSpread
+                                  : cfg_.refreshPeriod;
+    const auto spread = static_cast<std::uint64_t>(spreadT.count());
+    for (std::uint32_t z = 0; z < zones_; ++z) {
+        if (programmed_[z] == 0)
+            continue;
+        refreshedAt_[z] = events_.now() - cfg_.refreshPeriod +
+                          sim::Time{rng_.uniformInt(0, spread)};
+    }
+}
+
+void
+ZnsFtl::startRefreshCandidates()
+{
+    // Retention refresh, the only device-initiated migration a ZNS
+    // backend performs: FULL zones whose data generation is older than
+    // the refresh period, oldest first (mirrors the page-mapped
+    // candidate policy of full, idle blocks).
+    for (std::uint32_t pass = 0;
+         activeRefresh_ < cfg_.maxConcurrentRefresh && pass < zones_;
+         ++pass) {
+        std::uint32_t best = zones_;
+        sim::Time bestAge{};
+        for (std::uint32_t z = 0; z < zones_; ++z) {
+            if (state_[z] != ZoneState::Full || refreshing_[z] ||
+                resetQueued_[z] || programmed_[z] == 0)
+                continue;
+            const sim::Time age = events_.now() - refreshedAt_[z];
+            if (age <= cfg_.refreshPeriod)
+                continue;
+            if (best == zones_ || refreshedAt_[z] < bestAge) {
+                best = z;
+                bestAge = refreshedAt_[z];
+            }
+        }
+        if (best == zones_ || sparePool_.empty())
+            break;
+        startRefresh(best);
+    }
+}
+
+void
+ZnsFtl::refreshScan()
+{
+    if (!started_)
+        return;
+    startRefreshCandidates();
+    events_.scheduleAfter(cfg_.refreshCheckInterval,
+                          [this] { refreshScan(); });
+}
+
+void
+ZnsFtl::startRefresh(std::uint32_t zone)
+{
+    std::uint32_t slot;
+    if (freeRefreshJob_ != kNilSlot) {
+        slot = freeRefreshJob_;
+        freeRefreshJob_ = refreshJobs_[slot].nextFree;
+    } else {
+        slot = static_cast<std::uint32_t>(refreshJobs_.size());
+        refreshJobs_.emplace_back();
+    }
+    RefreshJob &job = refreshJobs_[slot];
+    job.zone = zone;
+    job.blockIdx = 0;
+    job.pending = 0;
+    job.active = true;
+    refreshing_[zone] = true;
+    ++activeRefresh_;
+    migrateNextBlock(slot);
+}
+
+void
+ZnsFtl::migrateNextBlock(std::uint32_t slot)
+{
+    RefreshJob &job = refreshJobs_[slot];
+    while (job.blockIdx < zcfg_.blocksPerZone) {
+        const BlockId old = zoneBlock(job.zone, job.blockIdx);
+        const auto &blk = chips_.block(old);
+        if (blk.writePointer() == 0) {
+            ++job.blockIdx; // nothing programmed: nothing to migrate
+            continue;
+        }
+        if (sparePool_.empty()) {
+            // Out of spares mid-zone: finish with what was migrated.
+            // The swapped blocks carry fresh generations; the rest age
+            // until the next scan finds spares again.
+            finishRefresh(slot);
+            return;
+        }
+        job.oldBlock = old;
+        job.spare = sparePool_.front();
+        sparePool_.pop_front();
+        job.pagesToCopy = blk.writePointer();
+        job.pending = job.pagesToCopy;
+
+        // Phase 1: verification reads of the programmed prefix. All
+        // reads are issued at once (they sequence on the dies); the
+        // in-order programs of phase 2 are issued only after the last
+        // read lands.
+        stats_.refresh.extraReads += job.pagesToCopy;
+        for (std::uint32_t p = 0; p < job.pagesToCopy; ++p) {
+            const Ppn src = geom_.firstPpnOf(old) + p;
+            const int rounds = ecc_.retryRounds(
+                blk.eraseCount(), events_.now() - blk.programTime(),
+                rng_);
+            chips_.readPage(src, false, rounds,
+                            flash::DoneCallback{[this, slot](sim::Time) {
+                                onCopyReadDone(slot);
+                            }});
+        }
+        return;
+    }
+    finishRefresh(slot);
+}
+
+void
+ZnsFtl::onCopyReadDone(std::uint32_t slot)
+{
+    RefreshJob &job = refreshJobs_[slot];
+    if (--job.pending > 0)
+        return;
+
+    // Phase 2: program the copy into the spare block, in order — flash
+    // programs are sequential (Block::programNext), and in-order issue
+    // preserves every zone offset, keeping the algorithmic mapping
+    // intact across the swap.
+    job.pending = job.pagesToCopy;
+    stats_.refresh.migratedPages += job.pagesToCopy;
+    for (std::uint32_t p = 0; p < job.pagesToCopy; ++p) {
+        const Ppn dst = geom_.firstPpnOf(job.spare) + p;
+        chips_.programPage(dst, flash::DoneCallback{
+            [this, slot](sim::Time) { onCopyProgramDone(slot); }});
+    }
+}
+
+void
+ZnsFtl::onCopyProgramDone(std::uint32_t slot)
+{
+    RefreshJob &job = refreshJobs_[slot];
+    if (--job.pending > 0)
+        return;
+
+    // Phase 3: swap the zone->block table entry and erase the old
+    // block; it returns to the spare pool when the erase completes.
+    zoneTable_[std::uint64_t{job.zone} * zcfg_.blocksPerZone +
+               job.blockIdx] = job.spare;
+    const BlockId old = job.oldBlock;
+    ++zstats_.refreshErases;
+    ++stats_.gc.erases;
+    job.pending = 1;
+    chips_.eraseBlock(old, flash::DoneCallback{
+        [this, slot, old](sim::Time) {
+            sparePool_.push_back(old);
+            RefreshJob &j = refreshJobs_[slot];
+            ++j.blockIdx;
+            migrateNextBlock(slot);
+        }});
+}
+
+void
+ZnsFtl::finishRefresh(std::uint32_t slot)
+{
+    RefreshJob &job = refreshJobs_[slot];
+    const std::uint32_t zone = job.zone;
+    refreshedAt_[zone] = events_.now();
+    refreshing_[zone] = false;
+    job.active = false;
+    job.nextFree = freeRefreshJob_;
+    freeRefreshJob_ = slot;
+    --activeRefresh_;
+    ++stats_.refresh.refreshes;
+    ++stats_.refresh.baselineRefreshes;
+
+    if (resetQueued_[zone]) {
+        resetQueued_[zone] = false;
+        --resetsInFlight_; // applyReset re-counts its own erase tracking
+        applyReset(zone, std::move(queuedResetDone_[zone]));
+    }
+
+    // A finished job frees a concurrency slot: chain into the next
+    // aged candidate immediately (like Ftl::onRefreshFinished), or a
+    // backlog wave would drain at only maxConcurrentRefresh zones per
+    // refreshCheckInterval.
+    startRefreshCandidates();
+}
+
+} // namespace ida::ftl::zns

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The ZNS (zoned-namespace) FTL backend.
+ *
+ * Host-managed placement: the logical space is carved into fixed-size
+ * zones of `ZnsConfig::blocksPerZone` consecutive physical blocks, and
+ * the host may only append at a zone's write pointer or reset the whole
+ * zone. There is no page-level mapping table — the zone->block table
+ * plus the write pointer make the L2P translation algorithmic — and no
+ * garbage collection, because the host never creates page-granular
+ * invalidity: data dies a whole zone at a time (zoneReset), which is
+ * exactly the invalidation regime the IDA ablation contrasts with the
+ * page-mapped backend's overwrite-driven partial wordline invalidity
+ * (bench/ablation_zns_vs_page).
+ *
+ * What remains device-managed is retention: a periodic refresh scanner
+ * migrates zones whose data generation exceeds the refresh period into
+ * spare blocks (carved from the over-provisioned capacity), swaps the
+ * zone->block table entry, and erases the old block. Migration copies
+ * the programmed prefix in order, so zone offsets — and therefore the
+ * algorithmic mapping — are preserved.
+ *
+ * State-mutation model matches the page-mapped FTL: zone/block state
+ * changes synchronously when an operation is issued; flash commands
+ * only carry timing (flash/chip.hh). Illegal zone transitions panic in
+ * IDA_AUDIT builds and are counted (and completed as no-ops) otherwise.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ecc/ecc_model.hh"
+#include "flash/chip.hh"
+#include "ftl/ftl.hh"
+#include "ftl/zns/zns_config.hh"
+#include "ftl/zns/zone_types.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace ida::trace {
+class Recorder;
+}
+
+namespace ida::ftl::zns {
+
+using flash::BlockId;
+using flash::Lpn;
+using flash::Ppn;
+
+/** Zone-op and refresh accounting (serialized only for ZNS runs). */
+struct ZnsStats
+{
+    std::uint64_t appends = 0;        // append requests admitted
+    std::uint64_t appendedPages = 0;  // pages programmed by appends
+    std::uint64_t resets = 0;         // zone resets applied
+    std::uint64_t resetPages = 0;     // programmed pages invalidated
+    std::uint64_t resetErases = 0;    // block erases issued by resets
+    std::uint64_t opens = 0;          // explicit opens
+    std::uint64_t implicitOpens = 0;  // opens triggered by appends
+    std::uint64_t closes = 0;
+    std::uint64_t finishes = 0;
+    std::uint64_t illegalOps = 0;     // rejected ops (panic under audit)
+    std::uint64_t deferredResets = 0; // resets queued behind a refresh
+    std::uint64_t refreshErases = 0;  // old-block erases after migration
+    std::uint64_t maxOpenZones = 0;   // high-water mark of OPEN zones
+    std::uint64_t preloadPages = 0;   // pages installed by preload
+};
+
+/**
+ * The zoned FTL. Drives the same ChipArray/ECC machinery as the
+ * page-mapped ftl::Ftl; see the file comment for the model.
+ */
+class ZnsFtl
+{
+  public:
+    ZnsFtl(const flash::Geometry &geom, const FtlConfig &cfg,
+           const ZnsConfig &zcfg, flash::ChipArray &chips,
+           ecc::EccModel ecc, sim::EventQueue &events, sim::Rng &rng);
+
+    ZnsFtl(const ZnsFtl &) = delete;
+    ZnsFtl &operator=(const ZnsFtl &) = delete;
+
+    /** Exported logical capacity: zones x zoneCapacity pages. */
+    std::uint64_t logicalPages() const { return zones_ * zoneCap_; }
+
+    std::uint32_t zones() const { return zones_; }
+
+    /** Pages per zone (blocksPerZone x pagesPerBlock). */
+    std::uint64_t zoneCapacity() const { return zoneCap_; }
+
+    ZoneState state(std::uint32_t zone) const { return state_[zone]; }
+
+    /** Write pointer in pages from the zone start (capacity if FULL). */
+    std::uint64_t writePointer(std::uint32_t zone) const {
+        return wp_[zone];
+    }
+
+    /** Pages actually programmed (== wp except after zoneFinish). */
+    std::uint64_t programmedPages(std::uint32_t zone) const {
+        return programmed_[zone];
+    }
+
+    /** Zones currently OPEN. */
+    std::uint32_t openZones() const { return openZones_; }
+
+    /** True while a refresh job holds this zone. */
+    bool refreshing(std::uint32_t zone) const { return refreshing_[zone]; }
+
+    /** When this zone's resident data was last written/migrated. */
+    sim::Time refreshedAt(std::uint32_t zone) const {
+        return refreshedAt_[zone];
+    }
+
+    /** Physical block backing @p idx (0..blocksPerZone) of @p zone. */
+    BlockId zoneBlock(std::uint32_t zone, std::uint32_t idx) const {
+        return zoneTable_[std::uint64_t{zone} * zcfg_.blocksPerZone + idx];
+    }
+
+    /** Blocks currently in the spare (migration) pool. */
+    std::size_t spareBlocks() const { return sparePool_.size(); }
+
+    /** The @p i-th spare-pool block (audit walks; i < spareBlocks()). */
+    BlockId spareBlock(std::size_t i) const { return sparePool_[i]; }
+
+    /** Arm the periodic refresh scanner. Call once before running. */
+    void start();
+
+    /** Host read of @p sectors of one page (0 = whole page). Reads of
+     *  offsets at or beyond the programmed count complete immediately
+     *  (never-written data, like the page-mapped unmapped read). */
+    void hostRead(Lpn lpn, flash::SectorMask sectors, PageDone done);
+
+    /**
+     * Append one page at @p zone's write pointer. The assigned zone
+     * offset is implied by issue order (this simulator carries no data,
+     * so the append's LBA result is simply wp at issue time). Illegal
+     * when the zone is FULL, being refreshed, or cannot be opened.
+     */
+    void zoneAppend(std::uint32_t zone, PageDone done);
+
+    /**
+     * Reset @p zone: every programmed page is invalidated synchronously
+     * and each written block is erased; @p done fires when the last
+     * erase completes. Resetting a zone a refresh job holds is deferred
+     * until the job finishes (one deferral per zone; a second is
+     * illegal). Resetting an EMPTY zone is a legal no-op.
+     */
+    void zoneReset(std::uint32_t zone, PageDone done);
+
+    /** EMPTY/CLOSED -> OPEN (explicit open; illegal on FULL or when the
+     *  open-zone budget is exhausted; no-op on OPEN). */
+    void zoneOpen(std::uint32_t zone, PageDone done);
+
+    /** OPEN -> CLOSED (back to EMPTY when nothing was appended);
+     *  illegal on EMPTY/FULL; no-op on CLOSED. */
+    void zoneClose(std::uint32_t zone, PageDone done);
+
+    /** Jump the write pointer to capacity: zone -> FULL from any state
+     *  except a refreshing zone; no-op on FULL. */
+    void zoneFinish(std::uint32_t zone, PageDone done);
+
+    /**
+     * Instant (zero-time) preload: fill zones sequentially with
+     * @p pages programmed pages (whole zones become FULL, a trailing
+     * partial zone CLOSED). Mirrors Ssd::preloadSequential.
+     */
+    void preloadFill(std::uint64_t pages);
+
+    /** Stagger preloaded zones' refresh ages (see Ftl::finalizePreload). */
+    void finalizePreload();
+
+    /** True when no refresh job or deferred reset is outstanding. */
+    bool quiescent() const;
+
+    /** Shared-shape counters (read classification, refresh, host ops). */
+    const FtlStats &stats() const { return stats_; }
+
+    /** Zone-op accounting. */
+    const ZnsStats &znsStats() const { return zstats_; }
+
+    /** See Ftl::resetReadClassification. */
+    void resetReadClassification();
+
+    const FtlConfig &config() const { return cfg_; }
+    const ZnsConfig &znsConfig() const { return zcfg_; }
+    flash::ChipArray &chips() { return chips_; }
+    const flash::ChipArray &chips() const { return chips_; }
+    sim::EventQueue &events() { return events_; }
+
+    /** Span recorder attach point (IDA_TRACE builds only). */
+    void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
+
+  private:
+    /** One in-flight zone refresh: migrate each written block of the
+     *  zone into a spare, swap the table entry, erase the old block. */
+    struct RefreshJob
+    {
+        std::uint32_t zone = 0;
+        std::uint32_t blockIdx = 0;   // block being migrated
+        BlockId oldBlock = 0;
+        BlockId spare = 0;
+        std::uint32_t pagesToCopy = 0;
+        std::uint32_t pending = 0;    // outstanding command completions
+        std::uint32_t nextFree = 0;
+        bool active = false;
+    };
+
+    /** One in-flight zone reset waiting on its block erases. */
+    struct PendingReset
+    {
+        std::uint32_t remaining = 0;
+        PageDone done;
+        std::uint32_t nextFree = 0;
+    };
+
+    static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
+
+    /** Zone/offset of a flat logical page number. */
+    std::uint32_t zoneOf(Lpn lpn) const {
+        return static_cast<std::uint32_t>(lpn / zoneCap_);
+    }
+
+    /** Physical page of zone offset @p off in @p zone. */
+    Ppn ppnOf(std::uint32_t zone, std::uint64_t off) const;
+
+    void completeNow(PageDone done);
+    void illegalOp(const char *what, std::uint32_t zone, PageDone done);
+    void classifyHostRead(Ppn ppn);
+    bool openZone(std::uint32_t zone, bool implicit);
+    void applyReset(std::uint32_t zone, PageDone done);
+
+    void refreshScan();
+    void startRefreshCandidates();
+    void startRefresh(std::uint32_t zone);
+    void migrateNextBlock(std::uint32_t job);
+    void onCopyReadDone(std::uint32_t job);
+    void onCopyProgramDone(std::uint32_t job);
+    void finishRefresh(std::uint32_t job);
+
+    const flash::Geometry &geom_;
+    FtlConfig cfg_;
+    ZnsConfig zcfg_;
+    flash::ChipArray &chips_;
+    ecc::EccModel ecc_;
+    sim::EventQueue &events_;
+    sim::Rng &rng_;
+
+    std::uint32_t zones_;
+    std::uint64_t zoneCap_;
+
+    /** Zone -> physical blocks (flat, blocksPerZone entries per zone);
+     *  swapped under refresh migration. */
+    std::vector<BlockId> zoneTable_;
+    std::deque<BlockId> sparePool_;
+
+    std::vector<ZoneState> state_;
+    std::vector<std::uint64_t> wp_;
+    std::vector<std::uint64_t> programmed_;
+    std::vector<bool> refreshing_;
+    std::vector<sim::Time> refreshedAt_;
+
+    /** Deferred zone resets (one slot per zone, used under refresh). */
+    std::vector<bool> resetQueued_;
+    std::vector<PageDone> queuedResetDone_;
+
+    std::vector<RefreshJob> refreshJobs_;
+    std::uint32_t freeRefreshJob_ = kNilSlot;
+    int activeRefresh_ = 0;
+
+    std::vector<PendingReset> pendingResets_;
+    std::uint32_t freePendingReset_ = kNilSlot;
+    std::uint32_t resetsInFlight_ = 0;
+
+    std::uint32_t openZones_ = 0;
+    FtlStats stats_;
+    ZnsStats zstats_;
+    trace::Recorder *tracer_ = nullptr;
+    bool started_ = false;
+};
+
+} // namespace ida::ftl::zns

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Zone vocabulary shared across layers. Deliberately tiny — the host
+ * request layer (src/ssd), the workload layer (src/workload), and the
+ * ZNS FTL all need the zone-op and zone-state enums without pulling in
+ * each other's headers.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ida::ftl::zns {
+
+/**
+ * Zone management/IO operation carried by a host request. `None` means
+ * an ordinary read/write/TRIM request (the page-mapped vocabulary; on
+ * the ZNS backend only reads are legal among those).
+ */
+enum class ZoneOp : std::uint8_t {
+    None,
+    /** Sequentially program pageCount pages at the zone's write pointer. */
+    Append,
+    /** Invalidate the whole zone and erase its blocks; zone -> EMPTY. */
+    Reset,
+    /** Explicitly open a zone (EMPTY/CLOSED -> OPEN). */
+    Open,
+    /** Close an open zone (OPEN -> CLOSED). */
+    Close,
+    /** Fill-less finish: write pointer jumps to capacity; zone -> FULL. */
+    Finish,
+};
+
+/** The zone state machine's states (NVMe ZNS, simplified: no
+ *  read-only/offline states — the simulator has no media failures). */
+enum class ZoneState : std::uint8_t { Empty, Open, Closed, Full };
+
+/** Human-readable state name (for audit messages and reports). */
+inline const char *
+zoneStateName(ZoneState s)
+{
+    switch (s) {
+    case ZoneState::Empty:
+        return "EMPTY";
+    case ZoneState::Open:
+        return "OPEN";
+    case ZoneState::Closed:
+        return "CLOSED";
+    case ZoneState::Full:
+        return "FULL";
+    }
+    return "?";
+}
+
+} // namespace ida::ftl::zns

@@ -30,8 +30,9 @@ Ssd::Ssd(const SsdConfig &cfg)
         : ecc::EccModel(cfg_.adjustErrorRate,
                         ecc::RetryModel::lifetimePhase(
                             cfg_.retrySeverity));
-    ftl_ = std::make_unique<ftl::Ftl>(cfg_.geometry, cfg_.ftl, *chips_,
-                                      std::move(ecc), events_, rng_);
+    backend_ = std::make_unique<ftl::FtlBackend>(
+        cfg_.backend, cfg_.geometry, cfg_.ftl, cfg_.zns, *chips_,
+        std::move(ecc), events_, rng_);
 }
 
 Ssd::~Ssd() = default;
@@ -42,15 +43,13 @@ Ssd::preloadSequential(std::uint64_t pages)
     if (pages > logicalPages())
         sim::fatal("Ssd::preloadSequential: footprint exceeds logical "
                    "capacity");
-    for (flash::Lpn lpn = 0; lpn < pages; ++lpn)
-        ftl_->preloadWrite(lpn);
-    ftl_->finalizePreload();
+    backend_->preload(pages);
 }
 
 void
 Ssd::start()
 {
-    ftl_->start();
+    backend_->start();
 }
 
 void
@@ -60,15 +59,27 @@ Ssd::enableTracing(bool retain_spans)
     opts.retainSpans = retain_spans;
     tracer_ = std::make_unique<trace::Recorder>(opts);
     chips_->setTracer(tracer_.get());
-    ftl_->setTracer(tracer_.get());
+    backend_->setTracer(tracer_.get());
 }
 
 void
 Ssd::validateRequest(const HostRequest &req) const
 {
+    if (req.zoneOp != ftl::zns::ZoneOp::None) {
+        if (cfg_.backend != ftl::BackendKind::Zns)
+            sim::fatal("Ssd::submit: zone op on a non-ZNS device");
+        if (req.isTrim)
+            sim::fatal("Ssd::submit: zone op cannot also be a TRIM");
+        if (req.zone >= backend_->zns().zones())
+            sim::fatal("Ssd::submit: zone index beyond the namespace");
+        if (req.zoneOp == ftl::zns::ZoneOp::Append &&
+            req.pageCount == 0)
+            sim::fatal("Ssd::submit: empty zone append");
+        return; // page/sector range fields are ignored for zone ops
+    }
     if (req.pageCount == 0)
         sim::fatal("Ssd::submit: empty request");
-    if (req.startPage + req.pageCount > ftl_->logicalPages())
+    if (req.startPage + req.pageCount > backend_->logicalPages())
         sim::fatal("Ssd::submit: request beyond logical capacity");
     if (req.sectorCount != 0) {
         // A sub-page request's sector range must stay inside its page
@@ -194,14 +205,53 @@ Ssd::dispatchSlot(std::uint32_t slot)
     const std::uint32_t pageCount = rs.req.pageCount;
     const std::uint32_t startSector = rs.req.startSector;
     const std::uint32_t sectorCount = rs.req.sectorCount;
+    const ftl::zns::ZoneOp zoneOp = rs.req.zoneOp;
+    const std::uint32_t zone = rs.req.zone;
+
+    if (zoneOp != ftl::zns::ZoneOp::None) {
+        if (zoneOp == ftl::zns::ZoneOp::Append) {
+            // A multi-page append fans out like a write: one FTL call
+            // per page, completing when the last page lands.
+            requestSlots_[slot].pending = pageCount;
+            for (std::uint32_t i = 0; i < pageCount; ++i)
+                backend_->zoneAppend(
+                    zone, ftl::PageDone{[this, slot](sim::Time when) {
+                        pageDone(slot, when);
+                    }});
+            return;
+        }
+        // Management ops are a single FTL operation; resets complete
+        // when their erases land, the rest complete synchronously.
+        requestSlots_[slot].pending = 1;
+        ftl::PageDone done{[this, slot](sim::Time when) {
+            pageDone(slot, when);
+        }};
+        switch (zoneOp) {
+          case ftl::zns::ZoneOp::Reset:
+            backend_->zoneReset(zone, std::move(done));
+            break;
+          case ftl::zns::ZoneOp::Open:
+            backend_->zoneOpen(zone, std::move(done));
+            break;
+          case ftl::zns::ZoneOp::Close:
+            backend_->zoneClose(zone, std::move(done));
+            break;
+          case ftl::zns::ZoneOp::Finish:
+            backend_->zoneFinish(zone, std::move(done));
+            break;
+          default:
+            sim::panic("Ssd::dispatchSlot: bad zone op");
+        }
+        return;
+    }
 
     if (rs.req.isTrim) {
         // TRIMs are absorbed by the mapping layer: all pages deallocate
         // synchronously at dispatch, with no simulated flash command
         // and no response-time sample.
         for (std::uint32_t i = 0; i < pageCount; ++i)
-            ftl_->hostTrim(startPage + i,
-                           pageMaskOf(startSector, sectorCount, i));
+            backend_->hostTrim(startPage + i,
+                               pageMaskOf(startSector, sectorCount, i));
         RequestSlot &trimmed = requestSlots_[slot];
         const sim::Time arrival = trimmed.req.arrival;
         std::function<void(sim::Time)> onComplete =
@@ -224,9 +274,9 @@ Ssd::dispatchSlot(std::uint32_t slot)
             pageDone(slot, when);
         }};
         if (isRead)
-            ftl_->hostRead(lpn, mask, std::move(done));
+            backend_->hostRead(lpn, mask, std::move(done));
         else
-            ftl_->hostWrite(lpn, mask, std::move(done));
+            backend_->hostWrite(lpn, mask, std::move(done));
     }
 }
 
@@ -247,16 +297,27 @@ Ssd::pageDone(std::uint32_t slot, sim::Time when)
         req.onComplete(lastDone);
     if (req.arrival < stats_.measureStart)
         return; // warm-up request
+    if (req.zoneOp != ftl::zns::ZoneOp::None &&
+        req.zoneOp != ftl::zns::ZoneOp::Append) {
+        // Zone management, like TRIM, is metadata work: counted but
+        // contributing no read/write response sample.
+        ++stats_.zoneMgmtRequests;
+        stats_.lastCompletion = std::max(stats_.lastCompletion, lastDone);
+        return;
+    }
     const double resp = sim::toUsec(lastDone - req.arrival);
+    // Appends are whole-page writes whatever isRead says; the sector
+    // fields are ignored for zone ops.
+    const bool isAppend = req.zoneOp == ftl::zns::ZoneOp::Append;
     const std::uint64_t bytes =
-        req.sectorCount != 0
+        req.sectorCount != 0 && !isAppend
             ? std::uint64_t{req.sectorCount} *
                   cfg_.geometry.sectorSizeBytes
             : std::uint64_t{req.pageCount} *
                   cfg_.geometry.pageSizeBytes;
     SsdStats &st = stats_;
     st.lastCompletion = std::max(st.lastCompletion, lastDone);
-    if (req.isRead) {
+    if (req.isRead && !isAppend) {
         ++st.readRequests;
         st.readResponseUs.add(resp);
         st.readHist.add(resp);
@@ -272,7 +333,7 @@ bool
 Ssd::drained() const
 {
     return inflightRequests_ == 0 && chips_->inflight() == 0 &&
-           ftl_->quiescent();
+           backend_->quiescent();
 }
 
 } // namespace ida::ssd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "ftl/gauges.hh"
 #include "sim/log.hh"
 #include "trace/recorder.hh"
 
@@ -121,7 +122,7 @@ runStream(const ssd::SsdConfig &device, TraceStream &trace,
     const sim::Time measure_start = warmup_fraction * horizon;
     ssd.setMeasureStart(measure_start);
     ssd.events().schedule(measure_start, [&ssd] {
-        ssd.ftl().resetReadClassification();
+        ssd.backend().resetReadClassification();
     });
     ssd.start();
 
@@ -158,17 +159,29 @@ harvestResult(const ssd::Ssd &ssd, const std::string &workload_label,
     r.throughputMBps = st.readThroughputMBps();
     r.measuredReads = st.readRequests;
     r.measuredWrites = st.writeRequests;
-    r.ftl = ssd.ftl().stats();
+    r.ftl = ssd.backend().stats();
     r.chip = ssd.chips().stats();
     r.wear = ftl::captureWear(ssd.chips());
-    r.cache = ssd.ftl().readCacheStats();
     r.trimRequests = st.trimRequests;
     r.pastSchedules = ssd.events().pastSchedules();
-    r.partialValidPages = ssd.ftl().countPartialValidPages();
-    r.idaEligibleWordlines = ssd.ftl().countIdaEligibleWordlines();
+    r.partialValidPages = ftl::countPartialValidPages(
+        ssd.config().geometry, ssd.chips());
+    r.idaEligibleWordlines = ftl::countIdaEligibleWordlines(
+        ssd.config().geometry, ssd.chips());
     if (ssd.tracer())
         r.attribution = ssd.tracer()->summary();
-    r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();
+    if (ssd.backend().kind() == ftl::BackendKind::Zns) {
+        const ftl::zns::ZnsFtl &z = ssd.backend().zns();
+        r.znsBackend = true;
+        r.zns = z.znsStats();
+        r.zoneMgmtRequests = st.zoneMgmtRequests;
+        // Every zone-table block is mapped space on a ZNS device.
+        r.inUseBlocksEnd =
+            std::uint64_t{z.zones()} * ssd.config().zns.blocksPerZone;
+    } else {
+        r.cache = ssd.ftl().readCacheStats();
+        r.inUseBlocksEnd = ssd.ftl().blocks().inUseBlocks();
+    }
     r.totalBlocks = ssd.config().geometry.blocks();
     r.footprintPages = footprint_pages;
     r.simulatedTime = ssd.events().now();

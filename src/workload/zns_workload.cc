@@ -1,0 +1,359 @@
+#include "workload/zns_workload.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/log.hh"
+#include "trace/recorder.hh"
+
+namespace ida::workload {
+
+namespace {
+
+/** Host-side mirror of a zone's state. `Resetting` covers the window
+ *  between submitting a reset and its last erase completing, during
+ *  which the host must not touch the zone (the device may also still
+ *  be refreshing it, with the reset deferred). */
+enum class HostZone : std::uint8_t {
+    Empty,
+    Active, // open and being appended
+    Closed,
+    Full,
+    Resetting,
+};
+
+/** The log-structured ZNS host (see the header). One instance drives
+ *  one closed-loop run; every member is host bookkeeping only. */
+struct ZnsHost
+{
+    ssd::Ssd &ssd;
+    const ZnsWorkloadConfig &wl;
+    sim::Rng rng;
+
+    std::uint32_t zones;
+    std::uint64_t zoneCap;
+    std::uint32_t maxActive;
+
+    std::vector<HostZone> state;
+    std::vector<std::uint64_t> wp;   // host view of the write pointer
+    std::vector<std::uint64_t> prog; // host view of programmed pages
+    std::deque<std::uint32_t> fullFifo;   // reset victims, oldest first
+    std::deque<std::uint32_t> closedPool; // reopen candidates
+    std::vector<std::uint32_t> active;
+    std::uint32_t nextEmpty = 0; // scan hint over `state`
+
+    std::uint64_t submitted = 0;
+    std::uint64_t warmCount = 0;
+    bool exhausted = false;
+
+    ZnsHost(ssd::Ssd &ssd_, const ZnsWorkloadConfig &wl_,
+            std::uint32_t preloaded_zones)
+        : ssd(ssd_), wl(wl_), rng(wl_.seed)
+    {
+        const ftl::zns::ZnsFtl &z = ssd.backend().zns();
+        zones = z.zones();
+        zoneCap = z.zoneCapacity();
+        maxActive = std::max<std::uint32_t>(
+            1, std::min(wl.activeZones,
+                        ssd.config().zns.maxOpenZones));
+        state.assign(zones, HostZone::Empty);
+        wp.assign(zones, 0);
+        prog.assign(zones, 0);
+        for (std::uint32_t zn = 0; zn < preloaded_zones; ++zn) {
+            state[zn] = HostZone::Full;
+            wp[zn] = prog[zn] = zoneCap;
+            fullFifo.push_back(zn);
+        }
+        warmCount = static_cast<std::uint64_t>(
+            wl.warmupFraction * static_cast<double>(wl.totalRequests));
+    }
+
+    /** One closed-loop turn: submit exactly one request, completing
+     *  back into pump(). Returns false when the budget is spent. */
+    bool pump()
+    {
+        if (submitted >= wl.totalRequests) {
+            exhausted = true;
+            return false;
+        }
+        if (submitted == warmCount) {
+            ssd.setMeasureStart(ssd.events().now());
+            ssd.backend().resetReadClassification();
+        }
+        ++submitted;
+        if (rng.chance(wl.readFraction) && submitRead())
+            return true;
+        submitAppendTurn();
+        return true;
+    }
+
+    void submitZoneOp(ftl::zns::ZoneOp op, std::uint32_t zone,
+                      std::uint32_t page_count,
+                      std::function<void(sim::Time)> on_complete)
+    {
+        ssd::HostRequest hr;
+        hr.arrival = ssd.events().now();
+        hr.isRead = false;
+        hr.zoneOp = op;
+        hr.zone = zone;
+        hr.pageCount = page_count;
+        hr.onComplete = std::move(on_complete);
+        ssd.submit(hr);
+    }
+
+    std::function<void(sim::Time)> pumpNext()
+    {
+        return [this](sim::Time) { pump(); };
+    }
+
+    /** Read a burst of written pages; false when nothing is readable
+     *  (the caller falls through to an append turn). */
+    bool submitRead()
+    {
+        // Prefer settled (full) zones; fall back to a zone mid-append.
+        std::uint32_t zone = zones;
+        if (!fullFifo.empty()) {
+            zone = fullFifo[static_cast<std::size_t>(
+                rng.uniformInt(0, fullFifo.size() - 1))];
+        } else {
+            for (std::uint32_t cand : active)
+                if (prog[cand] > 0) {
+                    zone = cand;
+                    break;
+                }
+        }
+        if (zone == zones || prog[zone] == 0)
+            return false;
+        // Mostly within the programmed prefix; rarely beyond it, to
+        // exercise the unmapped-read path of finished zones.
+        const bool probe = prog[zone] < zoneCap && rng.chance(0.02);
+        const std::uint64_t limit = probe ? zoneCap : prog[zone];
+        const std::uint64_t off = rng.uniformInt(0, limit - 1);
+        const std::uint32_t count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(1 + rng.uniformInt(0, 3),
+                                    limit - off));
+        ssd::HostRequest hr;
+        hr.arrival = ssd.events().now();
+        hr.isRead = true;
+        hr.startPage = std::uint64_t{zone} * zoneCap + off;
+        hr.pageCount = count;
+        hr.onComplete = pumpNext();
+        ssd.submit(hr);
+        return true;
+    }
+
+    /** A write turn: usually an append, sometimes a finish/close, and
+     *  when no zone is appendable, the acquisition step (open or
+     *  reset) that makes one so. */
+    void submitAppendTurn()
+    {
+        if (!active.empty() && rng.chance(wl.finishFraction)) {
+            finishZone(takeActive());
+            return;
+        }
+        if (!active.empty() && rng.chance(wl.closeFraction)) {
+            closeZone(takeActive());
+            return;
+        }
+        if (active.size() < maxActive && acquireZone())
+            return; // the acquisition op consumed this turn
+        if (active.empty()) {
+            // Nothing appendable and nothing acquirable right now
+            // (e.g. every candidate is mid-reset): keep the loop
+            // alive with a read — legal in every zone state, even of
+            // never-written offsets (the unmapped-read path).
+            if (!submitRead()) {
+                ssd::HostRequest hr;
+                hr.arrival = ssd.events().now();
+                hr.isRead = true;
+                hr.startPage = rng.uniformInt(0, zones - 1) * zoneCap;
+                hr.onComplete = pumpNext();
+                ssd.submit(hr);
+            }
+            return;
+        }
+        appendTo(active[static_cast<std::size_t>(
+            rng.uniformInt(0, active.size() - 1))]);
+    }
+
+    std::uint32_t takeActive()
+    {
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniformInt(0, active.size() - 1));
+        const std::uint32_t zone = active[i];
+        active[i] = active.back();
+        active.pop_back();
+        return zone;
+    }
+
+    void appendTo(std::uint32_t zone)
+    {
+        const std::uint32_t burst = std::max(1u, wl.appendBurstPages);
+        const std::uint64_t room = zoneCap - wp[zone];
+        const std::uint32_t count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(1 + rng.uniformInt(0, 2 * burst - 2),
+                                    room));
+        submitZoneOp(ftl::zns::ZoneOp::Append, zone, count, pumpNext());
+        wp[zone] += count;
+        prog[zone] = wp[zone];
+        if (wp[zone] == zoneCap) {
+            // The device transitions OPEN -> FULL on the last append.
+            state[zone] = HostZone::Full;
+            fullFifo.push_back(zone);
+            active.erase(std::find(active.begin(), active.end(), zone));
+        }
+    }
+
+    void finishZone(std::uint32_t zone)
+    {
+        submitZoneOp(ftl::zns::ZoneOp::Finish, zone, 1, pumpNext());
+        state[zone] = HostZone::Full;
+        wp[zone] = zoneCap; // programmed pages stay where they were
+        fullFifo.push_back(zone);
+    }
+
+    void closeZone(std::uint32_t zone)
+    {
+        submitZoneOp(ftl::zns::ZoneOp::Close, zone, 1, pumpNext());
+        if (wp[zone] == 0) {
+            state[zone] = HostZone::Empty; // the device falls to EMPTY
+        } else {
+            state[zone] = HostZone::Closed;
+            closedPool.push_back(zone);
+        }
+    }
+
+    /**
+     * Make a zone appendable, spending this turn's request on the
+     * transition op: reopen a closed zone, open/claim an empty one, or
+     * reset the oldest full zone. Returns false when nothing could be
+     * acquired without an op (the claimed zone appends right away).
+     */
+    bool acquireZone()
+    {
+        if (!closedPool.empty()) {
+            const std::uint32_t zone = closedPool.front();
+            closedPool.pop_front();
+            state[zone] = HostZone::Active;
+            active.push_back(zone);
+            if (rng.chance(wl.explicitOpenFraction)) {
+                submitZoneOp(ftl::zns::ZoneOp::Open, zone, 1, pumpNext());
+                return true;
+            }
+            appendTo(zone); // implicit open on the first append
+            return true;
+        }
+        for (std::uint32_t n = 0; n < zones; ++n) {
+            const std::uint32_t zone = (nextEmpty + n) % zones;
+            if (state[zone] != HostZone::Empty)
+                continue;
+            nextEmpty = (zone + 1) % zones;
+            state[zone] = HostZone::Active;
+            active.push_back(zone);
+            if (rng.chance(wl.explicitOpenFraction)) {
+                submitZoneOp(ftl::zns::ZoneOp::Open, zone, 1, pumpNext());
+                return true;
+            }
+            appendTo(zone);
+            return true;
+        }
+        if (!fullFifo.empty()) {
+            const std::uint32_t zone = fullFifo.front();
+            fullFifo.pop_front();
+            state[zone] = HostZone::Resetting;
+            // Resetting a zone the device is refreshing is legal (the
+            // device defers it); the host just stays away until the
+            // completion marks the zone empty again.
+            submitZoneOp(ftl::zns::ZoneOp::Reset, zone, 1,
+                         [this, zone](sim::Time) {
+                             state[zone] = HostZone::Empty;
+                             wp[zone] = prog[zone] = 0;
+                             pump();
+                         });
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+RunResult
+runZnsWorkload(const ssd::SsdConfig &device, const ZnsWorkloadConfig &wl,
+               const std::string &label)
+{
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    ssd::SsdConfig cfg = device;
+    if (cfg.backend != ftl::BackendKind::Zns)
+        sim::fatal("runZnsWorkload: device does not select the ZNS "
+                   "backend");
+    // Saturation runs are short; age the preloaded data so the refresh
+    // wave happens in preparation, before measurement (runClosedLoop
+    // does the same for the page-mapped backend).
+    cfg.ftl.preloadAgeSpread = sim::kSec;
+    ssd::Ssd ssd(cfg);
+    if (trace::compiledIn())
+        ssd.enableTracing();
+
+    const ftl::zns::ZnsFtl &z = ssd.backend().zns();
+    const std::uint32_t zones = z.zones();
+    const std::uint64_t zoneCap = z.zoneCapacity();
+    if (zones < 4)
+        sim::fatal("runZnsWorkload: need at least 4 zones");
+
+    // Preload whole zones up to the utilization target, always leaving
+    // room for the active zones plus one spare empty zone.
+    const auto headroom = std::max<std::uint32_t>(wl.activeZones + 1, 2);
+    const std::uint32_t preloaded = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(wl.utilizationTarget *
+                                   static_cast<double>(zones)),
+        zones - headroom);
+    ssd.preloadSequential(std::uint64_t{preloaded} * zoneCap);
+    ssd.start();
+
+    // Preparation: complete the initial refresh wave over the
+    // preloaded zones so measurement sees the refreshed steady state.
+    const sim::Time prep_limit =
+        ssd.events().now() + 30ll * 24 * sim::kHour;
+    for (;;) {
+        ssd.events().runUntil(ssd.events().now() + 10 * sim::kSec);
+        bool candidates = false;
+        for (std::uint32_t zn = 0; zn < zones && !candidates; ++zn)
+            candidates = z.state(zn) == ftl::zns::ZoneState::Full &&
+                         !z.refreshing(zn) && z.programmedPages(zn) > 0 &&
+                         ssd.events().now() - z.refreshedAt(zn) >
+                             cfg.ftl.refreshPeriod;
+        if ((ssd.backend().quiescent() && !candidates) ||
+            ssd.events().now() > prep_limit)
+            break;
+    }
+
+    ZnsHost host(ssd, wl, preloaded);
+    for (int i = 0; i < std::max(1, wl.queueDepth); ++i)
+        if (!host.pump())
+            break;
+
+    const sim::Time limit =
+        ssd.events().now() + 30ll * 24 * sim::kHour;
+    while (!(host.exhausted && ssd.drained()) &&
+           ssd.events().now() < limit) {
+        if (ssd.events().empty())
+            break;
+        ssd.events().runUntil(ssd.events().now() + sim::kSec);
+    }
+    if (!ssd.drained())
+        sim::warn("runZnsWorkload: device did not drain");
+
+    RunResult r =
+        harvestResult(ssd, label, std::uint64_t{preloaded} * zoneCap);
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+    return r;
+}
+
+} // namespace ida::workload

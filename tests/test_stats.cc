@@ -167,6 +167,78 @@ TEST(Histogram, ResetClears)
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(Histogram, MergeEmptyIntoNonEmptyIsIdentity)
+{
+    Histogram a(1.0, 1.25, 96), empty(1.0, 1.25, 96);
+    for (double v : {2.0, 8.0, 64.0})
+        a.add(v);
+    const double p50 = a.quantile(0.5);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), (2.0 + 8.0 + 64.0) / 3.0);
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), p50);
+
+    // The other direction: an empty histogram absorbs the donor whole.
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+    EXPECT_DOUBLE_EQ(empty.mean(), a.mean());
+    EXPECT_DOUBLE_EQ(empty.quantile(0.99), a.quantile(0.99));
+}
+
+TEST(Histogram, MergeMatchesSingleStreamBucketForBucket)
+{
+    // Merging shards must equal having added every sample to one
+    // histogram — counts, sum, and every bucket.
+    Histogram whole(1.0, 1.5, 48), shard1(1.0, 1.5, 48),
+        shard2(1.0, 1.5, 48);
+    for (int i = 1; i <= 40; ++i) {
+        const double v = 0.7 * i * i; // spans many buckets
+        whole.add(v);
+        (i % 2 ? shard1 : shard2).add(v);
+    }
+    shard1.merge(shard2);
+    EXPECT_EQ(shard1.count(), whole.count());
+    EXPECT_DOUBLE_EQ(shard1.mean(), whole.mean());
+    ASSERT_EQ(shard1.buckets().size(), whole.buckets().size());
+    for (std::size_t b = 0; b < whole.buckets().size(); ++b)
+        EXPECT_EQ(shard1.buckets()[b], whole.buckets()[b]) << "bucket " << b;
+    for (double q : {0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(shard1.quantile(q), whole.quantile(q)) << q;
+}
+
+TEST(Histogram, MergePropagatesNonFiniteCounts)
+{
+    Histogram a, b;
+    a.add(1.0);
+    b.add(std::numeric_limits<double>::quiet_NaN());
+    b.add(std::numeric_limits<double>::infinity());
+    b.add(4.0);
+    a.merge(b);
+    // +inf lands in the overflow bucket (counted, excluded from the
+    // sum); NaN is excluded everywhere but remembered.
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.nonFiniteCount(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), (1.0 + 4.0) / 3.0);
+}
+
+TEST(Histogram, MergeQuantilesStayWithinBucketResolution)
+{
+    // Quantile stability under merge: a merged histogram's quantile can
+    // only move within one bucket's resolution of the donors' envelope,
+    // never outside [min donor q, max donor q] rounded to bucket bounds.
+    Histogram a(1.0, 1.25, 64), b(1.0, 1.25, 64);
+    for (int i = 0; i < 100; ++i)
+        a.add(10.0);
+    for (int i = 0; i < 100; ++i)
+        b.add(1000.0);
+    const double qa = a.quantile(0.5), qb = b.quantile(0.5);
+    a.merge(b);
+    EXPECT_GE(a.quantile(0.5), std::min(qa, qb));
+    EXPECT_LE(a.quantile(0.5), std::max(qa, qb));
+    EXPECT_DOUBLE_EQ(a.quantile(0.25), qa);
+    EXPECT_DOUBLE_EQ(a.quantile(0.9), qb);
+}
+
 TEST(Table, AlignedOutputContainsCells)
 {
     Table t({"name", "value"});

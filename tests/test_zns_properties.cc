@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Property tests for the ZNS zone state machine.
+ *
+ * Each seed drives a randomized zone-op sequence (append / read /
+ * open / close / finish / reset, with refresh migration running
+ * underneath) through the model driver in tests/ftl_model.hh, which
+ * checks the state-machine invariants the whole way:
+ *
+ *  - the device's zone state/write-pointer/programmed triples track the
+ *    reference state machine exactly,
+ *  - no op the reference machine considers legal is ever rejected,
+ *  - the open-zone count never exceeds the configured budget,
+ *  - reads of appended data are always mapped, reads beyond the
+ *    programmed prefix never are,
+ *  - the cross-layer audit (zone<->write-pointer<->block agreement,
+ *    program/erase conservation) stays clean.
+ *
+ * On failure the harness shrinks by bisection to the minimal op count
+ * that still fails — the (seed, ops) pair is a complete reproducer,
+ * the same discipline as test_coding_properties.cc. Sequence legality
+ * is intentional: illegal transitions panic under IDA_AUDIT (the death
+ * tests in test_zns.cc pin that), so a surviving process plus a clean
+ * outcome is itself the property.
+ *
+ * IDA_ZNS_PROPERTY_SEEDS (env) widens the sweep beyond the tier-1
+ * default.
+ */
+#include <cstdint>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "ftl_model.hh"
+
+namespace {
+
+using ida::ftl::BackendKind;
+using ida::testing::ModelConfig;
+using ida::testing::ModelOutcome;
+using ida::testing::runFtlModel;
+
+constexpr std::uint64_t kOpsPerSeed = 600;
+
+ModelOutcome
+runSeed(std::uint64_t seed, std::uint64_t ops)
+{
+    ModelConfig mc;
+    mc.backend = BackendKind::Zns;
+    mc.seed = seed;
+    mc.ops = ops;
+    mc.batchOps = 50; // validate often: shrunk repros stay tight
+    return runFtlModel(mc);
+}
+
+bool
+fails(std::uint64_t seed, std::uint64_t ops)
+{
+    const ModelOutcome out = runSeed(seed, ops);
+    return out.modelFailures != 0 || out.auditViolations != 0;
+}
+
+/** Smallest op count <= ops that still fails for @p seed. */
+std::uint64_t
+shrinkFailure(std::uint64_t seed, std::uint64_t ops)
+{
+    std::uint64_t lo = 1, hi = ops;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (fails(seed, mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+std::uint64_t
+seedCount()
+{
+    if (const char *env = std::getenv("IDA_ZNS_PROPERTY_SEEDS"))
+        return std::strtoull(env, nullptr, 10);
+    return 6;
+}
+
+TEST(ZnsProperties, RandomOpSequencesHoldTheStateMachineInvariants)
+{
+    std::uint64_t seedsWithUnmappedReads = 0;
+    std::uint64_t seedsWithRefresh = 0;
+    for (std::uint64_t seed = 1; seed <= seedCount(); ++seed) {
+        const ModelOutcome out = runSeed(seed, kOpsPerSeed);
+        if (out.modelFailures != 0 || out.auditViolations != 0) {
+            const std::uint64_t minimal =
+                shrinkFailure(seed, kOpsPerSeed);
+            const ModelOutcome rerun = runSeed(seed, minimal);
+            FAIL() << "seed " << seed << " fails; minimal repro: ops="
+                   << minimal << ": "
+                   << (rerun.modelFailures ? rerun.firstFailure
+                                           : rerun.auditSummary);
+        }
+        ASSERT_EQ(out.opsIssued, kOpsPerSeed) << "seed " << seed;
+        seedsWithUnmappedReads += out.unmappedReads > 0;
+        seedsWithRefresh += out.refreshes > 0;
+    }
+    // The sweep as a whole must visit the interesting paths, or the
+    // properties above are vacuous.
+    EXPECT_GT(seedsWithUnmappedReads, 0u);
+    EXPECT_GT(seedsWithRefresh, 0u);
+}
+
+TEST(ZnsProperties, PassingPrefixesStayPassing)
+{
+    // The shrinker's contract: fails(seed, n) is monotone in n for a
+    // deterministic op stream — if the full sequence passes, every
+    // prefix passes (bisection would otherwise return nonsense). Pin
+    // it on a few prefixes of a known-clean seed.
+    for (std::uint64_t ops : {std::uint64_t{1}, std::uint64_t{7},
+                              std::uint64_t{60}, std::uint64_t{200}}) {
+        EXPECT_FALSE(fails(11, ops)) << "prefix " << ops;
+    }
+}
+
+} // namespace

@@ -57,7 +57,7 @@ struct Finding
 const std::vector<std::string> kHotPathDirs = {
     "src/sim/",
     "src/flash/",
-    "src/ftl/",
+    "src/ftl/",   // prefix match: includes src/ftl/zns/ (ZNS backend)
     "src/cache/", // read-cache lookups sit on every host-read dispatch
     "src/fleet/", // staging/merge runs once per host IO per epoch
 };
