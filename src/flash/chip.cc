@@ -305,6 +305,7 @@ ChipArray::occupyDie(DieId die, sim::Time end, bool suspendable,
     events_.schedule(end, [this, die, gen] { onDieOpEnd(die, gen); });
 }
 
+// ida-lint: hot-path-root
 void
 ChipArray::onDieOpEnd(DieId die, std::uint64_t gen)
 {

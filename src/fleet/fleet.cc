@@ -168,6 +168,7 @@ Fleet::submitStaged()
     }
 }
 
+// ida-lint: shard-root
 void
 Fleet::shardMain(int shard)
 {

@@ -636,6 +636,8 @@ Ftl::maybeStartGc(std::uint64_t plane)
     raw->start();
 }
 
+// Runs as an event-queue callback, so everything it reaches is
+// dispatch-path code. ida-lint: hot-path-root
 void
 Ftl::onGcFinished(std::uint64_t plane)
 {
@@ -669,6 +671,7 @@ Ftl::startRefreshCandidates()
     }
 }
 
+// Self-rescheduling event-queue callback. ida-lint: hot-path-root
 void
 Ftl::refreshScan()
 {

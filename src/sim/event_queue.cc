@@ -15,6 +15,8 @@ EventQueue::growPool()
     if (poolCount_ >= (std::uint32_t{1} << 26))
         fatal("EventQueue: more than 2^26 events pending");
     if ((poolCount_ & kChunkMask) == 0)
+        // Amortized slab growth: one chunk per kChunkNodes events,
+        // never per-dispatch. ida-lint: allow(IDA010)
         chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
     return poolCount_++;
 }
@@ -256,6 +258,7 @@ EventQueue::validateHeap(std::string *why) const
     return true;
 }
 
+// ida-lint: hot-path-root
 Time
 EventQueue::run()
 {
@@ -269,6 +272,7 @@ EventQueue::run()
     return now_;
 }
 
+// ida-lint: hot-path-root
 Time
 EventQueue::runUntil(Time limit)
 {

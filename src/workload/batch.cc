@@ -150,6 +150,7 @@ runOne(const RunSpec &spec, bool reseed)
 
 } // namespace
 
+// ida-lint: shard-root
 BatchOutcome
 runMatrix(const std::vector<RunSpec> &specs, const BatchOptions &opts)
 {

@@ -1,0 +1,35 @@
+// IDA011 fixture: mutable static state reachable from a shard-worker
+// root. The unannotated global, the unannotated function-local static,
+// and the unknown shared(...) kind must each produce a finding; the
+// shared(atomic) global is the sanctioned escape hatch and must not.
+#include <cstdint>
+
+namespace fix {
+
+std::uint64_t gEpochs = 0;
+
+// ida-lint: shared(atomic)
+std::uint64_t gOkCounter = 0;
+
+// ida-lint: shared(spinlock)
+std::uint64_t gBadKind = 0;
+
+void
+bump()
+{
+    ++gEpochs;
+    ++gOkCounter;
+    ++gBadKind;
+    static std::uint64_t calls = 0;
+    ++calls;
+}
+
+// ida-lint: shard-root
+void
+shardMain(int shard)
+{
+    (void)shard;
+    bump();
+}
+
+} // namespace fix

@@ -1,0 +1,39 @@
+// IDA010 fixture: the allocation sits two calls below the dispatch
+// root, so only the whole-program graph can see it (src/ssd is not a
+// per-line hot-path directory — IDA002 stays silent here).
+#include <cstdint>
+
+namespace fix {
+
+class Pump
+{
+  public:
+    void submitBatch(int n);
+
+  private:
+    void stage(int n);
+    void grow();
+    int *slab_ = nullptr;
+};
+
+// ida-lint: hot-path-root
+void
+Pump::submitBatch(int n)
+{
+    stage(n);
+}
+
+void
+Pump::stage(int n)
+{
+    if (n > 0)
+        grow();
+}
+
+void
+Pump::grow()
+{
+    slab_ = new int[64];
+}
+
+} // namespace fix

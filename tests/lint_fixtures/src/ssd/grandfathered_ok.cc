@@ -1,0 +1,34 @@
+// Baseline fixture: the allocation below IS an IDA010 finding, but
+// tests/lint_fixtures/graph_baseline.txt grandfathers it by its
+// line-number-free key (rule|path|containing-function). Scanned with
+// --baseline graph_baseline.txt this file passes; scanned without, it
+// fails — tests/test_lint.cc pins both directions.
+#include <cstdint>
+
+namespace fix {
+
+class Legacy
+{
+  public:
+    void submitBatch(int n);
+
+  private:
+    void grow();
+    int *slab_ = nullptr;
+};
+
+// ida-lint: hot-path-root
+void
+Legacy::submitBatch(int n)
+{
+    if (n > 0)
+        grow();
+}
+
+void
+Legacy::grow()
+{
+    slab_ = new int[16];
+}
+
+} // namespace fix

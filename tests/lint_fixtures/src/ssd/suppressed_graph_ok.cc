@@ -1,0 +1,63 @@
+// Suppression fixture for the graph rules: every IDA010/IDA011/IDA012
+// site below carries its sanctioned escape hatch, so this file must
+// scan completely clean. Exercises the same-line allow, the
+// previous-comment-line allow, the shared(<kind>) annotation, and the
+// legacy-rule inheritance (an allow(IDA002) silencing IDA010).
+#include <cstdint>
+
+namespace fix {
+
+// ida-lint: shared(mutex)
+std::uint64_t gGuarded = 0;
+
+class Pipe
+{
+  public:
+    void submitBatch(int n);
+
+  private:
+    void refill();
+    int *slab_ = nullptr;
+};
+
+// ida-lint: hot-path-root
+void
+Pipe::submitBatch(int n)
+{
+    if (n > 0)
+        refill();
+}
+
+void
+Pipe::refill()
+{
+    slab_ = new int[8]; // ida-lint: allow(IDA010) one-time refill
+    delete[] slab_;     // ida-lint: allow(IDA002) paired teardown
+    slab_ = nullptr;
+}
+
+// ida-lint: shard-root
+void
+shardMain(int shard)
+{
+    (void)shard;
+    ++gGuarded;
+    // ida-lint: allow(IDA011) scratch only; reset every epoch
+    static std::uint64_t scratch = 0;
+    ++scratch;
+}
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+};
+
+std::uint64_t
+seededProbe()
+{
+    Rng rng(7); // ida-lint: allow(IDA012) fixture-local probe stream
+    (void)rng;
+    return 0;
+}
+
+} // namespace fix

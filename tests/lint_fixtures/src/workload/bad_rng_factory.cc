@@ -1,0 +1,34 @@
+// IDA012 fixture: RNG engines constructed outside a tag-seeded
+// factory. The annotated factory is fine; the ad-hoc construction and
+// the raw std engine are findings.
+#include <cstdint>
+#include <random>
+
+namespace sim {
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+};
+} // namespace sim
+
+namespace fix {
+
+// ida-lint: rng-factory
+sim::Rng
+makeTagged(std::uint64_t tag)
+{
+    return sim::Rng(tag * 7);
+}
+
+std::uint64_t
+adHocStream()
+{
+    sim::Rng rng(42);
+    std::mt19937_64 eng(99);
+    (void)rng;
+    (void)eng;
+    return 0;
+}
+
+} // namespace fix

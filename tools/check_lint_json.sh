@@ -1,0 +1,56 @@
+#!/bin/sh
+# Validate an ida-lint findings export (ida_lint --format=json /
+# --json-out) against the documented schema (docs/LINTING.md):
+#   schema   : the literal "ida-lint-findings-v1"
+#   counts   : {"reported": N, "baselined": M} (non-negative integers)
+#   findings : array; every entry carries rule (IDAnnn), name, path,
+#              line (integer), baselined (bool), key, message
+# Grep-based on purpose: runs anywhere the tier-1 gate runs, no jq.
+#
+# With IDA_LINT_MAX_REPORTED set (default 0), the script is also the
+# gate: a reported count above the limit fails, so CI can publish the
+# artifact and still refuse non-baselined findings in one step.
+#
+# Usage: tools/check_lint_json.sh <findings.json>
+set -eu
+
+FILE="${1:?usage: check_lint_json.sh <findings.json>}"
+MAX_REPORTED="${IDA_LINT_MAX_REPORTED:-0}"
+
+fail() {
+    echo "check_lint_json: FAIL - $1 ($FILE)" >&2
+    exit 1
+}
+
+[ -f "$FILE" ] || fail "file missing"
+
+grep -q '"schema": "ida-lint-findings-v1"' "$FILE" || \
+    fail "missing or wrong schema marker"
+
+grep -Eq '"counts": \{"reported": [0-9]+, "baselined": [0-9]+\}' "$FILE" || \
+    fail "missing counts object"
+
+grep -q '"findings": \[' "$FILE" || fail "missing findings array"
+
+# Every finding line must carry the full field set, well-formed.
+ENTRY_RE='^\s*\{"rule": "IDA[0-9]{3}", "name": "[^"]+", "path": "[^"]+", "line": [0-9]+, "baselined": (true|false), "key": "[^"]+", "message": ".*"\},?$'
+BAD=$(grep -c '"rule":' "$FILE" || true)
+GOOD=$(grep -Ec "$ENTRY_RE" "$FILE" || true)
+[ "$BAD" -eq "$GOOD" ] || \
+    fail "malformed finding entries ($GOOD of $BAD well-formed)"
+
+# Cross-check the counts against the entries themselves.
+REPORTED=$(sed -n 's/.*"counts": {"reported": \([0-9]*\),.*/\1/p' "$FILE")
+BASELINED=$(sed -n 's/.*"baselined": \([0-9]*\)}.*/\1/p' "$FILE")
+N_FALSE=$(grep -Ec '"baselined": false' "$FILE" || true)
+N_TRUE=$(grep -Ec '"baselined": true,' "$FILE" || true)
+[ "$REPORTED" -eq "$N_FALSE" ] || \
+    fail "counts.reported=$REPORTED but $N_FALSE non-baselined entries"
+[ "$BASELINED" -eq "$N_TRUE" ] || \
+    fail "counts.baselined=$BASELINED but $N_TRUE baselined entries"
+
+if [ "$REPORTED" -gt "$MAX_REPORTED" ]; then
+    fail "$REPORTED non-baselined findings (limit $MAX_REPORTED)"
+fi
+
+echo "check_lint_json: OK ($FILE: reported=$REPORTED baselined=$BASELINED)"

@@ -1,0 +1,128 @@
+#include "graph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace idalint {
+
+namespace {
+
+std::string
+lastSegment(const std::string &name)
+{
+    const std::size_t p = name.rfind("::");
+    return p == std::string::npos ? name : name.substr(p + 2);
+}
+
+/** qualName ends with the written chain on a `::` boundary. */
+bool
+qualSuffixMatch(const std::string &qual, const std::string &chain)
+{
+    if (qual.size() < chain.size())
+        return false;
+    if (qual.compare(qual.size() - chain.size(), chain.size(), chain) != 0)
+        return false;
+    if (qual.size() == chain.size())
+        return true;
+    const std::size_t cut = qual.size() - chain.size();
+    return cut >= 2 && qual.compare(cut - 2, 2, "::") == 0;
+}
+
+} // namespace
+
+SymbolGraph
+SymbolGraph::build(const Index &idx)
+{
+    SymbolGraph g;
+    for (const FileIndex &fi : idx.files) {
+        for (const FunctionInfo &fn : fi.functions) {
+            g.byLast_[fn.lastName].push_back(g.nodes_.size());
+            g.nodes_.push_back({&fn, &fi});
+        }
+    }
+    g.edges_.resize(g.nodes_.size());
+    for (std::size_t i = 0; i < g.nodes_.size(); ++i) {
+        std::set<std::size_t> out;
+        for (const CallSite &c : g.nodes_[i].fn->calls) {
+            for (std::size_t callee : g.resolve(c.name)) {
+                if (callee != i)
+                    out.insert(callee);
+            }
+        }
+        g.edges_[i].assign(out.begin(), out.end());
+    }
+    return g;
+}
+
+std::vector<std::size_t>
+SymbolGraph::resolve(const std::string &name) const
+{
+    if (name.find("::") == std::string::npos) {
+        const auto it = byLast_.find(name);
+        return it == byLast_.end() ? std::vector<std::size_t>{}
+                                   : it->second;
+    }
+    // Qualified call: narrow the last-name candidates to those whose
+    // qualified name actually ends with the written chain.
+    std::vector<std::size_t> out;
+    const auto it = byLast_.find(lastSegment(name));
+    if (it == byLast_.end())
+        return out;
+    for (std::size_t i : it->second) {
+        if (qualSuffixMatch(nodes_[i].fn->qualName, name))
+            out.push_back(i);
+    }
+    return out;
+}
+
+Reachability
+reachableFrom(const SymbolGraph &g, const std::vector<std::size_t> &roots)
+{
+    Reachability r;
+    r.parent.assign(g.size(), Reachability::kUnreachable);
+    std::deque<std::size_t> q;
+    for (std::size_t root : roots) {
+        if (root < g.size() &&
+            r.parent[root] == Reachability::kUnreachable) {
+            r.parent[root] = Reachability::kRoot;
+            q.push_back(root);
+        }
+    }
+    while (!q.empty()) {
+        const std::size_t n = q.front();
+        q.pop_front();
+        for (std::size_t next : g.callees(n)) {
+            if (r.parent[next] == Reachability::kUnreachable) {
+                r.parent[next] = static_cast<int>(n);
+                q.push_back(next);
+            }
+        }
+    }
+    return r;
+}
+
+std::string
+witnessChain(const SymbolGraph &g, const Reachability &r, std::size_t node)
+{
+    std::vector<std::string> names;
+    // Cap the walk defensively; parent pointers from BFS are acyclic
+    // but a bad caller-supplied node should not hang the linter.
+    for (int cur = static_cast<int>(node), hops = 0;
+         cur >= 0 && hops < 4096; ++hops) {
+        names.push_back(g.node(static_cast<std::size_t>(cur)).fn->qualName);
+        if (!r.reached(static_cast<std::size_t>(cur)))
+            break;
+        cur = r.parent[static_cast<std::size_t>(cur)];
+    }
+    std::reverse(names.begin(), names.end());
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += " -> ";
+        out += n;
+    }
+    return out;
+}
+
+} // namespace idalint

@@ -1,404 +1,51 @@
 /**
  * @file
- * ida-lint: the project's custom static-analysis rule pack.
+ * ida-lint driver: the project's custom static-analysis gate.
  *
- * A standalone source scanner (no compiler dependency) enforcing the
- * invariants the simulator's correctness arguments rest on but a C++
- * compiler cannot check by itself: the event kernel stays
- * allocation-free, seeded replays stay deterministic, and durations
- * are always written in terms of the sim/time.hh unit constants.
+ * v2 is a whole-program analyzer. Every translation unit under the
+ * root is stripped (source_view), indexed into functions, call sites,
+ * event sites, and globals (indexer), linked into a name-resolved
+ * symbol graph (graph), and checked by two rule packs (rules):
+ *
+ *   - IDA001–IDA009: the per-line regex rules, unchanged from v1;
+ *   - IDA010–IDA012: reachability rules from the annotated hot-path
+ *     and shard-worker root sets, with call-chain witnesses.
+ *
  * docs/LINTING.md is the rule catalogue; tests/lint_fixtures/ holds a
  * known-bad snippet per rule and tests/test_lint.cc pins the exact
  * findings each fixture must produce.
  *
- * Matching runs on a comment- and string-stripped view of each line,
- * so prose and format strings never trip a rule. Suppressions are
- * written in comments:
+ * Tree scans auto-load tools/lint_baseline.txt under the root:
+ * grandfathered findings are counted on stderr but neither printed
+ * nor fatal, so a migration can land before its cleanup does.
  *
- *     deliberate_use();            // ida-lint: allow(IDA002) why...
- *     // ida-lint: allow(IDA001) applies to the next line
- *     // ida-lint: allow-file(IDA004) applies to the whole file
- *
- * Exit status: 0 when no findings, 1 when any rule fired, 2 on usage
- * or I/O errors. Output format (one finding per line):
+ * Exit status: 0 when no (non-baselined) findings, 1 when any rule
+ * fired, 2 on usage or I/O errors. Text output format (one finding
+ * per line, pinned by tests/test_lint.cc):
  *
  *     <path>:<line>: <rule-id>: <message> [<rule-name>]
  */
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <optional>
-#include <regex>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "graph.hh"
+#include "indexer.hh"
+#include "rules.hh"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding
-{
-    std::string path; // root-relative, '/'-separated
-    std::size_t line; // 1-based
-    std::string rule;
-    std::string message;
-    std::string ruleName;
-};
-
-/**
- * Directories whose dispatch paths must stay allocation-, exception-
- * and std::function-free (the PR 3 kernel contract). Matched against
- * the root-relative path prefix.
- */
-const std::vector<std::string> kHotPathDirs = {
-    "src/sim/",
-    "src/flash/",
-    "src/ftl/",   // prefix match: includes src/ftl/zns/ (ZNS backend)
-    "src/cache/", // read-cache lookups sit on every host-read dispatch
-    "src/fleet/", // staging/merge runs once per host IO per epoch
-};
+using namespace idalint;
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
 {
     return s.rfind(prefix, 0) == 0;
-}
-
-bool
-isHotPath(const std::string &rel)
-{
-    return std::any_of(kHotPathDirs.begin(), kHotPathDirs.end(),
-                       [&](const auto &d) { return startsWith(rel, d); });
-}
-
-bool
-isLibrarySource(const std::string &rel)
-{
-    return startsWith(rel, "src/");
-}
-
-bool
-isHeader(const std::string &rel)
-{
-    return rel.size() > 3 && rel.compare(rel.size() - 3, 3, ".hh") == 0;
-}
-
-/**
- * One file, preprocessed for matching: `code` has comments, string
- * and character literals blanked with spaces (line count preserved);
- * `comments` has only the comment text (for suppression parsing).
- */
-struct FileView
-{
-    std::vector<std::string> raw;
-    std::vector<std::string> code;
-    std::vector<std::string> comments;
-};
-
-FileView
-stripSource(std::istream &in)
-{
-    FileView v;
-    std::string line;
-    enum class St { Code, Block, Str, Chr, RawStr } st = St::Code;
-    std::string rawDelim; // raw-string closing delimiter ")foo"
-    while (std::getline(in, line)) {
-        std::string code(line.size(), ' ');
-        std::string comment(line.size(), ' ');
-        // Preprocessor directives keep their "quoted" parts: an
-        // #include path is a string literal, but include-hygiene rules
-        // must still see it. Comments on such lines are stripped as
-        // usual.
-        const std::size_t firstNonWs = line.find_first_not_of(" \t");
-        const bool preproc = st == St::Code &&
-                             firstNonWs != std::string::npos &&
-                             line[firstNonWs] == '#';
-        for (std::size_t i = 0; i < line.size(); ++i) {
-            const char c = line[i];
-            const char n = i + 1 < line.size() ? line[i + 1] : '\0';
-            switch (st) {
-            case St::Code:
-                if (c == '/' && n == '/') {
-                    for (std::size_t j = i; j < line.size(); ++j)
-                        comment[j] = line[j];
-                    i = line.size();
-                } else if (c == '/' && n == '*') {
-                    st = St::Block;
-                    ++i;
-                } else if (preproc && (c == '"' || c == '\'')) {
-                    code[i] = c;
-                } else if (c == '"' && i >= 1 && line[i - 1] == 'R') {
-                    // Raw string literal: find the delimiter.
-                    std::size_t p = line.find('(', i);
-                    rawDelim = ")" +
-                               line.substr(i + 1, p == std::string::npos
-                                                      ? 0
-                                                      : p - i - 1) +
-                               "\"";
-                    st = St::RawStr;
-                } else if (c == '"') {
-                    st = St::Str;
-                } else if (c == '\'' && i >= 1 &&
-                           (std::isalnum(
-                                static_cast<unsigned char>(line[i - 1])) ||
-                            line[i - 1] == '_')) {
-                    // Digit separator (1'000) or suffix — keep it so
-                    // numeric-literal rules see the full token.
-                    code[i] = c;
-                } else if (c == '\'') {
-                    st = St::Chr;
-                } else {
-                    code[i] = c;
-                }
-                break;
-            case St::Block:
-                comment[i] = c;
-                if (c == '*' && n == '/') {
-                    comment[i + 1] = '/';
-                    ++i;
-                    st = St::Code;
-                }
-                break;
-            case St::Str:
-                if (c == '\\')
-                    ++i;
-                else if (c == '"')
-                    st = St::Code;
-                break;
-            case St::Chr:
-                if (c == '\\')
-                    ++i;
-                else if (c == '\'')
-                    st = St::Code;
-                break;
-            case St::RawStr: {
-                const std::size_t p = line.find(rawDelim, i);
-                if (p == std::string::npos) {
-                    i = line.size();
-                } else {
-                    i = p + rawDelim.size() - 1;
-                    st = St::Code;
-                }
-                break;
-            }
-            }
-        }
-        v.raw.push_back(line);
-        v.code.push_back(std::move(code));
-        v.comments.push_back(std::move(comment));
-    }
-    return v;
-}
-
-/** Parsed suppressions: per-line (line -> rules) and file-wide. */
-struct Suppressions
-{
-    std::set<std::string> fileWide;
-    // Rules allowed on a given 1-based line (the comment's own line
-    // and, for a comment-only line, the following line).
-    std::vector<std::set<std::string>> perLine;
-
-    bool
-    allows(const std::string &rule, std::size_t line1) const
-    {
-        if (fileWide.count(rule))
-            return true;
-        return line1 - 1 < perLine.size() &&
-               perLine[line1 - 1].count(rule) > 0;
-    }
-};
-
-Suppressions
-parseSuppressions(const FileView &v)
-{
-    Suppressions s;
-    s.perLine.resize(v.comments.size());
-    const std::regex re("ida-lint:\\s*(allow|allow-file)\\(([A-Z0-9, ]+)\\)");
-    for (std::size_t i = 0; i < v.comments.size(); ++i) {
-        std::smatch m;
-        std::string text = v.comments[i];
-        while (std::regex_search(text, m, re)) {
-            std::set<std::string> rules;
-            std::stringstream ss(m[2].str());
-            std::string r;
-            while (std::getline(ss, r, ',')) {
-                r.erase(std::remove_if(r.begin(), r.end(), ::isspace),
-                        r.end());
-                if (!r.empty())
-                    rules.insert(r);
-            }
-            if (m[1].str() == "allow-file") {
-                s.fileWide.insert(rules.begin(), rules.end());
-            } else {
-                s.perLine[i].insert(rules.begin(), rules.end());
-                // A comment-only line blesses the next line too.
-                const std::string &code = v.code[i];
-                const bool codeOnLine = std::any_of(
-                    code.begin(), code.end(), [](unsigned char c) {
-                        return !std::isspace(c);
-                    });
-                if (!codeOnLine && i + 1 < s.perLine.size())
-                    s.perLine[i + 1].insert(rules.begin(), rules.end());
-            }
-            text = m.suffix();
-        }
-    }
-    return s;
-}
-
-struct Rule
-{
-    std::string id;
-    std::string name;
-    std::string message;
-    std::regex pattern;
-    enum class Scope { HotPath, Library, Everywhere, LibraryNoTime };
-    Scope scope;
-};
-
-std::vector<Rule>
-buildRules()
-{
-    std::vector<Rule> rules;
-    const auto add = [&](const char *id, const char *name,
-                         const char *message, const char *pattern,
-                         Rule::Scope scope) {
-        rules.push_back(
-            {id, name, message, std::regex(pattern), scope});
-    };
-
-    add("IDA001", "no-std-function-hot-path",
-        "std::function (type-erased, may allocate) is banned in "
-        "dispatch-path code; use sim::InlineCallback",
-        "std::\\s*function\\b|#\\s*include\\s*<functional>",
-        Rule::Scope::HotPath);
-
-    add("IDA002", "no-raw-heap-hot-path",
-        "raw heap traffic is banned in dispatch-path code; use the "
-        "pooled/slab containers set up at construction",
-        // `delete` needs an operand to its right so `= delete;`
-        // (deleted special members) stays legal — std::regex has no
-        // lookbehind, so match the expression forms instead.
-        "\\bnew\\b|\\bdelete\\s*\\[|\\bdelete\\s+[A-Za-z_(*:]|"
-        "\\bmalloc\\s*\\(|\\bcalloc\\s*\\(|"
-        "\\brealloc\\s*\\(|\\bfree\\s*\\(",
-        Rule::Scope::HotPath);
-
-    add("IDA003", "no-exceptions-hot-path",
-        "exceptions are banned in dispatch-path code (the kernel is "
-        "built around sim::fatal and status returns)",
-        "\\bthrow\\b|\\btry\\b|\\bcatch\\s*\\(",
-        Rule::Scope::HotPath);
-
-    add("IDA004", "no-unseeded-rng",
-        "unseeded/wall-clock entropy breaks seeded replay; thread a "
-        "sim::Rng (or pass timestamps in) instead",
-        "\\brand\\s*\\(|\\bsrand\\s*\\(|\\bdrand48\\s*\\(|"
-        "\\brandom\\s*\\(\\s*\\)|random_device|system_clock|"
-        "(^|[^:_\\w.])time\\s*\\(|\\bclock\\s*\\(\\s*\\)|"
-        "\\bgetpid\\s*\\(",
-        Rule::Scope::Everywhere);
-
-    add("IDA005", "no-raw-time-literal",
-        "raw time-unit literal; express durations as multiples of the "
-        "sim/time.hh constants (kUsec, kMsec, ...)",
-        "\\b1'000\\b|\\b1'000'000\\b|\\b1'000'000'000\\b|"
-        "(Time|Tick)\\s*[{(]\\s*[0-9][0-9']{3,}\\s*[})]",
-        Rule::Scope::LibraryNoTime);
-
-    add("IDA006", "include-hygiene",
-        "include hygiene: no parent-relative includes, no C compat "
-        "headers (<cstdio> over <stdio.h>), headers start with "
-        "#pragma once",
-        "#\\s*include\\s*\"\\.\\.?/|"
-        "#\\s*include\\s*<(assert|ctype|errno|float|limits|locale|math|"
-        "setjmp|signal|stdarg|stddef|stdio|stdint|stdlib|string|time)"
-        "\\.h>",
-        Rule::Scope::Everywhere);
-
-    add("IDA007", "banned-api",
-        "banned unsafe/legacy API; use the std:: replacements "
-        "(snprintf, std::string, strtol, ...)",
-        "\\bgets\\s*\\(|\\bstrcpy\\s*\\(|\\bstrcat\\s*\\(|"
-        "\\bsprintf\\s*\\(|\\bvsprintf\\s*\\(|\\bstrtok\\s*\\(|"
-        "\\batoi\\s*\\(|\\batol\\s*\\(|\\bsetjmp\\s*\\(|"
-        "\\blongjmp\\s*\\(",
-        Rule::Scope::Everywhere);
-
-    add("IDA008", "no-console-io-in-lib",
-        "library code must not write to the console; return strings, "
-        "take an ostream, or use sim/log.hh",
-        "std::\\s*cout\\b|std::\\s*cerr\\b|\\bprintf\\s*\\(|"
-        "\\bfprintf\\s*\\(|\\bputs\\s*\\(",
-        Rule::Scope::Library);
-
-    add("IDA009", "no-transcendental-hot-path",
-        "per-event transcendental math (std::pow/log/exp) is banned on "
-        "dispatch paths; precompute a table at construction instead "
-        "(see ecc/rber_model's factored rounds table)",
-        "\\bstd::\\s*(pow|log|log2|log10|log1p|exp|exp2|expm1)\\s*\\(",
-        Rule::Scope::HotPath);
-
-    return rules;
-}
-
-bool
-inScope(const Rule &rule, const std::string &rel)
-{
-    switch (rule.scope) {
-    case Rule::Scope::HotPath:
-        return isHotPath(rel);
-    case Rule::Scope::Library:
-        return isLibrarySource(rel);
-    case Rule::Scope::LibraryNoTime:
-        return isLibrarySource(rel) && rel != "src/sim/time.hh";
-    case Rule::Scope::Everywhere:
-        return true;
-    }
-    return false;
-}
-
-void
-scanFile(const fs::path &abs, const std::string &rel,
-         const std::vector<Rule> &rules, std::vector<Finding> &out)
-{
-    std::ifstream in(abs);
-    if (!in) {
-        out.push_back({rel, 0, "IDA000", "cannot open file", "io-error"});
-        return;
-    }
-    const FileView v = stripSource(in);
-    const Suppressions sup = parseSuppressions(v);
-
-    for (const Rule &rule : rules) {
-        if (!inScope(rule, rel))
-            continue;
-        for (std::size_t i = 0; i < v.code.size(); ++i) {
-            if (!std::regex_search(v.code[i], rule.pattern))
-                continue;
-            if (sup.allows(rule.id, i + 1))
-                continue;
-            out.push_back(
-                {rel, i + 1, rule.id, rule.message, rule.name});
-        }
-    }
-
-    // IDA006 (part 2): headers must start with #pragma once.
-    if (isHeader(rel)) {
-        const bool hasPragma = std::any_of(
-            v.code.begin(), v.code.end(), [](const std::string &l) {
-                return l.find("#pragma once") != std::string::npos;
-            });
-        if (!hasPragma && !sup.allows("IDA006", 1)) {
-            out.push_back({rel, 1, "IDA006",
-                           "header is missing #pragma once",
-                           "include-hygiene"});
-        }
-    }
 }
 
 bool
@@ -433,11 +80,16 @@ int
 usage()
 {
     std::cerr
-        << "usage: ida_lint [--root DIR] [--list-rules] [FILE...]\n"
+        << "usage: ida_lint [--root DIR] [--list-rules]\n"
+        << "                [--list-rule-ids] [--format text|json]\n"
+        << "                [--json-out FILE] [--baseline FILE]\n"
+        << "                [--no-baseline] [--write-baseline FILE]\n"
+        << "                [FILE...]\n"
         << "\n"
         << "With no FILEs, scans src/ tests/ bench/ examples/ tools/\n"
         << "under the root (default: current directory), skipping\n"
-        << "tests/lint_fixtures. Paths in findings are root-relative.\n";
+        << "tests/lint_fixtures, and auto-loads tools/lint_baseline.txt\n"
+        << "when present. Paths in findings are root-relative.\n";
     return 2;
 }
 
@@ -449,6 +101,13 @@ main(int argc, char **argv)
     fs::path root = fs::current_path();
     std::vector<fs::path> explicitFiles;
     bool listRules = false;
+    bool listRuleIds = false;
+    bool dumpIndex = false;
+    bool noBaseline = false;
+    std::string format = "text";
+    std::string jsonOut;
+    std::string baselinePath;
+    std::string writeBaselinePath;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -456,6 +115,22 @@ main(int argc, char **argv)
             root = fs::path(argv[++i]);
         } else if (arg == "--list-rules") {
             listRules = true;
+        } else if (arg == "--list-rule-ids") {
+            listRuleIds = true;
+        } else if (arg == "--dump-index") {
+            dumpIndex = true;
+        } else if (arg == "--format" && i + 1 < argc) {
+            format = argv[++i];
+        } else if (startsWith(arg, "--format=")) {
+            format = arg.substr(9);
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            jsonOut = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--no-baseline") {
+            noBaseline = true;
+        } else if (arg == "--write-baseline" && i + 1 < argc) {
+            writeBaselinePath = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             return usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -464,18 +139,24 @@ main(int argc, char **argv)
             explicitFiles.emplace_back(arg);
         }
     }
+    if (format != "text" && format != "json")
+        return usage();
     root = fs::absolute(root).lexically_normal();
 
-    const std::vector<Rule> rules = buildRules();
-    if (listRules) {
-        for (const auto &r : rules)
-            std::cout << r.id << "  " << r.name << "\n    " << r.message
-                      << "\n";
+    if (listRules || listRuleIds) {
+        for (const RuleInfo &r : allRules()) {
+            if (listRuleIds)
+                std::cout << r.id << "\n";
+            else
+                std::cout << r.id << "  " << r.name << "\n    "
+                          << r.message << "\n";
+        }
         return 0;
     }
 
+    const bool treeScan = explicitFiles.empty();
     std::vector<fs::path> files;
-    if (!explicitFiles.empty()) {
+    if (!treeScan) {
         for (auto &f : explicitFiles)
             files.push_back(fs::absolute(f));
     } else {
@@ -484,20 +165,133 @@ main(int argc, char **argv)
     }
     std::sort(files.begin(), files.end());
 
+    Index idx;
     std::vector<Finding> findings;
     for (const auto &f : files) {
         std::string rel = fs::relative(f, root).generic_string();
         if (startsWith(rel, "..")) // outside root: report as given
             rel = f.generic_string();
-        scanFile(f, rel, rules, findings);
+        std::ifstream in(f);
+        if (!in) {
+            findings.push_back(
+                {rel, 0, "IDA000", "cannot open file", "io-error"});
+            continue;
+        }
+        idx.files.push_back(indexFile(stripSource(in), rel));
     }
 
-    for (const auto &fd : findings)
-        std::cout << fd.path << ':' << fd.line << ": " << fd.rule << ": "
-                  << fd.message << " [" << fd.ruleName << "]\n";
-    if (!findings.empty()) {
-        std::cerr << "ida-lint: " << findings.size() << " finding"
-                  << (findings.size() == 1 ? "" : "s") << "\n";
+    if (dumpIndex) {
+        // Debug view of what the indexer recovered (not a stable
+        // interface; the JSON export is the machine-readable one).
+        for (const FileIndex &fi : idx.files) {
+            std::cout << fi.rel << "\n";
+            for (const FunctionInfo &fn : fi.functions) {
+                std::cout << "  fn " << fn.qualName << " ["
+                          << fn.nameLine << "-" << fn.endLine << "]"
+                          << (fn.hotRoot ? " hot-root" : "")
+                          << (fn.shardRoot ? " shard-root" : "")
+                          << (fn.rngFactory ? " rng-factory" : "")
+                          << " calls=" << fn.calls.size()
+                          << " events=" << fn.events.size() << "\n";
+            }
+            for (const GlobalVar &gv : fi.globals)
+                std::cout << "  global " << gv.qualName << " @"
+                          << gv.line
+                          << (gv.hasShared ? " shared(" + gv.sharedKind +
+                                                 ")"
+                                           : "")
+                          << "\n";
+        }
+        return 0;
+    }
+
+    for (const FileIndex &fi : idx.files)
+        runLineRules(fi, findings);
+    const SymbolGraph graph = SymbolGraph::build(idx);
+    runGraphRules(idx, graph, findings);
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+
+    if (!writeBaselinePath.empty()) {
+        std::ofstream out(writeBaselinePath);
+        if (!out) {
+            std::cerr << "ida-lint: cannot write baseline "
+                      << writeBaselinePath << "\n";
+            return 2;
+        }
+        writeBaseline(out, idx, findings);
+        std::cerr << "ida-lint: wrote " << findings.size()
+                  << " baseline entr"
+                  << (findings.size() == 1 ? "y" : "ies") << " to "
+                  << writeBaselinePath << "\n";
+        return 0;
+    }
+
+    // Baseline resolution: an explicit --baseline always applies; a
+    // tree scan additionally picks up the checked-in default so the
+    // repo gate and the CI job agree without extra flags.
+    std::set<std::string> baseline;
+    fs::path bp;
+    if (!noBaseline) {
+        if (!baselinePath.empty())
+            bp = baselinePath;
+        else if (treeScan)
+            bp = root / "tools" / "lint_baseline.txt";
+        if (!bp.empty() && fs::exists(bp)) {
+            std::ifstream in(bp);
+            if (!in) {
+                std::cerr << "ida-lint: cannot read baseline " << bp
+                          << "\n";
+                return 2;
+            }
+            baseline = loadBaseline(in);
+        } else if (!baselinePath.empty()) {
+            std::cerr << "ida-lint: baseline file not found: "
+                      << baselinePath << "\n";
+            return 2;
+        }
+    }
+
+    std::vector<Finding> reported;
+    std::vector<Finding> baselined;
+    for (const Finding &f : findings) {
+        if (baseline.count(baselineKey(idx, f)) > 0)
+            baselined.push_back(f);
+        else
+            reported.push_back(f);
+    }
+
+    if (!jsonOut.empty()) {
+        std::ofstream out(jsonOut);
+        if (!out) {
+            std::cerr << "ida-lint: cannot write " << jsonOut << "\n";
+            return 2;
+        }
+        renderJson(out, idx, reported, baselined);
+    }
+    if (format == "json") {
+        renderJson(std::cout, idx, reported, baselined);
+    } else {
+        for (const Finding &fd : reported)
+            std::cout << fd.path << ':' << fd.line << ": " << fd.rule
+                      << ": " << fd.message << " [" << fd.ruleName
+                      << "]\n";
+    }
+
+    if (!baselined.empty())
+        std::cerr << "ida-lint: " << baselined.size()
+                  << " baselined finding"
+                  << (baselined.size() == 1 ? "" : "s")
+                  << " suppressed (" << bp.generic_string() << ")\n";
+    if (!reported.empty()) {
+        std::cerr << "ida-lint: " << reported.size() << " finding"
+                  << (reported.size() == 1 ? "" : "s") << "\n";
         return 1;
     }
     return 0;

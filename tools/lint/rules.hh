@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ida-lint rule packs and reporting helpers.
+ *
+ * Two layers share one Finding type:
+ *
+ *   - the v1 per-line rules (IDA001–IDA009): regex matches over the
+ *     stripped code channel, scoped by directory (hot-path dirs,
+ *     library, everywhere) exactly as before;
+ *   - the v2 graph rules (IDA010–IDA012): reachability queries over
+ *     the SymbolGraph, with a call-chain witness embedded in the
+ *     finding message.
+ *
+ * Baselines let a known finding ride while the tree is migrated: keys
+ * are line-number-free (`rule|path|context`, where context is the
+ * containing function's qualified name) so unrelated edits above a
+ * grandfathered site do not invalidate the entry.
+ */
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph.hh"
+#include "indexer.hh"
+
+namespace idalint {
+
+struct Finding
+{
+    std::string path; // root-relative, '/'-separated
+    std::size_t line; // 1-based
+    std::string rule;
+    std::string message;
+    std::string ruleName;
+};
+
+/** Catalogue entry for --list-rules (line and graph rules alike). */
+struct RuleInfo
+{
+    std::string id;
+    std::string name;
+    std::string message;
+};
+
+/** The full registered rule pack, IDA001..IDA012, in id order. */
+std::vector<RuleInfo> allRules();
+
+/** Run the per-line rule pack (IDA001–IDA009) over one file. */
+void runLineRules(const FileIndex &fi, std::vector<Finding> &out);
+
+/** Run the graph rule pack (IDA010–IDA012) over the whole index. */
+void runGraphRules(const Index &idx, const SymbolGraph &g,
+                   std::vector<Finding> &out);
+
+/**
+ * Stable, line-number-free baseline key for @p f: `rule|path|context`
+ * where context is the qualified name of the containing function,
+ * `global:<qualName>` for a namespace-scope variable finding, or the
+ * trimmed source line as a last resort.
+ */
+std::string baselineKey(const Index &idx, const Finding &f);
+
+/** Parse a baseline stream: one key per line, `#` comments, blanks. */
+std::set<std::string> loadBaseline(std::istream &in);
+
+/** Write the (sorted, unique) keys of @p findings as a baseline. */
+void writeBaseline(std::ostream &out, const Index &idx,
+                   const std::vector<Finding> &findings);
+
+/**
+ * Render findings as the machine-readable export
+ * (schema "ida-lint-findings-v1"; see docs/LINTING.md).
+ */
+void renderJson(std::ostream &out, const Index &idx,
+                const std::vector<Finding> &reported,
+                const std::vector<Finding> &baselined);
+
+} // namespace idalint

@@ -1,0 +1,189 @@
+#include "source_view.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <regex>
+#include <sstream>
+
+namespace idalint {
+
+FileView
+stripSource(std::istream &in)
+{
+    FileView v;
+    std::string line;
+    enum class St { Code, Block, Str, Chr, RawStr } st = St::Code;
+    std::string rawDelim; // raw-string closing delimiter ")foo"
+    while (std::getline(in, line)) {
+        std::string code(line.size(), ' ');
+        std::string comment(line.size(), ' ');
+        // Preprocessor directives keep their "quoted" parts: an
+        // #include path is a string literal, but include-hygiene rules
+        // must still see it. Comments on such lines are stripped as
+        // usual.
+        const std::size_t firstNonWs = line.find_first_not_of(" \t");
+        const bool preproc = st == St::Code &&
+                             firstNonWs != std::string::npos &&
+                             line[firstNonWs] == '#';
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char n = i + 1 < line.size() ? line[i + 1] : '\0';
+            switch (st) {
+            case St::Code:
+                if (c == '/' && n == '/') {
+                    for (std::size_t j = i; j < line.size(); ++j)
+                        comment[j] = line[j];
+                    i = line.size();
+                } else if (c == '/' && n == '*') {
+                    st = St::Block;
+                    ++i;
+                } else if (preproc && (c == '"' || c == '\'')) {
+                    code[i] = c;
+                } else if (c == '"' && i >= 1 && line[i - 1] == 'R') {
+                    // Raw string literal: find the delimiter.
+                    std::size_t p = line.find('(', i);
+                    rawDelim = ")" +
+                               line.substr(i + 1, p == std::string::npos
+                                                      ? 0
+                                                      : p - i - 1) +
+                               "\"";
+                    st = St::RawStr;
+                } else if (c == '"') {
+                    st = St::Str;
+                } else if (c == '\'' && i >= 1 &&
+                           (std::isalnum(
+                                static_cast<unsigned char>(line[i - 1])) ||
+                            line[i - 1] == '_')) {
+                    // Digit separator (1'000) or suffix — keep it so
+                    // numeric-literal rules see the full token.
+                    code[i] = c;
+                } else if (c == '\'') {
+                    st = St::Chr;
+                } else {
+                    code[i] = c;
+                }
+                break;
+            case St::Block:
+                comment[i] = c;
+                if (c == '*' && n == '/') {
+                    comment[i + 1] = '/';
+                    ++i;
+                    st = St::Code;
+                }
+                break;
+            case St::Str:
+                if (c == '\\')
+                    ++i;
+                else if (c == '"')
+                    st = St::Code;
+                break;
+            case St::Chr:
+                if (c == '\\')
+                    ++i;
+                else if (c == '\'')
+                    st = St::Code;
+                break;
+            case St::RawStr: {
+                const std::size_t p = line.find(rawDelim, i);
+                if (p == std::string::npos) {
+                    i = line.size();
+                } else {
+                    i = p + rawDelim.size() - 1;
+                    st = St::Code;
+                }
+                break;
+            }
+            }
+        }
+        v.raw.push_back(line);
+        v.code.push_back(std::move(code));
+        v.comments.push_back(std::move(comment));
+    }
+    return v;
+}
+
+FileView
+stripSourceText(const std::string &text)
+{
+    std::istringstream in(text);
+    return stripSource(in);
+}
+
+Suppressions
+parseSuppressions(const FileView &v)
+{
+    Suppressions s;
+    s.perLine.resize(v.comments.size());
+    const std::regex re("ida-lint:\\s*(allow|allow-file)\\(([A-Z0-9, ]+)\\)");
+    for (std::size_t i = 0; i < v.comments.size(); ++i) {
+        std::smatch m;
+        std::string text = v.comments[i];
+        while (std::regex_search(text, m, re)) {
+            std::set<std::string> rules;
+            std::stringstream ss(m[2].str());
+            std::string r;
+            while (std::getline(ss, r, ',')) {
+                r.erase(std::remove_if(r.begin(), r.end(), ::isspace),
+                        r.end());
+                if (!r.empty())
+                    rules.insert(r);
+            }
+            if (m[1].str() == "allow-file") {
+                s.fileWide.insert(rules.begin(), rules.end());
+            } else {
+                s.perLine[i].insert(rules.begin(), rules.end());
+                // A comment-only line blesses the next line too.
+                const std::string &code = v.code[i];
+                const bool codeOnLine = std::any_of(
+                    code.begin(), code.end(), [](unsigned char c) {
+                        return !std::isspace(c);
+                    });
+                if (!codeOnLine && i + 1 < s.perLine.size())
+                    s.perLine[i + 1].insert(rules.begin(), rules.end());
+            }
+            text = m.suffix();
+        }
+    }
+    return s;
+}
+
+const SharedAnnot *
+Annotations::sharedAt(std::size_t line1) const
+{
+    for (const SharedAnnot &a : sharedAnnots) {
+        if (a.line == line1 || a.line + 1 == line1)
+            return &a;
+    }
+    return nullptr;
+}
+
+Annotations
+parseAnnotations(const FileView &v)
+{
+    Annotations a;
+    const std::regex fnRe(
+        "ida-lint:\\s*(hot-path-root|shard-root|rng-factory)\\b");
+    const std::regex sharedRe("ida-lint:\\s*shared\\(([^)]*)\\)");
+    for (std::size_t i = 0; i < v.comments.size(); ++i) {
+        const std::string &text = v.comments[i];
+        std::smatch m;
+        if (std::regex_search(text, m, fnRe)) {
+            FnAnnotKind kind = FnAnnotKind::HotPathRoot;
+            if (m[1].str() == "shard-root")
+                kind = FnAnnotKind::ShardRoot;
+            else if (m[1].str() == "rng-factory")
+                kind = FnAnnotKind::RngFactory;
+            a.fnAnnots.push_back({kind, i + 1});
+        }
+        if (std::regex_search(text, m, sharedRe)) {
+            std::string kind = m[1].str();
+            kind.erase(std::remove_if(kind.begin(), kind.end(), ::isspace),
+                       kind.end());
+            a.sharedAnnots.push_back({kind, i + 1});
+        }
+    }
+    return a;
+}
+
+} // namespace idalint
